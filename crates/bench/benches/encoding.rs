@@ -1,0 +1,63 @@
+//! Encoding benchmarks: MDS/Lagrange encoding cost as a function of the data
+//! size and the worker count, backing the paper's "encoding is a one-time,
+//! near-linear cost" discussion (§II-A).
+
+use avcc_coding::{LagrangeEncoder, SchemeConfig};
+use avcc_field::{F25, P25};
+use avcc_linalg::Matrix;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data_blocks(rows: usize, cols: usize, partitions: usize, seed: u64) -> Vec<Matrix<F25>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let matrix = Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols));
+    matrix.split_rows(partitions)
+}
+
+fn bench_mds_encoding_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/mds_12_9");
+    for &rows in &[90usize, 450, 900] {
+        let blocks = data_blocks(rows, 63, 9, 1);
+        let config = SchemeConfig::linear(12, 9, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |bencher, _| {
+            bencher.iter(|| encoder.encode_deterministic(black_box(&blocks)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding_by_worker_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode/workers");
+    for &workers in &[12usize, 18, 24] {
+        let blocks = data_blocks(450, 63, 9, 2);
+        let config = SchemeConfig::linear(workers, 9, workers - 10, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |bencher, _| bencher.iter(|| encoder.encode_deterministic(black_box(&blocks))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_private_encoding(c: &mut Criterion) {
+    // T = 2 privacy pads: the extra cost of the privacy guarantee.
+    let blocks = data_blocks(450, 63, 9, 3);
+    let config = SchemeConfig::new(14, 9, 1, 1, 2, 1).unwrap();
+    let encoder = LagrangeEncoder::<P25>::new(config);
+    let mut rng = StdRng::seed_from_u64(4);
+    c.bench_function("encode/private_t2", |bencher| {
+        bencher.iter(|| encoder.encode(black_box(&blocks), &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mds_encoding_by_size,
+    bench_encoding_by_worker_count,
+    bench_private_encoding
+);
+criterion_main!(benches);

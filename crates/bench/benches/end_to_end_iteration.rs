@@ -1,0 +1,51 @@
+//! End-to-end iteration benchmarks: one full training iteration (two coded
+//! rounds plus master-side work) per scheme, the ablation data behind the
+//! Fig. 4 discussion of where each scheme spends its time.
+
+use avcc_core::{ExperimentConfig, FaultScenario, SchemeKind};
+use avcc_field::P25;
+use avcc_ml::dataset::DatasetConfig;
+use avcc_sim::attack::AttackModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn quick_config(scheme: SchemeKind) -> ExperimentConfig {
+    let scenario = FaultScenario::paper(1, 1, AttackModel::reverse());
+    let mut config = match scheme {
+        SchemeKind::Uncoded => ExperimentConfig::paper_uncoded(scenario),
+        SchemeKind::Lcc => ExperimentConfig::paper_lcc(scenario),
+        SchemeKind::Avcc | SchemeKind::StaticVcc => ExperimentConfig::paper_avcc(2, 1, scenario),
+    };
+    config.scheme = scheme;
+    config.iterations = 1;
+    config.dataset = DatasetConfig {
+        train_samples: 450,
+        test_samples: 90,
+        features: 63,
+        informative: 21,
+        ..DatasetConfig::default()
+    };
+    config
+}
+
+fn bench_one_iteration_per_scheme(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/iteration");
+    group.sample_size(10);
+    for scheme in [SchemeKind::Uncoded, SchemeKind::Lcc, SchemeKind::Avcc] {
+        let config = quick_config(scheme);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &config,
+            |bencher, config| {
+                bencher.iter(|| {
+                    let mut trainer = config.build_trainer::<P25>();
+                    let mut cumulative = 0.0;
+                    trainer.run_iteration(0, &mut cumulative).expect("iteration failed")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_iteration_per_scheme);
+criterion_main!(benches);

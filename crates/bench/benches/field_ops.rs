@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the finite-field substrate: scalar arithmetic, dot
+//! products and batch inversion, which bound every higher-level cost.
+
+use avcc_field::{batch_inverse, dot, F25, F61, PrimeField};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let a = F25::from_u64(12_345_678);
+    let b = F25::from_u64(9_876_543);
+    c.bench_function("field/mul_f25", |bencher| {
+        bencher.iter(|| black_box(a) * black_box(b))
+    });
+    c.bench_function("field/inverse_f25", |bencher| {
+        bencher.iter(|| black_box(a).inverse())
+    });
+    let a61 = F61::from_u64(1_234_567_890_123);
+    let b61 = F61::from_u64(987_654_321_987);
+    c.bench_function("field/mul_f61", |bencher| {
+        bencher.iter(|| black_box(a61) * black_box(b61))
+    });
+}
+
+fn bench_dot_products(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("field/dot");
+    for &len in &[64usize, 1024, 16_384] {
+        let a: Vec<F25> = avcc_field::random_vector(&mut rng, len);
+        let b: Vec<F25> = avcc_field::random_vector(&mut rng, len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bencher, _| {
+            bencher.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_inverse(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let values: Vec<F25> = avcc_field::rng::random_nonzero_vector(&mut rng, 1024);
+    c.bench_function("field/batch_inverse_1024", |bencher| {
+        bencher.iter(|| batch_inverse(black_box(&values)))
+    });
+}
+
+criterion_group!(benches, bench_scalar_ops, bench_dot_products, bench_batch_inverse);
+criterion_main!(benches);

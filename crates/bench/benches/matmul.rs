@@ -1,0 +1,64 @@
+//! Worker-kernel benchmarks: serial versus multi-threaded field matrix–vector
+//! products. These calibrate the simulator's compute-cost model and back the
+//! claim that the worker compute dominates the master-side overheads.
+
+use avcc_field::F25;
+use avcc_linalg::{mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel, Matrix};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<F25> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols))
+}
+
+fn bench_worker_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul/worker_block");
+    // A worker block of the paper's GISETTE partition: 667 x 5000.
+    for &(rows, cols) in &[(100usize, 63usize), (667, 5000)] {
+        let matrix = random_matrix(rows, cols, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<F25> = avcc_field::random_vector(&mut rng, cols);
+        let y: Vec<F25> = avcc_field::random_vector(&mut rng, rows);
+        group.bench_with_input(
+            BenchmarkId::new("mat_vec", format!("{rows}x{cols}")),
+            &rows,
+            |bencher, _| bencher.iter(|| mat_vec(black_box(&matrix), black_box(&x))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matt_vec", format!("{rows}x{cols}")),
+            &rows,
+            |bencher, _| bencher.iter(|| matt_vec(black_box(&matrix), black_box(&y))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let matrix = random_matrix(2000, 1000, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let x: Vec<F25> = avcc_field::random_vector(&mut rng, 1000);
+    let y: Vec<F25> = avcc_field::random_vector(&mut rng, 2000);
+    let mut group = c.benchmark_group("matmul/parallel_2000x1000");
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("mat_vec", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| mat_vec_parallel(black_box(&matrix), black_box(&x), threads))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("matt_vec", threads),
+            &threads,
+            |bencher, &threads| {
+                bencher.iter(|| matt_vec_parallel(black_box(&matrix), black_box(&y), threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker_kernel, bench_parallel_speedup);
+criterion_main!(benches);

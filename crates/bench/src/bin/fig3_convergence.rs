@@ -1,0 +1,39 @@
+//! Regenerates Fig. 3(a)–(d): test accuracy versus cumulative training time
+//! for AVCC, LCC and the uncoded baseline under the reverse-value and constant
+//! attacks with (S=2, M=1) and (S=1, M=2).
+//!
+//! ```text
+//! cargo run -p avcc-bench --bin fig3_convergence --release
+//! ```
+//!
+//! Output: one block per panel, tab-separated
+//! `iteration  time_s  accuracy` series per scheme.
+
+use avcc_bench::{panel_configs, paper_settings};
+use avcc_core::run_experiment;
+use avcc_field::P25;
+
+fn main() {
+    for (label, attack, stragglers, byzantine) in paper_settings() {
+        println!("# Fig. 3 panel: {label} (S={stragglers}, M={byzantine})");
+        for (kind, config) in panel_configs(attack, stragglers, byzantine) {
+            let report = run_experiment::<P25>(&config).expect("experiment failed");
+            println!("## scheme: {}", kind.label());
+            println!("iteration\ttime_s\ttest_accuracy");
+            for record in &report.iterations {
+                println!(
+                    "{}\t{:.3}\t{:.4}",
+                    record.iteration, record.cumulative_seconds, record.test_accuracy
+                );
+            }
+            println!(
+                "# {} final accuracy {:.4} after {:.2}s ({} Byzantine detections)",
+                kind.label(),
+                report.final_accuracy(),
+                report.total_seconds(),
+                report.total_detections()
+            );
+            println!();
+        }
+    }
+}

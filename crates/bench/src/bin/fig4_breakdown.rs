@@ -1,0 +1,63 @@
+//! Regenerates Fig. 4(a)–(c): the per-iteration cost breakdown (compute,
+//! communication, verification, decoding) of AVCC, LCC and the uncoded
+//! baseline under (S=0, M=0), (S=1, M=2) and (S=2, M=1) with the reverse-value
+//! attack.
+//!
+//! ```text
+//! cargo run -p avcc-bench --bin fig4_breakdown --release
+//! ```
+
+use avcc_bench::{harness_tune, panel_configs};
+use avcc_core::{run_experiment, ExperimentConfig, FaultScenario};
+use avcc_field::P25;
+use avcc_sim::attack::AttackModel;
+
+fn main() {
+    // Panel (a): fault-free.
+    println!("# Fig. 4(a): S=0, M=0 (fault-free)");
+    print_breakdown_block(&fault_free_configs());
+
+    // Panels (b) and (c): reverse-value attack.
+    for (panel, stragglers, byzantine) in [("b", 1usize, 2usize), ("c", 2, 1)] {
+        println!("# Fig. 4({panel}): S={stragglers}, M={byzantine} (reverse value attack)");
+        let configs = panel_configs(AttackModel::reverse(), stragglers, byzantine);
+        print_breakdown_block(&configs);
+    }
+}
+
+fn fault_free_configs() -> Vec<(avcc_core::SchemeKind, ExperimentConfig)> {
+    let scenario = FaultScenario::none();
+    vec![
+        (
+            avcc_core::SchemeKind::Uncoded,
+            harness_tune(ExperimentConfig::paper_uncoded(scenario.clone())),
+        ),
+        (
+            avcc_core::SchemeKind::Lcc,
+            harness_tune(ExperimentConfig::paper_lcc(scenario.clone())),
+        ),
+        (
+            avcc_core::SchemeKind::Avcc,
+            harness_tune(ExperimentConfig::paper_avcc(2, 1, scenario)),
+        ),
+    ]
+}
+
+fn print_breakdown_block(configs: &[(avcc_core::SchemeKind, ExperimentConfig)]) {
+    println!("scheme\tcompute_s\tcommunication_s\tverification_s\tdecoding_s\ttotal_s\tfinal_accuracy");
+    for (kind, config) in configs {
+        let report = run_experiment::<P25>(config).expect("experiment failed");
+        let costs = report.average_costs();
+        println!(
+            "{}\t{:.4}\t{:.4}\t{:.6}\t{:.6}\t{:.4}\t{:.4}",
+            kind.label(),
+            costs.compute,
+            costs.communication,
+            costs.verification,
+            costs.decoding,
+            costs.total(),
+            report.final_accuracy()
+        );
+    }
+    println!();
+}

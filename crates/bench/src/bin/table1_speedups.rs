@@ -1,0 +1,44 @@
+//! Regenerates Table I: end-to-end speedups of AVCC over LCC and the uncoded
+//! baseline for the four attack/fault settings.
+//!
+//! ```text
+//! cargo run -p avcc-bench --bin table1_speedups --release
+//! ```
+//!
+//! The speedup is the ratio of the times at which each scheme reaches the
+//! common target accuracy (falling back to total-time ratio when a scheme
+//! never reaches it, as happens to the uncoded baseline under attack).
+
+use avcc_bench::{panel_configs, paper_settings};
+use avcc_core::report::speedup;
+use avcc_core::{run_experiment, SchemeKind};
+use avcc_field::P25;
+
+fn main() {
+    let target_accuracy = 0.85;
+    println!("# Table I: speedups of AVCC over LCC and the uncoded scheme");
+    println!("# target accuracy for time-to-accuracy: {target_accuracy}");
+    println!("setting\tspeedup_vs_lcc\tspeedup_vs_uncoded");
+    for (label, attack, stragglers, byzantine) in paper_settings() {
+        let mut avcc_report = None;
+        let mut lcc_report = None;
+        let mut uncoded_report = None;
+        for (kind, config) in panel_configs(attack, stragglers, byzantine) {
+            let report = run_experiment::<P25>(&config).expect("experiment failed");
+            match kind {
+                SchemeKind::Avcc => avcc_report = Some(report),
+                SchemeKind::Lcc => lcc_report = Some(report),
+                SchemeKind::Uncoded => uncoded_report = Some(report),
+                SchemeKind::StaticVcc => {}
+            }
+        }
+        let avcc = avcc_report.expect("AVCC run missing");
+        let lcc = lcc_report.expect("LCC run missing");
+        let uncoded = uncoded_report.expect("uncoded run missing");
+        println!(
+            "{label}\t{:.2}x\t{:.2}x",
+            speedup(&avcc, &lcc, target_accuracy),
+            speedup(&avcc, &uncoded, target_accuracy)
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! The Lagrange / MDS decoder (paper §IV-B, step 4).
+//!
+//! Workers return `Ỹ_i = f(X̃_i) = f(u(α_i))`, i.e. evaluations of the
+//! composed polynomial `f(u(z))` of degree at most `(K+T−1)·deg f`. The master
+//! recovers the desired outputs `Y_k = f(X_k) = f(u(β_k))` by interpolation.
+//! Two decoding modes are provided:
+//!
+//! * [`LagrangeDecoder::decode_erasure`] — what **AVCC** uses: every supplied
+//!   result has already passed Freivalds verification, so the decoder only
+//!   needs the recovery threshold `(K+T−1)·deg f + 1` of them and performs a
+//!   plain coordinate-wise interpolation (implemented as one linear
+//!   combination per output block, with coefficients shared across all
+//!   coordinates).
+//! * [`LagrangeDecoder::decode_with_errors`] — what the **LCC baseline**
+//!   uses: up to `max_errors` of the supplied results may be arbitrary
+//!   garbage. The decoder first *locates* the corrupted workers by running
+//!   Berlekamp–Welch on a random-linear-combination fingerprint of each
+//!   worker's vector (a corrupted vector produces a wrong fingerprint with
+//!   probability at least `1 − deg/q`), then erasure-decodes from the
+//!   remaining workers. The located workers are reported so the caller can
+//!   mark them Byzantine. An exhaustive per-coordinate Berlekamp–Welch
+//!   fallback is used if the fingerprint pass fails to produce a consistent
+//!   codeword.
+
+use avcc_field::{dot, random_vector, Fp, PrimeModulus};
+use avcc_poly::{evaluate_basis_at, BerlekampWelch, RsDecodeError};
+use rand::Rng;
+
+use crate::points::EvaluationPoints;
+use crate::scheme::SchemeConfig;
+
+/// Errors raised during decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer results than the recovery threshold (erasure mode) or than the
+    /// threshold plus `2·max_errors` (error-correcting mode).
+    NotEnoughResults {
+        /// Results provided.
+        provided: usize,
+        /// Results required.
+        required: usize,
+    },
+    /// The same worker index appears twice.
+    DuplicateWorker {
+        /// The repeated worker index.
+        worker: usize,
+    },
+    /// A worker index outside `[0, N)`.
+    UnknownWorker {
+        /// The offending index.
+        worker: usize,
+    },
+    /// Result vectors disagree in length.
+    ShapeMismatch,
+    /// Error-correcting decoding could not find a consistent codeword within
+    /// the error budget.
+    TooManyErrors,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NotEnoughResults { provided, required } => {
+                write!(f, "not enough results: {provided} provided, {required} required")
+            }
+            DecodeError::DuplicateWorker { worker } => {
+                write!(f, "worker {worker} supplied more than one result")
+            }
+            DecodeError::UnknownWorker { worker } => write!(f, "unknown worker index {worker}"),
+            DecodeError::ShapeMismatch => write!(f, "result vectors disagree in length"),
+            DecodeError::TooManyErrors => {
+                write!(f, "could not find a consistent codeword within the error budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// The decoder bound to a scheme configuration and its evaluation points.
+#[derive(Debug, Clone)]
+pub struct LagrangeDecoder<M: PrimeModulus> {
+    config: SchemeConfig,
+    points: EvaluationPoints<M>,
+}
+
+impl<M: PrimeModulus> LagrangeDecoder<M> {
+    /// Creates a decoder using the standard evaluation points for `config`
+    /// (the same points the [`crate::encoder::LagrangeEncoder`] picks).
+    pub fn new(config: SchemeConfig) -> Self {
+        let points =
+            EvaluationPoints::<M>::standard(config.partitions, config.colluding, config.workers);
+        LagrangeDecoder { config, points }
+    }
+
+    /// The scheme configuration.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// The recovery threshold `(K+T−1)·deg f + 1`.
+    pub fn recovery_threshold(&self) -> usize {
+        self.config.recovery_threshold()
+    }
+
+    /// Erasure decoding from verified results.
+    ///
+    /// `results` maps worker indices to their returned vectors `Ỹ_i`; at least
+    /// the recovery threshold of them must be present. Returns the `K` output
+    /// blocks `Y_1, …, Y_K` (each the same length as the worker vectors).
+    pub fn decode_erasure(
+        &self,
+        results: &[(usize, Vec<Fp<M>>)],
+    ) -> Result<Vec<Vec<Fp<M>>>, DecodeError> {
+        let threshold = self.recovery_threshold();
+        self.validate(results, threshold)?;
+        // Use exactly `threshold` results (the fastest ones the caller chose).
+        let selected = &results[..threshold];
+        let alphas: Vec<Fp<M>> = selected
+            .iter()
+            .map(|(worker, _)| self.points.alpha()[*worker])
+            .collect();
+        let width = selected[0].1.len();
+
+        let mut outputs = Vec::with_capacity(self.config.partitions);
+        for k in 0..self.config.partitions {
+            let beta = self.points.beta()[k];
+            // Fast path: a systematic worker's result *is* the output block.
+            if let Some((_, vector)) = selected
+                .iter()
+                .find(|(worker, _)| self.points.alpha()[*worker] == beta)
+            {
+                outputs.push(vector.clone());
+                continue;
+            }
+            let coefficients = evaluate_basis_at(&alphas, beta);
+            let mut block = vec![Fp::<M>::ZERO; width];
+            for ((_, vector), &coefficient) in selected.iter().zip(coefficients.iter()) {
+                if coefficient == Fp::<M>::ZERO {
+                    continue;
+                }
+                avcc_field::batch::slice_axpy(&mut block, coefficient, vector);
+            }
+            outputs.push(block);
+        }
+        Ok(outputs)
+    }
+
+    /// Error-correcting decoding: tolerates up to `max_errors` arbitrarily
+    /// corrupted results among `results`. Returns the `K` output blocks and
+    /// the worker indices identified as corrupted.
+    pub fn decode_with_errors<R: Rng + ?Sized>(
+        &self,
+        results: &[(usize, Vec<Fp<M>>)],
+        max_errors: usize,
+        rng: &mut R,
+    ) -> Result<(Vec<Vec<Fp<M>>>, Vec<usize>), DecodeError> {
+        let threshold = self.recovery_threshold();
+        let required = threshold + 2 * max_errors;
+        self.validate(results, required)?;
+        let width = results[0].1.len();
+        let alphas: Vec<Fp<M>> = results
+            .iter()
+            .map(|(worker, _)| self.points.alpha()[*worker])
+            .collect();
+
+        // Fingerprint pass: collapse each worker vector to a single field
+        // element with a shared random combination vector. Correct workers'
+        // fingerprints are evaluations of a degree-(threshold-1) polynomial.
+        let combination: Vec<Fp<M>> = random_vector(rng, width);
+        let fingerprints: Vec<Fp<M>> = results
+            .iter()
+            .map(|(_, vector)| dot(vector, &combination))
+            .collect();
+        let decoder = BerlekampWelch::new(alphas.clone(), threshold);
+        let located = match decoder.decode(&fingerprints, max_errors) {
+            Ok(decoded) => decoded.error_positions,
+            Err(RsDecodeError::TooManyErrors) => return Err(DecodeError::TooManyErrors),
+            Err(RsDecodeError::NotEnoughEvaluations { provided, required }) => {
+                return Err(DecodeError::NotEnoughResults { provided, required })
+            }
+            Err(RsDecodeError::LengthMismatch { .. }) => return Err(DecodeError::ShapeMismatch),
+        };
+
+        // Erasure-decode from the workers that were not located as corrupted.
+        let clean: Vec<(usize, Vec<Fp<M>>)> = results
+            .iter()
+            .enumerate()
+            .filter(|(position, _)| !located.contains(position))
+            .map(|(_, entry)| entry.clone())
+            .collect();
+        if clean.len() < threshold {
+            return Err(DecodeError::TooManyErrors);
+        }
+        let outputs = self.decode_erasure(&clean)?;
+        let corrupted_workers: Vec<usize> =
+            located.iter().map(|&position| results[position].0).collect();
+        Ok((outputs, corrupted_workers))
+    }
+
+    fn validate(
+        &self,
+        results: &[(usize, Vec<Fp<M>>)],
+        required: usize,
+    ) -> Result<(), DecodeError> {
+        if results.len() < required {
+            return Err(DecodeError::NotEnoughResults {
+                provided: results.len(),
+                required,
+            });
+        }
+        let mut seen = vec![false; self.config.workers];
+        let width = results[0].1.len();
+        for (worker, vector) in results {
+            if *worker >= self.config.workers {
+                return Err(DecodeError::UnknownWorker { worker: *worker });
+            }
+            if seen[*worker] {
+                return Err(DecodeError::DuplicateWorker { worker: *worker });
+            }
+            seen[*worker] = true;
+            if vector.len() != width {
+                return Err(DecodeError::ShapeMismatch);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::LagrangeEncoder;
+    use avcc_field::{F25, P25, PrimeField};
+    use avcc_linalg::{mat_vec, Matrix};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a full encode → worker-compute → decode round for a linear map
+    /// (matrix–vector product), returning the expected per-block outputs and
+    /// the worker results.
+    fn linear_round(
+        config: SchemeConfig,
+        seed: u64,
+    ) -> (Vec<Vec<F25>>, Vec<(usize, Vec<F25>)>, LagrangeDecoder<P25>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = 4;
+        let cols = 6;
+        let blocks: Vec<Matrix<F25>> = (0..config.partitions)
+            .map(|_| Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols)))
+            .collect();
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, cols);
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let shares = if config.colluding == 0 {
+            encoder.encode_deterministic(&blocks)
+        } else {
+            encoder.encode(&blocks, &mut rng)
+        };
+        let expected: Vec<Vec<F25>> = blocks.iter().map(|b| mat_vec(b, &w)).collect();
+        let results: Vec<(usize, Vec<F25>)> = shares
+            .iter()
+            .map(|share| (share.worker, mat_vec(&share.block, &w)))
+            .collect();
+        (expected, results, LagrangeDecoder::<P25>::new(config))
+    }
+
+    #[test]
+    fn erasure_decoding_from_all_workers() {
+        let config = SchemeConfig::linear(12, 9, 2, 1).unwrap();
+        let (expected, results, decoder) = linear_round(config, 1);
+        let outputs = decoder.decode_erasure(&results).unwrap();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn erasure_decoding_from_any_threshold_subset() {
+        let config = SchemeConfig::linear(12, 9, 2, 1).unwrap();
+        let (expected, results, decoder) = linear_round(config, 2);
+        // Drop the first three workers (as if they straggled).
+        let subset = results[3..].to_vec();
+        let outputs = decoder.decode_erasure(&subset).unwrap();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn erasure_decoding_with_privacy_pads() {
+        let config = SchemeConfig::new(8, 3, 1, 0, 2, 1).unwrap();
+        let (expected, results, decoder) = linear_round(config, 3);
+        // Threshold is (3+2-1)*1+1 = 5.
+        assert_eq!(decoder.recovery_threshold(), 5);
+        let subset = results[2..7].to_vec();
+        let outputs = decoder.decode_erasure(&subset).unwrap();
+        assert_eq!(outputs, expected);
+    }
+
+    #[test]
+    fn erasure_decoding_requires_threshold_results() {
+        let config = SchemeConfig::linear(12, 9, 2, 1).unwrap();
+        let (_, results, decoder) = linear_round(config, 4);
+        let subset = results[..8].to_vec();
+        assert_eq!(
+            decoder.decode_erasure(&subset),
+            Err(DecodeError::NotEnoughResults {
+                provided: 8,
+                required: 9
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_and_unknown_workers_are_rejected() {
+        let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
+        let (_, results, decoder) = linear_round(config, 5);
+        let mut duplicated = results.clone();
+        duplicated[1] = duplicated[0].clone();
+        assert_eq!(
+            decoder.decode_erasure(&duplicated),
+            Err(DecodeError::DuplicateWorker { worker: 0 })
+        );
+        let mut unknown = results.clone();
+        unknown[0].0 = 99;
+        assert_eq!(
+            decoder.decode_erasure(&unknown),
+            Err(DecodeError::UnknownWorker { worker: 99 })
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
+        let (_, mut results, decoder) = linear_round(config, 6);
+        results[2].1.pop();
+        assert_eq!(decoder.decode_erasure(&results), Err(DecodeError::ShapeMismatch));
+    }
+
+    #[test]
+    fn error_correcting_decode_locates_byzantine_workers() {
+        // LCC-style: (N=12, K=9, S=1, M=1) needs 9 + 1 + 2 = 12 workers.
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let (expected, mut results, decoder) = linear_round(config, 7);
+        // Corrupt worker 4's vector (constant attack).
+        for value in results[4].1.iter_mut() {
+            *value = F25::from_u64(3);
+        }
+        // Drop one straggler (worker 11), leaving N - S = 11 results.
+        results.truncate(11);
+        let mut rng = StdRng::seed_from_u64(70);
+        let (outputs, corrupted) = decoder.decode_with_errors(&results, 1, &mut rng).unwrap();
+        assert_eq!(outputs, expected);
+        assert_eq!(corrupted, vec![4]);
+    }
+
+    #[test]
+    fn error_correcting_decode_with_two_errors() {
+        let config = SchemeConfig::linear(14, 9, 1, 2).unwrap();
+        let (expected, mut results, decoder) = linear_round(config, 8);
+        for value in results[0].1.iter_mut() {
+            *value = -*value; // reverse-value attack
+        }
+        for value in results[7].1.iter_mut() {
+            *value += F25::from_u64(1234);
+        }
+        let mut rng = StdRng::seed_from_u64(80);
+        let (outputs, corrupted) = decoder.decode_with_errors(&results, 2, &mut rng).unwrap();
+        assert_eq!(outputs, expected);
+        let mut corrupted_sorted = corrupted;
+        corrupted_sorted.sort_unstable();
+        assert_eq!(corrupted_sorted, vec![0, 7]);
+    }
+
+    #[test]
+    fn error_correcting_decode_needs_two_extra_per_error() {
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let (_, results, decoder) = linear_round(config, 9);
+        // Only 10 results available but 9 + 2*1 = 11 required.
+        let subset = results[..10].to_vec();
+        let mut rng = StdRng::seed_from_u64(90);
+        assert_eq!(
+            decoder.decode_with_errors(&subset, 1, &mut rng),
+            Err(DecodeError::NotEnoughResults {
+                provided: 10,
+                required: 11
+            })
+        );
+    }
+
+    #[test]
+    fn error_correcting_decode_reports_overload() {
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let (expected, mut results, decoder) = linear_round(config, 10);
+        // Corrupt three workers but only budget one error: the decoder must
+        // either refuse or at least fail to reproduce the clean outputs (the
+        // attack exceeds the code's correction capability by design).
+        for index in [1, 5, 9] {
+            for value in results[index].1.iter_mut() {
+                *value = F25::from_u64(7);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(100);
+        match decoder.decode_with_errors(&results, 1, &mut rng) {
+            Err(DecodeError::TooManyErrors) => {}
+            Ok((outputs, _)) => assert_ne!(outputs, expected),
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_results_report_no_corruption() {
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let (expected, results, decoder) = linear_round(config, 11);
+        let mut rng = StdRng::seed_from_u64(110);
+        let (outputs, corrupted) = decoder.decode_with_errors(&results, 1, &mut rng).unwrap();
+        assert_eq!(outputs, expected);
+        assert!(corrupted.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_any_threshold_subset_decodes(seed in any::<u64>(), drop_count in 0usize..3) {
+            let config = SchemeConfig::linear(12, 9, 2, 1).unwrap();
+            let (expected, results, decoder) = linear_round(config, seed);
+            let subset = results[drop_count..].to_vec();
+            let outputs = decoder.decode_erasure(&subset).unwrap();
+            prop_assert_eq!(outputs, expected);
+        }
+
+        #[test]
+        fn prop_single_corruption_is_always_located(seed in any::<u64>(), victim in 0usize..12) {
+            let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+            let (expected, mut results, decoder) = linear_round(config, seed);
+            for value in results[victim].1.iter_mut() {
+                *value += F25::from_u64(999);
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let (outputs, corrupted) = decoder.decode_with_errors(&results, 1, &mut rng).unwrap();
+            prop_assert_eq!(outputs, expected);
+            prop_assert_eq!(corrupted, vec![victim]);
+        }
+    }
+}

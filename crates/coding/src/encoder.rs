@@ -1,0 +1,309 @@
+//! The Lagrange / MDS encoder (paper §IV-B, step 1).
+//!
+//! Given the partitioned dataset `X = (X_1, …, X_K)` and `T` uniformly random
+//! pad blocks `W_{K+1}, …, W_{K+T}`, the encoder forms the polynomial
+//!
+//! ```text
+//! u(z) = Σ_{j≤K} X_j ℓ_j(z) + Σ_{K<j≤K+T} W_j ℓ_j(z)
+//! ```
+//!
+//! and hands worker `i` the evaluation `X̃_i = u(α_i)`. Because `ℓ_j(α_i)` is
+//! a scalar, each coded block is simply a linear combination of the data and
+//! pad blocks; the matrix of those scalars (the *encoding matrix* `U`, with
+//! `U_{j,i} = ℓ_j(α_i)`) is exposed for the privacy analysis and the
+//! verification-key generation.
+
+use avcc_field::{random_matrix, Fp, PrimeModulus};
+use avcc_linalg::Matrix;
+use avcc_poly::LagrangeBasis;
+use rand::Rng;
+
+use crate::points::EvaluationPoints;
+use crate::scheme::SchemeConfig;
+
+/// A coded data block assigned to one worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedShare<M: PrimeModulus> {
+    /// The worker index `i ∈ [N]` this share belongs to.
+    pub worker: usize,
+    /// The evaluation point `α_i` of this worker.
+    pub alpha: Fp<M>,
+    /// The coded block `X̃_i = u(α_i)`, same shape as a data block.
+    pub block: Matrix<Fp<M>>,
+}
+
+/// The Lagrange encoder bound to a scheme configuration and its evaluation
+/// points.
+#[derive(Debug, Clone)]
+pub struct LagrangeEncoder<M: PrimeModulus> {
+    config: SchemeConfig,
+    points: EvaluationPoints<M>,
+    /// `encoding_matrix[j][i] = ℓ_j(α_i)` for `j ∈ [K+T]`, `i ∈ [N]`.
+    encoding_matrix: Vec<Vec<Fp<M>>>,
+}
+
+impl<M: PrimeModulus> LagrangeEncoder<M> {
+    /// Builds the encoder: selects evaluation points and precomputes the
+    /// encoding matrix.
+    pub fn new(config: SchemeConfig) -> Self {
+        let points =
+            EvaluationPoints::<M>::standard(config.partitions, config.colluding, config.workers);
+        let basis = LagrangeBasis::new(points.beta().to_vec());
+        // Column i of the encoding matrix is the basis evaluated at α_i.
+        let mut encoding_matrix =
+            vec![vec![Fp::<M>::ZERO; config.workers]; config.partitions + config.colluding];
+        for (i, &alpha) in points.alpha().iter().enumerate() {
+            let column = basis.evaluate_at(alpha);
+            for (j, value) in column.into_iter().enumerate() {
+                encoding_matrix[j][i] = value;
+            }
+        }
+        LagrangeEncoder {
+            config,
+            points,
+            encoding_matrix,
+        }
+    }
+
+    /// The scheme configuration.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// The evaluation points.
+    pub fn points(&self) -> &EvaluationPoints<M> {
+        &self.points
+    }
+
+    /// The `(K+T) × N` encoding matrix `U` with `U_{j,i} = ℓ_j(α_i)`.
+    pub fn encoding_matrix(&self) -> &[Vec<Fp<M>>] {
+        &self.encoding_matrix
+    }
+
+    /// Encodes the `K` data blocks into `N` coded shares, drawing the `T`
+    /// privacy pads uniformly at random from `rng`.
+    ///
+    /// # Panics
+    /// Panics if the number of blocks differs from `K` or the blocks disagree
+    /// in shape.
+    pub fn encode<R: Rng + ?Sized>(
+        &self,
+        blocks: &[Matrix<Fp<M>>],
+        rng: &mut R,
+    ) -> Vec<EncodedShare<M>> {
+        assert_eq!(
+            blocks.len(),
+            self.config.partitions,
+            "expected {} data blocks, got {}",
+            self.config.partitions,
+            blocks.len()
+        );
+        let rows = blocks[0].rows();
+        let cols = blocks[0].cols();
+        for block in blocks {
+            assert_eq!(
+                (block.rows(), block.cols()),
+                (rows, cols),
+                "all data blocks must have the same shape"
+            );
+        }
+        // Draw the T privacy pads.
+        let pads: Vec<Matrix<Fp<M>>> = (0..self.config.colluding)
+            .map(|_| Matrix::from_vec(rows, cols, random_matrix(rng, rows, cols)))
+            .collect();
+
+        (0..self.config.workers)
+            .map(|worker| {
+                let mut coded = vec![Fp::<M>::ZERO; rows * cols];
+                for (j, block) in blocks.iter().chain(pads.iter()).enumerate() {
+                    let coefficient = self.encoding_matrix[j][worker];
+                    if coefficient == Fp::<M>::ZERO {
+                        continue;
+                    }
+                    avcc_field::batch::slice_axpy(&mut coded, coefficient, block.data());
+                }
+                EncodedShare {
+                    worker,
+                    alpha: self.points.alpha()[worker],
+                    block: Matrix::from_vec(rows, cols, coded),
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes without privacy pads (valid only when `T = 0`); deterministic,
+    /// used by tests and by the MDS convenience wrapper.
+    pub fn encode_deterministic(&self, blocks: &[Matrix<Fp<M>>]) -> Vec<EncodedShare<M>> {
+        assert_eq!(
+            self.config.colluding, 0,
+            "deterministic encoding requires T = 0 (no privacy pads)"
+        );
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        self.encode(blocks, &mut rng)
+    }
+
+    /// The bottom `T × N` part of the encoding matrix (pad coefficients),
+    /// used by the T-privacy check of Theorem 1.
+    pub fn pad_submatrix(&self) -> Vec<Vec<Fp<M>>> {
+        self.encoding_matrix[self.config.partitions..].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, P25};
+    use avcc_linalg::mat_vec;
+    use avcc_poly::{interpolate_eval, rank};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn data_blocks(k: usize, rows: usize, cols: usize, seed: u64) -> Vec<Matrix<F25>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..k)
+            .map(|_| {
+                Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn systematic_shares_equal_data_blocks() {
+        // With T = 0 the code is systematic: worker i < K receives X_i itself.
+        let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = data_blocks(3, 4, 5, 1);
+        let shares = encoder.encode_deterministic(&blocks);
+        assert_eq!(shares.len(), 6);
+        for (i, block) in blocks.iter().enumerate() {
+            assert_eq!(&shares[i].block, block, "worker {i} should hold X_{i}");
+        }
+    }
+
+    #[test]
+    fn coded_share_is_polynomial_evaluation() {
+        // Every coordinate of the coded blocks must lie on the degree-(K+T-1)
+        // polynomial through the data/pad blocks: interpolating any K+T shares
+        // at a β-point recovers the data block coordinate.
+        let config = SchemeConfig::linear(7, 4, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = data_blocks(4, 2, 3, 2);
+        let shares = encoder.encode_deterministic(&blocks);
+        // Use shares 3..7 (any 4 = K shares suffice when T = 0).
+        let subset: Vec<_> = shares[3..7].to_vec();
+        let alphas: Vec<F25> = subset.iter().map(|s| s.alpha).collect();
+        for (k, block) in blocks.iter().enumerate() {
+            let beta = encoder.points().beta()[k];
+            for coordinate in 0..block.len() {
+                let values: Vec<F25> = subset
+                    .iter()
+                    .map(|s| s.block.data()[coordinate])
+                    .collect();
+                let recovered = interpolate_eval(&alphas, &values, beta);
+                assert_eq!(recovered, block.data()[coordinate]);
+            }
+        }
+    }
+
+    #[test]
+    fn linearity_commutes_with_encoding() {
+        // f(X̃_i) for linear f equals the same linear combination of f(X_j):
+        // encode-then-multiply equals multiply-then-encode.
+        let config = SchemeConfig::linear(5, 3, 1, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = data_blocks(3, 3, 4, 3);
+        let shares = encoder.encode_deterministic(&blocks);
+        let mut rng = StdRng::seed_from_u64(99);
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 4);
+        for share in &shares {
+            let lhs = mat_vec(&share.block, &w);
+            // Σ_j U[j][i] * (X_j w)
+            let mut rhs = vec![F25::ZERO; 3];
+            for (j, block) in blocks.iter().enumerate() {
+                let coefficient = encoder.encoding_matrix()[j][share.worker];
+                let term = mat_vec(block, &w);
+                for (slot, value) in rhs.iter_mut().zip(term) {
+                    *slot += coefficient * value;
+                }
+            }
+            assert_eq!(lhs, rhs);
+        }
+    }
+
+    #[test]
+    fn private_encoding_pads_have_full_rank_submatrices() {
+        // Lemma 2 of LCC (used by Theorem 1): every T×T submatrix of the
+        // bottom T×N pad-coefficient matrix is invertible, which is what makes
+        // the random mask uniform for any T colluding workers.
+        let config = SchemeConfig::new(9, 3, 1, 1, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let pads = encoder.pad_submatrix();
+        assert_eq!(pads.len(), 2);
+        let n = config.workers;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let submatrix = vec![pads[0][a], pads[0][b], pads[1][a], pads[1][b]];
+                assert_eq!(rank(&submatrix, 2, 2), 2, "columns {a},{b} not invertible");
+            }
+        }
+    }
+
+    #[test]
+    fn private_shares_differ_from_data_blocks() {
+        let config = SchemeConfig::new(8, 3, 1, 0, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = data_blocks(3, 2, 2, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let shares = encoder.encode(&blocks, &mut rng);
+        // No share should equal a raw data block (points are disjoint and the
+        // pads are random).
+        for share in &shares {
+            for block in &blocks {
+                assert_ne!(&share.block, block);
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_matrix_has_systematic_identity_part() {
+        let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let matrix = encoder.encoding_matrix();
+        for j in 0..3 {
+            for i in 0..3 {
+                let expected = if i == j { F25::ONE } else { F25::ZERO };
+                assert_eq!(matrix[j][i], expected);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 data blocks")]
+    fn wrong_block_count_panics() {
+        let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = data_blocks(2, 2, 2, 6);
+        let _ = encoder.encode_deterministic(&blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn mismatched_block_shapes_panic() {
+        let config = SchemeConfig::linear(4, 2, 1, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = vec![
+            Matrix::<F25>::zeros(2, 2),
+            Matrix::<F25>::zeros(3, 2),
+        ];
+        let _ = encoder.encode_deterministic(&blocks);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires T = 0")]
+    fn deterministic_encoding_requires_no_privacy() {
+        let config = SchemeConfig::new(8, 3, 1, 0, 2, 1).unwrap();
+        let encoder = LagrangeEncoder::<P25>::new(config);
+        let blocks = data_blocks(3, 2, 2, 7);
+        let _ = encoder.encode_deterministic(&blocks);
+    }
+}

@@ -1,0 +1,36 @@
+//! Coded computing: MDS and Lagrange Coded Computing (LCC) encoders and
+//! decoders, with the privacy padding and feasibility rules of the AVCC paper.
+//!
+//! The coding layer answers three questions:
+//!
+//! 1. **How is the dataset encoded?** [`encoder::LagrangeEncoder`] implements
+//!    the paper's eq. (12)–(13): the `K` data blocks and `T` uniformly random
+//!    pads are interpolated through the β-points and the encoder hands worker
+//!    `i` the evaluation `X̃_i = u(α_i)`. With `T = 0` and systematic α-points
+//!    this is exactly an `(N, K)` MDS / Reed–Solomon code
+//!    ([`mds::MdsCode`], the illustration of Fig. 1).
+//! 2. **How many workers are needed?** [`scheme::SchemeConfig`] captures
+//!    `(N, K, S, M, T, deg f)` and checks the LCC bound
+//!    `N ≥ (K+T−1)·deg f + S + 2M + 1` (eq. 1) and the AVCC bound
+//!    `N ≥ (K+T−1)·deg f + S + M + 1` (eq. 2).
+//! 3. **How are results decoded?** [`decoder::LagrangeDecoder`] interpolates
+//!    `f(u(z))` from worker evaluations: erasure-only decoding (what AVCC
+//!    needs, since Byzantine results have already been discarded by the
+//!    verifier) and error-correcting decoding via Berlekamp–Welch on
+//!    worker fingerprints (what the LCC baseline needs to identify Byzantine
+//!    workers without verification).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decoder;
+pub mod encoder;
+pub mod mds;
+pub mod points;
+pub mod scheme;
+
+pub use decoder::{DecodeError, LagrangeDecoder};
+pub use encoder::{EncodedShare, LagrangeEncoder};
+pub use mds::MdsCode;
+pub use points::EvaluationPoints;
+pub use scheme::{SchemeConfig, SchemeError};

@@ -1,0 +1,530 @@
+//! The distributed training driver: one object per (scheme, cluster, fault
+//! scenario) that runs the paper's two-round logistic-regression protocol for
+//! a configured number of iterations and records everything the experiments
+//! need.
+//!
+//! One iteration (§IV-A) is:
+//!
+//! 1. quantize the current weights and run **round 1** (`z = X w`) through the
+//!    scheme's engine;
+//! 2. dequantize, apply the sigmoid, form the error vector `e = h(z) − y` and
+//!    quantize it;
+//! 3. run **round 2** (`g = Xᵀ e`) through the scheme's second engine;
+//! 4. dequantize the gradient, update the model, evaluate test accuracy;
+//! 5. (AVCC only) let the [`AdaptiveController`] evict detected Byzantine
+//!    workers and re-encode if the straggler slack went negative, charging the
+//!    one-time re-encoding and re-distribution cost to this iteration.
+
+use avcc_coding::SchemeConfig;
+use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::Matrix;
+use avcc_ml::logistic::LogisticModel;
+use avcc_ml::quantized::QuantizedProtocol;
+use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::cluster::ClusterProfile;
+use avcc_sim::executor::VirtualExecutor;
+use avcc_verify::KeyGenConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::adaptive::AdaptiveController;
+use crate::engines::{AvccMatVec, LccMatVec, MatVecEngine, UncodedMatVec};
+use crate::problem::TrainingProblem;
+use crate::report::{IterationRecord, TrainingReport};
+use crate::rounds::SchemeFailure;
+
+/// The four schemes the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// No redundancy, no verification (the paper's uncoded baseline).
+    Uncoded,
+    /// Lagrange coded computing with Reed–Solomon Byzantine handling.
+    Lcc,
+    /// Adaptive verifiable coded computing (the paper's contribution).
+    Avcc,
+    /// AVCC without dynamic re-coding (the Fig. 5 ablation).
+    StaticVcc,
+}
+
+impl SchemeKind {
+    /// Short label used in reports and table rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::Uncoded => "uncoded",
+            SchemeKind::Lcc => "lcc",
+            SchemeKind::Avcc => "avcc",
+            SchemeKind::StaticVcc => "static-vcc",
+        }
+    }
+
+    /// Whether the scheme verifies results with Freivalds keys.
+    pub fn verifies(&self) -> bool {
+        matches!(self, SchemeKind::Avcc | SchemeKind::StaticVcc)
+    }
+
+    /// Whether the scheme adapts its coding dynamically.
+    pub fn adapts(&self) -> bool {
+        matches!(self, SchemeKind::Avcc)
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Which scheme to run.
+    pub scheme: SchemeKind,
+    /// The coding configuration `(N, K, S, M, T, deg f)`.
+    pub coding: SchemeConfig,
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Number of training iterations.
+    pub iterations: usize,
+    /// Freivalds key repetitions (AVCC/Static VCC only).
+    pub key_repetitions: usize,
+    /// Simulator compute-time scale factor.
+    pub time_scale: f64,
+    /// RNG seed for encoding pads, keys and decode fingerprints.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// The paper's default hyperparameters (50 iterations).
+    pub fn paper_defaults(scheme: SchemeKind, coding: SchemeConfig) -> Self {
+        TrainerConfig {
+            scheme,
+            coding,
+            learning_rate: 5.0,
+            iterations: 50,
+            key_repetitions: 1,
+            time_scale: 40.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The distributed trainer.
+pub struct DistributedTrainer<M: PrimeModulus> {
+    config: TrainerConfig,
+    problem: TrainingProblem,
+    protocol: QuantizedProtocol,
+    model: LogisticModel,
+    executor: VirtualExecutor,
+    byzantine: ByzantineSpec,
+    round1: Box<dyn MatVecEngine<M>>,
+    round2: Box<dyn MatVecEngine<M>>,
+    round1_matrix: Matrix<Fp<M>>,
+    round2_matrix: Matrix<Fp<M>>,
+    controller: AdaptiveController,
+    current_coding: SchemeConfig,
+    rng: StdRng,
+    scenario_label: String,
+}
+
+impl<M: PrimeModulus> DistributedTrainer<M> {
+    /// Builds a trainer for the given problem, cluster and fault injection.
+    ///
+    /// The cluster profile must have `coding.workers` entries; the uncoded
+    /// scheme uses only the first `coding.partitions` of them (as in the
+    /// paper, where 9 of the 12 nodes participate in the uncoded baseline).
+    pub fn new(
+        problem: TrainingProblem,
+        cluster: ClusterProfile,
+        byzantine: ByzantineSpec,
+        config: TrainerConfig,
+        scenario_label: impl Into<String>,
+    ) -> Self {
+        assert_eq!(
+            cluster.len(),
+            config.coding.workers,
+            "cluster profile has {} workers but the coding scheme expects {}",
+            cluster.len(),
+            config.coding.workers
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let protocol = problem.default_protocol::<M>();
+        let round1_matrix = problem.round1_matrix::<M>(&protocol);
+        let round2_matrix = problem.round2_matrix::<M>(&protocol);
+        let key_config = KeyGenConfig {
+            repetitions: config.key_repetitions.max(1),
+        };
+
+        let (round1, round2, executor): (
+            Box<dyn MatVecEngine<M>>,
+            Box<dyn MatVecEngine<M>>,
+            VirtualExecutor,
+        ) = match config.scheme {
+            SchemeKind::Uncoded => {
+                let participants = config.coding.partitions;
+                let executor = VirtualExecutor::new(cluster.truncated(participants))
+                    .with_time_scale(config.time_scale);
+                (
+                    Box::new(UncodedMatVec::new(&round1_matrix, participants)),
+                    Box::new(UncodedMatVec::new(&round2_matrix, participants)),
+                    executor,
+                )
+            }
+            SchemeKind::Lcc => {
+                let executor =
+                    VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
+                (
+                    Box::new(LccMatVec::new(&round1_matrix, config.coding, &mut rng)),
+                    Box::new(LccMatVec::new(&round2_matrix, config.coding, &mut rng)),
+                    executor,
+                )
+            }
+            SchemeKind::Avcc | SchemeKind::StaticVcc => {
+                let executor =
+                    VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
+                (
+                    Box::new(AvccMatVec::new(
+                        &round1_matrix,
+                        config.coding,
+                        key_config,
+                        &mut rng,
+                    )),
+                    Box::new(AvccMatVec::new(
+                        &round2_matrix,
+                        config.coding,
+                        key_config,
+                        &mut rng,
+                    )),
+                    executor,
+                )
+            }
+        };
+
+        let model = LogisticModel::zeros(problem.features());
+        DistributedTrainer {
+            controller: AdaptiveController::new(config.scheme.adapts()),
+            current_coding: config.coding,
+            config,
+            problem,
+            protocol,
+            model,
+            executor,
+            byzantine,
+            round1,
+            round2,
+            round1_matrix,
+            round2_matrix,
+            rng,
+            scenario_label: scenario_label.into(),
+        }
+    }
+
+    /// The current model (scaled-feature space).
+    pub fn model(&self) -> &LogisticModel {
+        &self.model
+    }
+
+    /// The coding configuration currently in effect (changes under dynamic
+    /// coding).
+    pub fn current_coding(&self) -> &SchemeConfig {
+        &self.current_coding
+    }
+
+    /// The quantization protocol in use.
+    pub fn protocol(&self) -> &QuantizedProtocol {
+        &self.protocol
+    }
+
+    /// Runs the configured number of iterations and returns the full report.
+    pub fn train(&mut self) -> Result<TrainingReport, SchemeFailure> {
+        let mut report = TrainingReport::new(self.config.scheme.label(), &self.scenario_label);
+        let mut cumulative = 0.0;
+        for iteration in 0..self.config.iterations {
+            let record = self.run_iteration(iteration, &mut cumulative)?;
+            report.push(record);
+        }
+        Ok(report)
+    }
+
+    /// Runs a single iteration, returning its record. Exposed so scenario
+    /// scripts (e.g. Fig. 5) can change fault conditions between iterations.
+    pub fn run_iteration(
+        &mut self,
+        iteration: usize,
+        cumulative: &mut f64,
+    ) -> Result<IterationRecord, SchemeFailure> {
+        // Round 1: z = X w.
+        let w_field = self.protocol.quantize_weights::<M>(&self.model.weights);
+        let round1 = self.round1.execute(
+            &w_field,
+            &self.executor,
+            &self.byzantine,
+            &mut self.rng,
+        )?;
+
+        // Master-side: error vector in the real domain.
+        let errors = self
+            .protocol
+            .error_vector(&round1.output, &self.problem.train_labels);
+        let e_field = self.protocol.quantize_error::<M>(&errors);
+
+        // Round 2: g = Xᵀ e.
+        let round2 = self.round2.execute(
+            &e_field,
+            &self.executor,
+            &self.byzantine,
+            &mut self.rng,
+        )?;
+        let gradient = self.protocol.dequantize_round2(&round2.output);
+        self.model.apply_gradient(
+            &gradient,
+            self.config.learning_rate,
+            self.problem.samples(),
+        );
+
+        // Bookkeeping.
+        let mut costs = round1.costs.combined(&round2.costs);
+        let mut detected: Vec<usize> = round1
+            .detected_byzantine
+            .iter()
+            .chain(round2.detected_byzantine.iter())
+            .copied()
+            .collect();
+        detected.sort_unstable();
+        detected.dedup();
+        let mut stragglers: Vec<usize> = round1
+            .observed_stragglers
+            .iter()
+            .chain(round2.observed_stragglers.iter())
+            .copied()
+            .collect();
+        stragglers.sort_unstable();
+        stragglers.dedup();
+
+        // Dynamic coding (AVCC only).
+        let mut reconfigured = false;
+        if let Some(decision) =
+            self.controller
+                .evaluate(&self.current_coding, &detected, &stragglers)
+        {
+            costs.reconfiguration = self.apply_adaptation(
+                &decision.evict_workers,
+                decision.new_config,
+                decision.reencode,
+            );
+            reconfigured = decision.reencode;
+        }
+
+        *cumulative += costs.total();
+        let test_accuracy = self
+            .model
+            .evaluate_accuracy(&self.problem.test_features, &self.problem.test_labels);
+        let train_loss = self
+            .model
+            .evaluate_loss(&self.problem.train_features, &self.problem.train_labels);
+        Ok(IterationRecord {
+            iteration,
+            costs,
+            cumulative_seconds: *cumulative,
+            test_accuracy,
+            train_loss,
+            detected_byzantine: detected,
+            observed_stragglers: stragglers,
+            reconfigured,
+        })
+    }
+
+    /// Evicts workers, rebuilds the engines for the new configuration and
+    /// returns the one-time reconfiguration cost in simulated seconds.
+    ///
+    /// Following the paper's preprocessing note (§IV-B step 5), the encodings
+    /// and verification keys for alternative `(N, K)` configurations are
+    /// treated as generated offline before training, so the cost charged to
+    /// the critical path is the *re-distribution* of the coded data to the
+    /// workers (the ~41 second one-time cost in Fig. 5) — and only when the
+    /// code dimension actually changed. A pure eviction keeps the same code
+    /// and moves no data.
+    fn apply_adaptation(
+        &mut self,
+        evicted: &[usize],
+        new_config: SchemeConfig,
+        reencode: bool,
+    ) -> f64 {
+        let new_profile = self.executor.profile().without_workers(evicted);
+        self.byzantine = self.byzantine.reindexed_after_removal(evicted);
+        self.executor.set_profile(new_profile);
+
+        let key_config = KeyGenConfig {
+            repetitions: self.config.key_repetitions.max(1),
+        };
+        let engine1 = AvccMatVec::<M>::new(
+            &self.round1_matrix,
+            new_config,
+            key_config,
+            &mut self.rng,
+        );
+        let engine2 = AvccMatVec::<M>::new(
+            &self.round2_matrix,
+            new_config,
+            key_config,
+            &mut self.rng,
+        );
+        let redistribution_seconds = if reencode {
+            let shipped_bytes = engine1.encoded_bytes() + engine2.encoded_bytes();
+            // The master pushes every worker its new share over its single
+            // uplink, so the transfers serialize.
+            let network = self.executor.profile().network;
+            network.base_latency_seconds * new_config.workers as f64
+                + network.transfer_seconds(shipped_bytes)
+        } else {
+            0.0
+        };
+        self.round1 = Box::new(engine1);
+        self.round2 = Box::new(engine2);
+        self.current_coding = new_config;
+        redistribution_seconds
+    }
+
+    /// Updates the straggler set of the cluster mid-run (used by scenario
+    /// scripts such as Fig. 5 where stragglers appear at a given iteration).
+    pub fn set_stragglers(&mut self, stragglers: &[usize], multiplier: f64) {
+        self.executor
+            .profile_mut()
+            .set_stragglers(stragglers, multiplier);
+    }
+
+    /// Replaces the Byzantine specification mid-run.
+    pub fn set_byzantine(&mut self, byzantine: ByzantineSpec) {
+        self.byzantine = byzantine;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::P25;
+    use avcc_ml::dataset::{Dataset, DatasetConfig};
+    use avcc_sim::attack::AttackModel;
+
+    fn small_problem() -> TrainingProblem {
+        let dataset = Dataset::gisette_like(DatasetConfig {
+            train_samples: 180,
+            test_samples: 60,
+            features: 27,
+            informative: 9,
+            ..DatasetConfig::default()
+        });
+        TrainingProblem::from_dataset(&dataset, 9)
+    }
+
+    fn quick_config(scheme: SchemeKind, s: usize, m: usize) -> TrainerConfig {
+        TrainerConfig {
+            iterations: 6,
+            time_scale: 1.0,
+            ..TrainerConfig::paper_defaults(
+                scheme,
+                SchemeConfig::linear(12, 9, s, m).unwrap(),
+            )
+        }
+    }
+
+    #[test]
+    fn avcc_trains_and_detects_byzantine_workers() {
+        let problem = small_problem();
+        let cluster = ClusterProfile::uniform(12).with_stragglers(&[0], 10.0);
+        let byzantine = ByzantineSpec::new([3], AttackModel::constant());
+        let mut trainer = DistributedTrainer::<P25>::new(
+            problem,
+            cluster,
+            byzantine,
+            quick_config(SchemeKind::Avcc, 2, 1),
+            "test",
+        );
+        let report = trainer.train().unwrap();
+        assert_eq!(report.len(), 6);
+        assert!(report.total_detections() > 0, "the Byzantine worker must be caught");
+        assert!(report.final_accuracy() > 0.5);
+        assert!(report.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn uncoded_trainer_runs_but_cannot_detect() {
+        let problem = small_problem();
+        let cluster = ClusterProfile::uniform(12);
+        let byzantine = ByzantineSpec::new([3], AttackModel::constant());
+        let mut trainer = DistributedTrainer::<P25>::new(
+            problem,
+            cluster,
+            byzantine,
+            quick_config(SchemeKind::Uncoded, 0, 0),
+            "test",
+        );
+        let report = trainer.train().unwrap();
+        assert_eq!(report.total_detections(), 0);
+    }
+
+    #[test]
+    fn lcc_trainer_detects_within_design() {
+        let problem = small_problem();
+        let cluster = ClusterProfile::uniform(12);
+        let byzantine = ByzantineSpec::new([5], AttackModel::reverse());
+        let mut trainer = DistributedTrainer::<P25>::new(
+            problem,
+            cluster,
+            byzantine,
+            quick_config(SchemeKind::Lcc, 1, 1),
+            "test",
+        );
+        let report = trainer.train().unwrap();
+        assert!(report.total_detections() > 0);
+    }
+
+    #[test]
+    fn static_vcc_never_reconfigures() {
+        let problem = small_problem();
+        let cluster = ClusterProfile::uniform(12).with_stragglers(&[0, 1, 2], 10.0);
+        let byzantine = ByzantineSpec::new([4], AttackModel::constant());
+        let mut trainer = DistributedTrainer::<P25>::new(
+            problem,
+            cluster,
+            byzantine,
+            quick_config(SchemeKind::StaticVcc, 2, 1),
+            "test",
+        );
+        let report = trainer.train().unwrap();
+        assert_eq!(report.reconfiguration_count(), 0);
+        assert_eq!(trainer.current_coding().workers, 12);
+    }
+
+    #[test]
+    fn avcc_reconfigures_under_straggler_pressure() {
+        let problem = small_problem();
+        // Three stragglers plus one Byzantine node exceed the (S=2, M=1)
+        // budget, so the controller must re-encode (the Fig. 5 scenario).
+        let cluster = ClusterProfile::uniform(12).with_stragglers(&[0, 1, 2], 10.0);
+        let byzantine = ByzantineSpec::new([4], AttackModel::constant());
+        let mut trainer = DistributedTrainer::<P25>::new(
+            problem,
+            cluster,
+            byzantine,
+            quick_config(SchemeKind::Avcc, 2, 1),
+            "test",
+        );
+        let report = trainer.train().unwrap();
+        assert!(report.reconfiguration_count() >= 1);
+        assert!(trainer.current_coding().workers < 12);
+        // The re-encoding iteration carries a one-off cost.
+        assert!(report
+            .iterations
+            .iter()
+            .any(|r| r.costs.reconfiguration > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster profile has")]
+    fn mismatched_cluster_size_panics() {
+        let problem = small_problem();
+        let cluster = ClusterProfile::uniform(10);
+        let _ = DistributedTrainer::<P25>::new(
+            problem,
+            cluster,
+            ByzantineSpec::none(),
+            quick_config(SchemeKind::Avcc, 2, 1),
+            "test",
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! The AVCC engine (paper §IV): coded computing for stragglers and privacy,
+//! Freivalds verification for Byzantine workers.
+//!
+//! The data is Lagrange/MDS encoded exactly as for LCC, but the master holds a
+//! per-worker Freivalds key and verifies each result *the moment it arrives*.
+//! Results that fail verification are discarded (their workers are reported as
+//! detected Byzantine); decoding starts as soon as the recovery threshold of
+//! *verified* results is available, so a Byzantine worker costs exactly one
+//! extra wait — the same as a straggler — instead of LCC's two (eq. 2 vs
+//! eq. 1).
+
+use std::time::Instant;
+
+use avcc_coding::{LagrangeDecoder, LagrangeEncoder, SchemeConfig};
+use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::{mat_vec, Matrix};
+use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::executor::VirtualExecutor;
+use avcc_verify::{KeyGenConfig, MatVecKey};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engines::MatVecEngine;
+use crate::rounds::{
+    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, SchemeFailure,
+};
+
+/// Pads a matrix with zero rows so its row count is a multiple of `parts`.
+fn pad_rows_to_multiple<M: PrimeModulus>(matrix: &Matrix<Fp<M>>, parts: usize) -> Matrix<Fp<M>> {
+    let remainder = matrix.rows() % parts;
+    if remainder == 0 {
+        return matrix.clone();
+    }
+    let extra = parts - remainder;
+    let mut data = matrix.data().to_vec();
+    data.extend(std::iter::repeat(Fp::<M>::ZERO).take(extra * matrix.cols()));
+    Matrix::from_vec(matrix.rows() + extra, matrix.cols(), data)
+}
+
+/// The AVCC distributed matrix–vector engine.
+#[derive(Debug, Clone)]
+pub struct AvccMatVec<M: PrimeModulus> {
+    config: SchemeConfig,
+    shares: Vec<Matrix<Fp<M>>>,
+    decoder: LagrangeDecoder<M>,
+    keys: Vec<MatVecKey<M>>,
+    block_rows: usize,
+    /// Rows of the original (unpadded) matrix; the decoded output is trimmed
+    /// back to this length.
+    output_rows: usize,
+}
+
+impl<M: PrimeModulus> AvccMatVec<M> {
+    /// Encodes the matrix and generates one Freivalds verification key per
+    /// worker (the one-time preprocessing of §IV-A steps 1–2).
+    ///
+    /// If the row count is not divisible by `config.partitions` — which
+    /// happens when the dynamic-coding controller switches to a smaller `K` —
+    /// the matrix is padded with zero rows and the decoded output is trimmed
+    /// back, so callers never observe the padding.
+    pub fn new<R: Rng + ?Sized>(
+        matrix: &Matrix<Fp<M>>,
+        config: SchemeConfig,
+        key_config: KeyGenConfig,
+        rng: &mut R,
+    ) -> Self {
+        let output_rows = matrix.rows();
+        let padded = pad_rows_to_multiple(matrix, config.partitions);
+        let blocks = padded.split_rows(config.partitions);
+        let block_rows = blocks[0].rows();
+        let encoder = LagrangeEncoder::<M>::new(config);
+        let shares: Vec<Matrix<Fp<M>>> = if config.colluding == 0 {
+            encoder.encode_deterministic(&blocks)
+        } else {
+            encoder.encode(&blocks, rng)
+        }
+        .into_iter()
+        .map(|s| s.block)
+        .collect();
+        let keys = shares
+            .iter()
+            .map(|share| MatVecKey::generate(share, key_config, rng))
+            .collect();
+        AvccMatVec {
+            config,
+            shares,
+            decoder: LagrangeDecoder::new(config),
+            keys,
+            block_rows,
+            output_rows,
+        }
+    }
+
+    /// The scheme configuration.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// Total size of the encoded data shipped to the workers, in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.shares.iter().map(|s| s.len() * 8).sum()
+    }
+
+    /// The recovery threshold (number of verified results needed to decode).
+    pub fn recovery_threshold(&self) -> usize {
+        self.config.recovery_threshold()
+    }
+}
+
+impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
+    fn name(&self) -> &'static str {
+        "avcc"
+    }
+
+    fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    fn execute(
+        &mut self,
+        input: &[Fp<M>],
+        executor: &VirtualExecutor,
+        byzantine: &ByzantineSpec,
+        _rng: &mut StdRng,
+    ) -> Result<RoundExecution<M>, SchemeFailure> {
+        let shares = &self.shares;
+        let tasks: Vec<_> = shares
+            .iter()
+            .map(|block| move || mat_vec(block, input))
+            .collect();
+        let outcomes = executor.run_round(
+            tasks,
+            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
+            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
+        );
+        let observed_stragglers = detect_stragglers(&outcomes);
+        let threshold = self.config.recovery_threshold();
+
+        // Verify results in arrival order and stop as soon as the threshold of
+        // verified results is reached — the key property that lets AVCC start
+        // decoding before the stragglers (and without LCC's 2M overhead).
+        let mut verification_seconds = 0.0;
+        let mut verified: Vec<(usize, Vec<Fp<M>>)> = Vec::with_capacity(threshold);
+        let mut verified_outcomes = Vec::with_capacity(threshold);
+        let mut detected_byzantine = Vec::new();
+        for outcome in &outcomes {
+            if verified.len() >= threshold {
+                break;
+            }
+            let verify_start = Instant::now();
+            let accepted = self.keys[outcome.worker].verify(input, &outcome.payload);
+            verification_seconds += verify_start.elapsed().as_secs_f64();
+            if accepted {
+                verified.push((outcome.worker, outcome.payload.clone()));
+                verified_outcomes.push(outcome);
+            } else {
+                detected_byzantine.push(outcome.worker);
+            }
+        }
+        if verified.len() < threshold {
+            return Err(SchemeFailure::NotEnoughResults {
+                available: verified.len(),
+                required: threshold,
+            });
+        }
+
+        let mut costs = waiting_costs(
+            &verified_outcomes,
+            &executor.profile().network,
+            field_vector_bytes(input.len()),
+            self.config.workers,
+        );
+        costs.verification = verification_seconds * executor.time_scale;
+
+        let decode_start = Instant::now();
+        let blocks = self
+            .decoder
+            .decode_erasure(&verified)
+            .map_err(|e| SchemeFailure::DecodeFailed {
+                details: e.to_string(),
+            })?;
+        costs.decoding = decode_start.elapsed().as_secs_f64() * executor.time_scale;
+
+        let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
+        for block in blocks {
+            output.extend(block);
+        }
+        output.truncate(self.output_rows);
+        Ok(RoundExecution {
+            output,
+            costs,
+            used_workers: verified.iter().map(|(worker, _)| *worker).collect(),
+            detected_byzantine,
+            observed_stragglers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, P25};
+    use avcc_sim::attack::AttackModel;
+    use avcc_sim::cluster::ClusterProfile;
+    use rand::SeedableRng;
+
+    fn setup() -> (Matrix<F25>, Vec<F25>, Vec<F25>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let matrix = Matrix::from_vec(18, 6, avcc_field::random_matrix(&mut rng, 18, 6));
+        let input = avcc_field::random_vector(&mut rng, 6);
+        let expected = mat_vec(&matrix, &input);
+        (matrix, input, expected)
+    }
+
+    fn engine(matrix: &Matrix<F25>, s: usize, m: usize, seed: u64) -> AvccMatVec<P25> {
+        let config = SchemeConfig::linear(12, 9, s, m).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        AvccMatVec::new(matrix, config, KeyGenConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn clean_round_uses_exactly_the_threshold() {
+        let (matrix, input, expected) = setup();
+        let mut engine = engine(&matrix, 2, 1, 2);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let round = engine
+            .execute(&input, &executor, &ByzantineSpec::none(), &mut rng)
+            .unwrap();
+        assert_eq!(round.output, expected);
+        assert_eq!(round.used_workers.len(), 9);
+        assert!(round.detected_byzantine.is_empty());
+        assert!(round.costs.verification > 0.0);
+    }
+
+    #[test]
+    fn byzantine_results_are_rejected_and_reported() {
+        let (matrix, input, expected) = setup();
+        let mut engine = engine(&matrix, 1, 2, 4);
+        // Slow every honest worker down so the two Byzantine workers are
+        // guaranteed to be among the arrivals the master verifies.
+        let honest: Vec<usize> = (0..12).filter(|w| *w != 0 && *w != 6).collect();
+        let profile = ClusterProfile::uniform(12).with_stragglers(&honest, 50.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new([0, 6], AttackModel::constant());
+        let mut rng = StdRng::seed_from_u64(5);
+        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        assert_eq!(round.output, expected, "AVCC must still decode correctly");
+        let mut detected = round.detected_byzantine.clone();
+        detected.sort_unstable();
+        assert_eq!(detected, vec![0, 6]);
+        assert!(!round.used_workers.contains(&0));
+        assert!(!round.used_workers.contains(&6));
+    }
+
+    #[test]
+    fn reverse_value_attack_is_also_rejected() {
+        let (matrix, input, expected) = setup();
+        let mut engine = engine(&matrix, 2, 1, 6);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new([4], AttackModel::reverse());
+        let mut rng = StdRng::seed_from_u64(7);
+        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        assert_eq!(round.output, expected);
+        assert_eq!(round.detected_byzantine, vec![4]);
+    }
+
+    #[test]
+    fn stragglers_are_not_waited_for() {
+        let (matrix, input, expected) = setup();
+        let mut engine = engine(&matrix, 2, 1, 8);
+        let profile = ClusterProfile::uniform(12).with_stragglers(&[1, 9], 300.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let round = engine
+            .execute(&input, &executor, &ByzantineSpec::none(), &mut rng)
+            .unwrap();
+        assert_eq!(round.output, expected);
+        assert!(!round.used_workers.contains(&1));
+        assert!(!round.used_workers.contains(&9));
+    }
+
+    #[test]
+    fn combined_stragglers_and_byzantine_within_budget_still_decode() {
+        let (matrix, input, expected) = setup();
+        // (N=12, K=9, S+M=3): two stragglers plus one Byzantine node.
+        let mut engine = engine(&matrix, 2, 1, 10);
+        let profile = ClusterProfile::uniform(12).with_stragglers(&[2, 3], 300.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new([7], AttackModel::constant());
+        let mut rng = StdRng::seed_from_u64(11);
+        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        assert_eq!(round.output, expected);
+        assert_eq!(round.detected_byzantine, vec![7]);
+    }
+
+    #[test]
+    fn too_many_byzantine_workers_fail_loudly_not_silently() {
+        let (matrix, input, _) = setup();
+        // Every worker Byzantine: verification rejects them all and the engine
+        // reports the shortfall instead of producing garbage.
+        let mut engine = engine(&matrix, 2, 1, 12);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new(0..12, AttackModel::constant());
+        let mut rng = StdRng::seed_from_u64(13);
+        let outcome = engine.execute(&input, &executor, &byzantine, &mut rng);
+        assert!(matches!(
+            outcome,
+            Err(SchemeFailure::NotEnoughResults { required: 9, .. })
+        ));
+    }
+}

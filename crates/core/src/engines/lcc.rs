@@ -1,0 +1,243 @@
+//! The LCC baseline engine (paper §II-A and the evaluation's main comparator).
+//!
+//! The data is Lagrange/MDS encoded over all `N` workers. The master has to
+//! wait for the first `N − S` results before it can do anything — Byzantine
+//! workers are only identified *during* Reed–Solomon error decoding, which is
+//! why LCC cannot start processing early and why each Byzantine worker costs
+//! two extra workers (eq. 1).
+//!
+//! When the actual number of corrupted results exceeds the designed `M`, real
+//! LCC decoders produce an incorrect reconstruction; this engine reproduces
+//! that behaviour by falling back to an erasure decode over the (possibly
+//! corrupted) fastest results, which is what degrades the LCC accuracy curves
+//! in Fig. 3(b)/(d).
+
+use std::time::Instant;
+
+use avcc_coding::decoder::DecodeError;
+use avcc_coding::{LagrangeDecoder, LagrangeEncoder, SchemeConfig};
+use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::{mat_vec, Matrix};
+use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::executor::VirtualExecutor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::engines::MatVecEngine;
+use crate::rounds::{
+    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, SchemeFailure,
+};
+
+/// The LCC distributed matrix–vector engine.
+#[derive(Debug, Clone)]
+pub struct LccMatVec<M: PrimeModulus> {
+    config: SchemeConfig,
+    shares: Vec<Matrix<Fp<M>>>,
+    decoder: LagrangeDecoder<M>,
+    block_rows: usize,
+}
+
+impl<M: PrimeModulus> LccMatVec<M> {
+    /// Encodes the matrix for the given scheme configuration.
+    ///
+    /// # Panics
+    /// Panics if the matrix rows are not divisible by `config.partitions`.
+    pub fn new<R: Rng + ?Sized>(matrix: &Matrix<Fp<M>>, config: SchemeConfig, rng: &mut R) -> Self {
+        let blocks = matrix.split_rows(config.partitions);
+        let block_rows = blocks[0].rows();
+        let encoder = LagrangeEncoder::<M>::new(config);
+        let shares = if config.colluding == 0 {
+            encoder.encode_deterministic(&blocks)
+        } else {
+            encoder.encode(&blocks, rng)
+        };
+        LccMatVec {
+            config,
+            shares: shares.into_iter().map(|s| s.block).collect(),
+            decoder: LagrangeDecoder::new(config),
+            block_rows,
+        }
+    }
+
+    /// The scheme configuration.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// Total size of the encoded data shipped to the workers, in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.shares.iter().map(|s| s.len() * 8).sum()
+    }
+}
+
+impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
+    fn name(&self) -> &'static str {
+        "lcc"
+    }
+
+    fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    fn execute(
+        &mut self,
+        input: &[Fp<M>],
+        executor: &VirtualExecutor,
+        byzantine: &ByzantineSpec,
+        rng: &mut StdRng,
+    ) -> Result<RoundExecution<M>, SchemeFailure> {
+        let shares = &self.shares;
+        let tasks: Vec<_> = shares
+            .iter()
+            .map(|block| move || mat_vec(block, input))
+            .collect();
+        let outcomes = executor.run_round(
+            tasks,
+            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
+            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
+        );
+        let observed_stragglers = detect_stragglers(&outcomes);
+
+        // LCC can only start decoding once N - S results are in.
+        let wait_count = self.config.lcc_wait_count().min(outcomes.len());
+        let threshold = self.config.recovery_threshold();
+        if wait_count < threshold {
+            return Err(SchemeFailure::NotEnoughResults {
+                available: wait_count,
+                required: threshold,
+            });
+        }
+        let used: Vec<_> = outcomes[..wait_count].iter().collect();
+        let mut costs = waiting_costs(
+            &used,
+            &executor.profile().network,
+            field_vector_bytes(input.len()),
+            self.config.workers,
+        );
+
+        let results: Vec<(usize, Vec<Fp<M>>)> = used
+            .iter()
+            .map(|o| (o.worker, o.payload.clone()))
+            .collect();
+        let decode_start = Instant::now();
+        let decoded = self
+            .decoder
+            .decode_with_errors(&results, self.config.byzantine, rng);
+        let (blocks, detected) = match decoded {
+            Ok(outcome) => outcome,
+            Err(DecodeError::TooManyErrors) => {
+                // Beyond the designed correction capability: a real decoder
+                // emits an incorrect reconstruction. Erasure-decode the fastest
+                // threshold results, corrupted or not.
+                let fallback = self
+                    .decoder
+                    .decode_erasure(&results[..threshold])
+                    .map_err(|e| SchemeFailure::DecodeFailed {
+                        details: e.to_string(),
+                    })?;
+                (fallback, Vec::new())
+            }
+            Err(other) => {
+                return Err(SchemeFailure::DecodeFailed {
+                    details: other.to_string(),
+                })
+            }
+        };
+        costs.decoding = decode_start.elapsed().as_secs_f64() * executor.time_scale;
+
+        let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
+        for block in blocks {
+            output.extend(block);
+        }
+        Ok(RoundExecution {
+            output,
+            costs,
+            used_workers: used.iter().map(|o| o.worker).collect(),
+            detected_byzantine: detected,
+            observed_stragglers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, P25};
+    use avcc_sim::attack::AttackModel;
+    use avcc_sim::cluster::ClusterProfile;
+    use rand::SeedableRng;
+
+    fn setup() -> (Matrix<F25>, Vec<F25>, Vec<F25>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let matrix = Matrix::from_vec(18, 6, avcc_field::random_matrix(&mut rng, 18, 6));
+        let input = avcc_field::random_vector(&mut rng, 6);
+        let expected = mat_vec(&matrix, &input);
+        (matrix, input, expected)
+    }
+
+    #[test]
+    fn clean_round_decodes_from_fastest_results() {
+        let (matrix, input, expected) = setup();
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        let round = engine
+            .execute(&input, &executor, &ByzantineSpec::none(), &mut rng)
+            .unwrap();
+        assert_eq!(round.output, expected);
+        assert_eq!(round.used_workers.len(), 11); // N - S
+        assert!(round.detected_byzantine.is_empty());
+    }
+
+    #[test]
+    fn single_byzantine_worker_is_corrected_and_identified() {
+        let (matrix, input, expected) = setup();
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new([5], AttackModel::reverse());
+        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        assert_eq!(round.output, expected);
+        assert_eq!(round.detected_byzantine, vec![5]);
+    }
+
+    #[test]
+    fn two_byzantine_workers_exceed_the_design_and_corrupt_the_output() {
+        let (matrix, input, expected) = setup();
+        // Designed for M = 1 only.
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new([2, 7], AttackModel::constant());
+        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        assert_ne!(round.output, expected, "LCC beyond capability should err");
+    }
+
+    #[test]
+    fn straggler_is_not_waited_for() {
+        let (matrix, input, expected) = setup();
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
+        let profile = ClusterProfile::uniform(12).with_stragglers(&[3], 300.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
+        let round = engine
+            .execute(&input, &executor, &ByzantineSpec::none(), &mut rng)
+            .unwrap();
+        assert_eq!(round.output, expected);
+        assert!(!round.used_workers.contains(&3), "straggler should be excluded");
+        assert!(round.observed_stragglers.contains(&3));
+    }
+
+    #[test]
+    fn encoded_bytes_accounts_all_shares() {
+        let (matrix, _, _) = setup();
+        let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
+        assert_eq!(engine.encoded_bytes(), 12 * 2 * 6 * 8);
+    }
+}

@@ -1,0 +1,48 @@
+//! The per-scheme execution engines.
+//!
+//! Each engine owns the data it distributed to its workers (raw blocks for the
+//! uncoded scheme, coded shares for LCC/AVCC) plus whatever master-side state
+//! the scheme needs (a Reed–Solomon decoder for LCC, Freivalds keys for AVCC)
+//! and knows how to run one distributed matrix–vector round end to end:
+//! dispatch tasks to the cluster executor, apply the Byzantine attack, wait
+//! for the scheme-specific number of results, establish integrity and decode.
+
+use avcc_field::{Fp, PrimeModulus};
+use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::executor::VirtualExecutor;
+use rand::rngs::StdRng;
+
+use crate::rounds::{RoundExecution, SchemeFailure};
+
+pub mod avcc;
+pub mod lcc;
+pub mod uncoded;
+
+pub use avcc::AvccMatVec;
+pub use lcc::LccMatVec;
+pub use uncoded::UncodedMatVec;
+
+/// A distributed matrix–vector engine: one per (scheme, matrix) pair.
+///
+/// The training driver holds two engines per scheme — one for round 1
+/// (`X`, row-partitioned) and one for round 2 (`Xᵀ`, row-partitioned) — and
+/// calls [`MatVecEngine::execute`] with the quantized weight vector and the
+/// quantized error vector respectively.
+pub trait MatVecEngine<M: PrimeModulus> {
+    /// Human-readable scheme name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// The number of workers this engine dispatches to. The executor's
+    /// cluster profile must have exactly this many workers.
+    fn workers(&self) -> usize;
+
+    /// Runs one distributed matrix–vector product of the engine's matrix with
+    /// `input`, under the given cluster and attack conditions.
+    fn execute(
+        &mut self,
+        input: &[Fp<M>],
+        executor: &VirtualExecutor,
+        byzantine: &ByzantineSpec,
+        rng: &mut StdRng,
+    ) -> Result<RoundExecution<M>, SchemeFailure>;
+}

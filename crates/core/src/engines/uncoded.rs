@@ -1,0 +1,175 @@
+//! The uncoded baseline (paper §V): no redundancy, no integrity protection.
+//!
+//! The data matrix is split into `K` raw blocks, one per participating worker
+//! (the paper uses 9 of the 12 nodes). The master must wait for **every**
+//! worker — a single straggler delays the whole round — and a Byzantine
+//! worker's corrupted block flows straight into the reconstructed product,
+//! which is what degrades the uncoded accuracy curves in Fig. 3.
+
+use std::time::Instant;
+
+use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::{mat_vec, Matrix};
+use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::executor::VirtualExecutor;
+use rand::rngs::StdRng;
+
+use crate::engines::MatVecEngine;
+use crate::rounds::{
+    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, SchemeFailure,
+};
+
+/// The uncoded distributed matrix–vector engine.
+#[derive(Debug, Clone)]
+pub struct UncodedMatVec<M: PrimeModulus> {
+    blocks: Vec<Matrix<Fp<M>>>,
+    block_rows: usize,
+}
+
+impl<M: PrimeModulus> UncodedMatVec<M> {
+    /// Splits the full matrix into `partitions` raw row blocks.
+    ///
+    /// # Panics
+    /// Panics if the row count is not divisible by `partitions`.
+    pub fn new(matrix: &Matrix<Fp<M>>, partitions: usize) -> Self {
+        let blocks = matrix.split_rows(partitions);
+        let block_rows = blocks[0].rows();
+        UncodedMatVec { blocks, block_rows }
+    }
+
+    /// The per-block row count.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+}
+
+impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
+    fn name(&self) -> &'static str {
+        "uncoded"
+    }
+
+    fn workers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn execute(
+        &mut self,
+        input: &[Fp<M>],
+        executor: &VirtualExecutor,
+        byzantine: &ByzantineSpec,
+        _rng: &mut StdRng,
+    ) -> Result<RoundExecution<M>, SchemeFailure> {
+        let blocks = &self.blocks;
+        let tasks: Vec<_> = blocks
+            .iter()
+            .map(|block| move || mat_vec(block, input))
+            .collect();
+        let outcomes = executor.run_round(
+            tasks,
+            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
+            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
+        );
+        if outcomes.len() < self.blocks.len() {
+            return Err(SchemeFailure::NotEnoughResults {
+                available: outcomes.len(),
+                required: self.blocks.len(),
+            });
+        }
+        let observed_stragglers = detect_stragglers(&outcomes);
+        // The master needs every result, so it pays for the slowest worker.
+        let used: Vec<_> = outcomes.iter().collect();
+        let mut costs = waiting_costs(
+            &used,
+            &executor.profile().network,
+            field_vector_bytes(input.len()),
+            self.blocks.len(),
+        );
+
+        // Reassembly (concatenation in block order) is the uncoded "decode";
+        // it is nearly free but measured for completeness.
+        let reassembly_start = Instant::now();
+        let mut output = vec![Fp::<M>::ZERO; self.blocks.len() * self.block_rows];
+        for outcome in &outcomes {
+            let start = outcome.worker * self.block_rows;
+            output[start..start + self.block_rows].copy_from_slice(&outcome.payload);
+        }
+        costs.decoding = reassembly_start.elapsed().as_secs_f64() * executor.time_scale;
+
+        Ok(RoundExecution {
+            output,
+            costs,
+            used_workers: outcomes.iter().map(|o| o.worker).collect(),
+            detected_byzantine: Vec::new(),
+            observed_stragglers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, P25};
+    use avcc_sim::attack::AttackModel;
+    use avcc_sim::cluster::ClusterProfile;
+    use rand::SeedableRng;
+
+    fn setup(rows: usize, cols: usize, partitions: usize) -> (Matrix<F25>, Vec<F25>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let matrix = Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols));
+        let input = avcc_field::random_vector(&mut rng, cols);
+        let _ = partitions;
+        (matrix, input)
+    }
+
+    #[test]
+    fn honest_round_reconstructs_the_product() {
+        let (matrix, input) = setup(18, 5, 9);
+        let expected = mat_vec(&matrix, &input);
+        let mut engine = UncodedMatVec::<P25>::new(&matrix, 9);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(9)).with_time_scale(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let round = engine
+            .execute(&input, &executor, &ByzantineSpec::none(), &mut rng)
+            .unwrap();
+        assert_eq!(round.output, expected);
+        assert_eq!(round.used_workers.len(), 9);
+        assert!(round.detected_byzantine.is_empty());
+    }
+
+    #[test]
+    fn byzantine_corruption_silently_pollutes_the_output() {
+        let (matrix, input) = setup(12, 4, 6);
+        let expected = mat_vec(&matrix, &input);
+        let mut engine = UncodedMatVec::<P25>::new(&matrix, 6);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(6)).with_time_scale(1.0);
+        let byzantine = ByzantineSpec::new([2], AttackModel::constant());
+        let mut rng = StdRng::seed_from_u64(3);
+        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        assert_ne!(round.output, expected, "corruption should reach the output");
+        // The uncoded scheme has no way to notice.
+        assert!(round.detected_byzantine.is_empty());
+        // Untouched blocks are still correct.
+        assert_eq!(round.output[..4], expected[..4]);
+    }
+
+    #[test]
+    fn straggler_inflates_the_round_cost() {
+        let (matrix, input) = setup(12, 4, 6);
+        let mut engine = UncodedMatVec::<P25>::new(&matrix, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let fast = VirtualExecutor::new(ClusterProfile::uniform(6)).with_time_scale(1.0);
+        let slow = VirtualExecutor::new(
+            ClusterProfile::uniform(6).with_stragglers(&[0], 200.0),
+        )
+        .with_time_scale(1.0);
+        let fast_costs = engine
+            .execute(&input, &fast, &ByzantineSpec::none(), &mut rng)
+            .unwrap()
+            .costs;
+        let slow_costs = engine
+            .execute(&input, &slow, &ByzantineSpec::none(), &mut rng)
+            .unwrap()
+            .costs;
+        assert!(slow_costs.compute > fast_costs.compute * 5.0);
+    }
+}

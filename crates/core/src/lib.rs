@@ -1,0 +1,41 @@
+//! The AVCC framework: execution strategies, adaptive dynamic coding and the
+//! distributed training driver.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrates: it glues the coding layer (`avcc-coding`), the verification
+//! layer (`avcc-verify`), the cluster simulator (`avcc-sim`) and the ML
+//! workload (`avcc-ml`) into the four schemes the paper evaluates:
+//!
+//! | Scheme | Straggler handling | Byzantine handling | Privacy |
+//! |---|---|---|---|
+//! | `Uncoded` | none (waits for every worker) | none (corruption flows into the model) | none |
+//! | `Lcc` | MDS/Lagrange coding, waits for `N−S` results | Reed–Solomon error decoding (costs `2M` workers) | Lagrange pads |
+//! | `Avcc` | MDS/Lagrange coding, decodes from the fastest verified results | per-result Freivalds verification (costs `M` workers) + dynamic re-coding | Lagrange pads |
+//! | `StaticVcc` | as AVCC | as AVCC but without dynamic re-coding | Lagrange pads |
+//!
+//! The top-level entry point is [`experiment::run_experiment`], which builds a
+//! [`driver::DistributedTrainer`] for a requested
+//! [`experiment::ExperimentConfig`] and returns a [`report::TrainingReport`]
+//! with per-iteration cost breakdowns, accuracy trajectories and detected
+//! Byzantine workers — everything needed to regenerate the paper's Figures 3–5
+//! and Table I.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod driver;
+pub mod engines;
+pub mod experiment;
+pub mod problem;
+pub mod report;
+pub mod rounds;
+
+pub use adaptive::{AdaptationDecision, AdaptiveController};
+pub use driver::{DistributedTrainer, SchemeKind, TrainerConfig};
+pub use experiment::{
+    run_dynamic_coding_scenario, run_experiment, ExperimentConfig, FaultScenario,
+};
+pub use problem::TrainingProblem;
+pub use report::{IterationRecord, TrainingReport};
+pub use rounds::RoundExecution;

@@ -1,0 +1,187 @@
+//! Shared round-execution types and helpers used by every scheme engine.
+//!
+//! One "round" is one distributed matrix–vector product: broadcast an input
+//! vector, have every worker multiply it with its (coded or raw) block, and
+//! reconstruct the full product at the master. The engines differ in how many
+//! results they wait for and how they establish integrity; the bookkeeping —
+//! who was used, who straggled, what each phase cost — is common and lives
+//! here.
+
+use avcc_field::{Fp, PrimeModulus};
+use avcc_sim::executor::WorkerOutcome;
+use avcc_sim::metrics::IterationCosts;
+use avcc_sim::NetworkModel;
+
+/// The outcome of one distributed matrix–vector round.
+#[derive(Debug, Clone)]
+pub struct RoundExecution<M: PrimeModulus> {
+    /// The reconstructed product (length = rows of the full matrix).
+    pub output: Vec<Fp<M>>,
+    /// Cost breakdown charged to this round.
+    pub costs: IterationCosts,
+    /// Workers whose results the master actually used for reconstruction.
+    pub used_workers: Vec<usize>,
+    /// Workers identified as Byzantine during this round (by verification for
+    /// AVCC, by error decoding for LCC; always empty for the uncoded scheme).
+    pub detected_byzantine: Vec<usize>,
+    /// Workers observed to straggle in this round (arrived far later than the
+    /// median, or had not arrived when reconstruction became possible).
+    pub observed_stragglers: Vec<usize>,
+}
+
+/// Errors an engine can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeFailure {
+    /// Not enough usable results to reconstruct the product.
+    NotEnoughResults {
+        /// Usable results available.
+        available: usize,
+        /// Results required.
+        required: usize,
+    },
+    /// Decoding failed (propagated from the coding layer).
+    DecodeFailed {
+        /// Human-readable description.
+        details: String,
+    },
+}
+
+impl std::fmt::Display for SchemeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeFailure::NotEnoughResults { available, required } => write!(
+                f,
+                "not enough usable worker results: {available} available, {required} required"
+            ),
+            SchemeFailure::DecodeFailed { details } => write!(f, "decoding failed: {details}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeFailure {}
+
+/// Multiplier above the median arrival time beyond which a worker counts as
+/// an *observed* straggler (the adaptive controller's input `S_t`).
+pub const STRAGGLER_DETECTION_FACTOR: f64 = 3.0;
+
+/// Identifies observed stragglers from a round's *compute* times: every worker
+/// whose compute time exceeds `STRAGGLER_DETECTION_FACTOR ×` the median. The
+/// network component is excluded because it is shared by all workers and would
+/// otherwise mask compute-side stragglers on small tasks.
+pub fn detect_stragglers<T>(outcomes: &[WorkerOutcome<T>]) -> Vec<usize> {
+    if outcomes.is_empty() {
+        return Vec::new();
+    }
+    let mut compute_times: Vec<f64> = outcomes.iter().map(|o| o.compute_seconds).collect();
+    compute_times.sort_by(|a, b| a.partial_cmp(b).expect("finite compute times"));
+    let median = compute_times[compute_times.len() / 2];
+    let threshold = median * STRAGGLER_DETECTION_FACTOR;
+    outcomes
+        .iter()
+        .filter(|o| o.compute_seconds > threshold)
+        .map(|o| o.worker)
+        .collect()
+}
+
+/// Assembles the compute/communication part of a round's cost from the subset
+/// of outcomes the master actually waited for, plus the cost of broadcasting
+/// the input vector to every worker.
+pub fn waiting_costs<T>(
+    used: &[&WorkerOutcome<T>],
+    network: &NetworkModel,
+    broadcast_bytes: usize,
+    workers: usize,
+) -> IterationCosts {
+    let compute = used
+        .iter()
+        .map(|o| o.compute_seconds)
+        .fold(0.0f64, f64::max);
+    let receive = used
+        .iter()
+        .map(|o| o.network_seconds)
+        .fold(0.0f64, f64::max);
+    // The master sends the input vector to every worker before the round; the
+    // sends happen back to back on its single link.
+    let broadcast = network.transfer_seconds(broadcast_bytes) * workers as f64;
+    IterationCosts {
+        compute,
+        communication: receive + broadcast,
+        ..IterationCosts::default()
+    }
+}
+
+/// Serialized size of a field vector in bytes (8 bytes per element, matching
+/// the wire format a real implementation would use for `u64` representatives).
+pub fn field_vector_bytes(len: usize) -> usize {
+    len * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::F25;
+
+    fn outcome(worker: usize, compute: f64, network: f64) -> WorkerOutcome<Vec<F25>> {
+        WorkerOutcome {
+            worker,
+            payload: Vec::new(),
+            compute_seconds: compute,
+            network_seconds: network,
+            arrival_seconds: compute + network,
+            corrupted: false,
+        }
+    }
+
+    #[test]
+    fn straggler_detection_flags_late_workers() {
+        let outcomes = vec![
+            outcome(0, 1.0, 0.1),
+            outcome(1, 1.1, 0.1),
+            outcome(2, 0.9, 0.1),
+            outcome(3, 10.0, 0.1),
+        ];
+        assert_eq!(detect_stragglers(&outcomes), vec![3]);
+    }
+
+    #[test]
+    fn no_stragglers_in_a_homogeneous_round() {
+        let outcomes = vec![outcome(0, 1.0, 0.1), outcome(1, 1.2, 0.1), outcome(2, 0.8, 0.1)];
+        assert!(detect_stragglers(&outcomes).is_empty());
+    }
+
+    #[test]
+    fn empty_round_has_no_stragglers() {
+        let outcomes: Vec<WorkerOutcome<Vec<F25>>> = Vec::new();
+        assert!(detect_stragglers(&outcomes).is_empty());
+    }
+
+    #[test]
+    fn waiting_costs_take_worst_case_over_used_workers() {
+        let a = outcome(0, 2.0, 0.2);
+        let b = outcome(1, 3.0, 0.1);
+        let network = NetworkModel::default();
+        let costs = waiting_costs(&[&a, &b], &network, 800, 4);
+        assert!((costs.compute - 3.0).abs() < 1e-12);
+        assert!(costs.communication > 0.2);
+        assert_eq!(costs.verification, 0.0);
+        assert_eq!(costs.decoding, 0.0);
+    }
+
+    #[test]
+    fn field_vector_bytes_counts_eight_per_element() {
+        assert_eq!(field_vector_bytes(100), 800);
+    }
+
+    #[test]
+    fn scheme_failures_render_useful_messages() {
+        let failure = SchemeFailure::NotEnoughResults {
+            available: 3,
+            required: 9,
+        };
+        assert!(failure.to_string().contains("3 available"));
+        let failure = SchemeFailure::DecodeFailed {
+            details: "boom".to_string(),
+        };
+        assert!(failure.to_string().contains("boom"));
+    }
+}

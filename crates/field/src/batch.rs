@@ -1,0 +1,232 @@
+//! Slice-level field kernels: element-wise arithmetic, dot products and
+//! Montgomery batch inversion.
+//!
+//! These are the inner loops of the encoder (`X̃ = Σ X_j ℓ_j(α)`), the worker
+//! compute kernels (`X̃ w`, `X̃ᵀ e`) and the Freivalds verifier (`r · z̃`), so
+//! they avoid per-element modular inversions and use lazy reduction where the
+//! modulus permits.
+
+use crate::fp::{Fp, PrimeField, PrimeModulus};
+
+/// Element-wise sum of two equal-length slices into a new vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn slice_add<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Vec<Fp<M>> {
+    assert_eq!(a.len(), b.len(), "slice_add length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+}
+
+/// Element-wise difference `a − b` of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn slice_sub<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Vec<Fp<M>> {
+    assert_eq!(a.len(), b.len(), "slice_sub length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x - y).collect()
+}
+
+/// In-place element-wise accumulation `a[i] += b[i]`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn slice_add_assign<M: PrimeModulus>(a: &mut [Fp<M>], b: &[Fp<M>]) {
+    assert_eq!(a.len(), b.len(), "slice_add_assign length mismatch");
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        *x += y;
+    }
+}
+
+/// Scales every element of `a` by the scalar `c` into a new vector.
+pub fn slice_scale<M: PrimeModulus>(a: &[Fp<M>], c: Fp<M>) -> Vec<Fp<M>> {
+    a.iter().map(|&x| x * c).collect()
+}
+
+/// In-place fused multiply-add `acc[i] += c * b[i]`, the kernel used by the
+/// Lagrange encoder when combining data blocks with basis coefficients.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn slice_axpy<M: PrimeModulus>(acc: &mut [Fp<M>], c: Fp<M>, b: &[Fp<M>]) {
+    assert_eq!(acc.len(), b.len(), "slice_axpy length mismatch");
+    for (x, &y) in acc.iter_mut().zip(b.iter()) {
+        *x += c * y;
+    }
+}
+
+/// Inner product `Σ a[i]·b[i]` with lazy reduction.
+///
+/// Products of canonical representatives are at most `(q−1)²`; they are summed
+/// in a `u128` accumulator and reduced only when the accumulator would
+/// otherwise overflow, then once at the end. For the paper's 25-bit field this
+/// means a single final reduction for any realistic vector length.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Fp<M> {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let modulus = M::MODULUS as u128;
+    let product_bound = (M::MODULUS as u128 - 1).pow(2);
+    // Largest accumulator value for which adding one more product cannot
+    // overflow a u128.
+    let reduction_threshold = u128::MAX - product_bound;
+    let mut accumulator: u128 = 0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let product = x.to_u64() as u128 * y.to_u64() as u128;
+        if accumulator > reduction_threshold {
+            accumulator %= modulus;
+        }
+        accumulator += product;
+    }
+    Fp::<M>::new((accumulator % modulus) as u64)
+}
+
+/// Montgomery batch inversion: inverts every element of `values` using a
+/// single field inversion plus `3(n−1)` multiplications.
+///
+/// # Panics
+/// Panics if any element is zero.
+pub fn batch_inverse<M: PrimeModulus>(values: &[Fp<M>]) -> Vec<Fp<M>> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    // Prefix products: prefixes[i] = v0 * v1 * ... * vi.
+    let mut prefixes = Vec::with_capacity(values.len());
+    let mut running = Fp::<M>::ONE;
+    for &v in values {
+        assert!(!v.is_zero(), "batch_inverse: zero element");
+        running *= v;
+        prefixes.push(running);
+    }
+    let mut inverse_of_running = running.inverse();
+    let mut result = vec![Fp::<M>::ZERO; values.len()];
+    for i in (0..values.len()).rev() {
+        if i == 0 {
+            result[0] = inverse_of_running;
+        } else {
+            result[i] = inverse_of_running * prefixes[i - 1];
+            inverse_of_running *= values[i];
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::P25;
+    use proptest::prelude::*;
+
+    type F = Fp<P25>;
+
+    fn fv(values: &[u64]) -> Vec<F> {
+        values.iter().map(|&v| F::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn slice_add_and_sub_are_inverses() {
+        let a = fv(&[1, 2, 3, 4]);
+        let b = fv(&[10, 20, 30, 40]);
+        let sum = slice_add(&a, &b);
+        assert_eq!(slice_sub(&sum, &b), a);
+    }
+
+    #[test]
+    fn slice_add_assign_matches_slice_add() {
+        let mut a = fv(&[5, 6, 7]);
+        let b = fv(&[1, 1, 1]);
+        let expected = slice_add(&a, &b);
+        slice_add_assign(&mut a, &b);
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn slice_scale_by_one_is_identity() {
+        let a = fv(&[9, 8, 7]);
+        assert_eq!(slice_scale(&a, F::ONE), a);
+    }
+
+    #[test]
+    fn slice_axpy_accumulates() {
+        let mut acc = fv(&[1, 2, 3]);
+        let b = fv(&[10, 10, 10]);
+        slice_axpy(&mut acc, F::from_u64(2), &b);
+        assert_eq!(acc, fv(&[21, 22, 23]));
+    }
+
+    #[test]
+    fn dot_matches_naive_reference() {
+        let a = fv(&[1, 2, 3, 4, 5]);
+        let b = fv(&[5, 4, 3, 2, 1]);
+        let naive: F = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot(&a, &b), naive);
+    }
+
+    #[test]
+    fn dot_of_empty_slices_is_zero() {
+        let empty: Vec<F> = Vec::new();
+        assert_eq!(dot(&empty, &empty), F::ZERO);
+    }
+
+    #[test]
+    fn dot_handles_values_near_modulus() {
+        let near = F::from_u64(P25::MODULUS - 1);
+        let a = vec![near; 10_000];
+        let b = vec![near; 10_000];
+        let naive: F = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot(&a, &b), naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_length_mismatch() {
+        let _ = dot(&fv(&[1]), &fv(&[1, 2]));
+    }
+
+    #[test]
+    fn batch_inverse_matches_individual_inverses() {
+        let values = fv(&[1, 2, 3, 12345, P25::MODULUS - 1]);
+        let inverses = batch_inverse(&values);
+        for (v, inv) in values.iter().zip(inverses.iter()) {
+            assert_eq!(*v * *inv, F::ONE);
+        }
+    }
+
+    #[test]
+    fn batch_inverse_of_empty_is_empty() {
+        assert!(batch_inverse::<P25>(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero element")]
+    fn batch_inverse_rejects_zero() {
+        let _ = batch_inverse(&fv(&[1, 0, 2]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_is_bilinear(
+            a in proptest::collection::vec(0..P25::MODULUS, 1..50),
+            b in proptest::collection::vec(0..P25::MODULUS, 1..50),
+            c in 0..P25::MODULUS,
+        ) {
+            let n = a.len().min(b.len());
+            let a: Vec<F> = a[..n].iter().map(|&v| F::from_u64(v)).collect();
+            let b: Vec<F> = b[..n].iter().map(|&v| F::from_u64(v)).collect();
+            let c = F::from_u64(c);
+            let scaled = slice_scale(&a, c);
+            prop_assert_eq!(dot(&scaled, &b), c * dot(&a, &b));
+        }
+
+        #[test]
+        fn prop_batch_inverse_correct(
+            raw in proptest::collection::vec(1..P25::MODULUS, 1..40)
+        ) {
+            let values: Vec<F> = raw.iter().map(|&v| F::from_u64(v)).collect();
+            let inverses = batch_inverse(&values);
+            for (v, inv) in values.iter().zip(inverses.iter()) {
+                prop_assert_eq!(*v * *inv, F::ONE);
+            }
+        }
+    }
+}

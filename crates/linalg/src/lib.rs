@@ -1,0 +1,28 @@
+//! Dense matrices and vectors over prime fields and `f64`, with the
+//! multi-threaded kernels used by the workers of the cluster substrate.
+//!
+//! The AVCC workload is dominated by two shapes of computation:
+//!
+//! * the **worker kernel** — matrix–vector products `X̃ w` and transpose
+//!   products `X̃ᵀ e` over the finite field (the two rounds of the logistic
+//!   regression protocol, §IV-A of the paper), and
+//! * the **master-side kernels** — encoding (linear combinations of data
+//!   blocks), Freivalds verification (vector–matrix and dot products) and
+//!   decoding (small linear solves / interpolation).
+//!
+//! [`Matrix`] is a simple row-major dense container generic over the element
+//! type; [`field_ops`] provides the field kernels (serial and multi-threaded
+//! via scoped threads), and [`real_ops`] provides the `f64` reference kernels
+//! plus quantization bridges used by the ML layer and by tests that compare
+//! the field pipeline against a floating-point reference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field_ops;
+pub mod matrix;
+pub mod real_ops;
+
+pub use field_ops::{mat_mat, mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel};
+pub use matrix::Matrix;
+pub use real_ops::{dequantize_matrix, quantize_matrix, real_mat_vec, real_matt_vec};

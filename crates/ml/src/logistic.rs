@@ -1,0 +1,385 @@
+//! Centralized logistic regression — the reference implementation and the
+//! master-side real-domain steps of the distributed protocol.
+//!
+//! The model is the paper's eq. (4)–(5): binary cross-entropy minimized by
+//! full-batch gradient descent,
+//!
+//! ```text
+//! w ← w − (η/m) · Xᵀ (h(Xw) − y),     h(θ) = 1 / (1 + e^{−θ}).
+//! ```
+//!
+//! The distributed schemes replace the two matrix products with coded worker
+//! computations but keep the sigmoid, the error vector and the update rule in
+//! the real domain on the master, so this module is shared by every scheme.
+
+use avcc_linalg::{real_mat_vec, real_matt_vec, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// The numerically stable sigmoid `h(θ) = 1 / (1 + e^{−θ})`.
+pub fn sigmoid(theta: f64) -> f64 {
+    if theta >= 0.0 {
+        1.0 / (1.0 + (-theta).exp())
+    } else {
+        let exponential = theta.exp();
+        exponential / (1.0 + exponential)
+    }
+}
+
+/// Binary cross-entropy loss (paper eq. 4), clamped away from log(0).
+pub fn cross_entropy(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    let epsilon = 1e-12;
+    let total: f64 = predictions
+        .iter()
+        .zip(labels.iter())
+        .map(|(&p, &y)| {
+            let p = p.clamp(epsilon, 1.0 - epsilon);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum();
+    total / predictions.len() as f64
+}
+
+/// Classification accuracy with a 0.5 threshold.
+pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(&p, &y)| (p >= 0.5) == (y >= 0.5))
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Gradient-descent hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Number of full-batch iterations.
+    pub iterations: usize,
+    /// Whether to normalize features by their maximum value before training
+    /// (the integer GISETTE-like features are large; normalization keeps the
+    /// learning rate in a sane range and matches common practice).
+    pub normalize: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 2.0,
+            iterations: 50,
+            normalize: true,
+        }
+    }
+}
+
+/// A logistic-regression model (weights only; the bias is folded into the
+/// weights as the paper does).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticModel {
+    /// The weight vector `w ∈ R^d`.
+    pub weights: Vec<f64>,
+}
+
+impl LogisticModel {
+    /// A zero-initialized model of dimension `d`.
+    pub fn zeros(dimension: usize) -> Self {
+        LogisticModel {
+            weights: vec![0.0; dimension],
+        }
+    }
+
+    /// Predicted probabilities `h(Xw)` for every row of `features`.
+    pub fn predict_proba(&self, features: &Matrix<f64>) -> Vec<f64> {
+        real_mat_vec(features, &self.weights)
+            .into_iter()
+            .map(sigmoid)
+            .collect()
+    }
+
+    /// Test accuracy on a labelled set.
+    pub fn evaluate_accuracy(&self, features: &Matrix<f64>, labels: &[f64]) -> f64 {
+        accuracy(&self.predict_proba(features), labels)
+    }
+
+    /// Test loss on a labelled set.
+    pub fn evaluate_loss(&self, features: &Matrix<f64>, labels: &[f64]) -> f64 {
+        cross_entropy(&self.predict_proba(features), labels)
+    }
+
+    /// One full-batch gradient step from an already-computed gradient.
+    pub fn apply_gradient(&mut self, gradient: &[f64], learning_rate: f64, samples: usize) {
+        assert_eq!(gradient.len(), self.weights.len(), "gradient dimension mismatch");
+        let scale = learning_rate / samples as f64;
+        for (weight, &g) in self.weights.iter_mut().zip(gradient.iter()) {
+            *weight -= scale * g;
+        }
+    }
+
+    /// One centralized gradient-descent step (computes `Xw`, the error vector
+    /// and `Xᵀe` locally). Returns the error vector for diagnostics.
+    pub fn step(
+        &mut self,
+        features: &Matrix<f64>,
+        labels: &[f64],
+        learning_rate: f64,
+    ) -> Vec<f64> {
+        let z = real_mat_vec(features, &self.weights);
+        let errors: Vec<f64> = z
+            .iter()
+            .zip(labels.iter())
+            .map(|(&score, &label)| sigmoid(score) - label)
+            .collect();
+        let gradient = real_matt_vec(features, &errors);
+        self.apply_gradient(&gradient, learning_rate, labels.len());
+        errors
+    }
+
+    /// Trains a model from scratch with plain centralized gradient descent.
+    /// Returns the model and the per-iteration training-loss history.
+    pub fn train(
+        features: &Matrix<f64>,
+        labels: &[f64],
+        config: TrainConfig,
+    ) -> (LogisticModel, Vec<f64>) {
+        let (features, scale) = if config.normalize {
+            let maximum = features
+                .data()
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max)
+                .max(1.0);
+            (features.map(|v| v / maximum), maximum)
+        } else {
+            (features.clone(), 1.0)
+        };
+        let mut model = LogisticModel::zeros(features.cols());
+        let mut history = Vec::with_capacity(config.iterations);
+        for _ in 0..config.iterations {
+            model.step(&features, labels, config.learning_rate);
+            history.push(model.evaluate_loss(&features, labels));
+        }
+        // Undo the normalization so the returned model operates on raw features.
+        for weight in model.weights.iter_mut() {
+            *weight /= scale;
+        }
+        (model, history)
+    }
+}
+
+/// Normalizes a feature matrix by its global maximum, returning the scaled
+/// matrix and the scale factor — the same preprocessing [`LogisticModel::train`]
+/// applies, exposed for the distributed drivers so every scheme trains on
+/// identical inputs.
+pub fn normalize_features(features: &Matrix<f64>) -> (Matrix<f64>, f64) {
+    let maximum = features
+        .data()
+        .iter()
+        .cloned()
+        .fold(f64::MIN, f64::max)
+        .max(1.0);
+    (features.map(|v| v / maximum), maximum)
+}
+
+/// Column-centering plus global max-scaling of the features.
+///
+/// Gradient descent on the raw non-negative GISETTE-like features converges
+/// poorly (all-positive columns make the loss ill-conditioned), so the
+/// distributed drivers fit a [`FeatureScaler`] on the training set and apply
+/// the identical affine transform to the test set. The resulting values lie
+/// in `[−1, 1]`, which keeps the fixed-point overflow analysis of
+/// [`crate::quantized::QuantizedProtocol`] intact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureScaler {
+    /// Per-column means of the training features.
+    pub column_means: Vec<f64>,
+    /// The global scale (maximum raw feature value).
+    pub scale: f64,
+}
+
+impl FeatureScaler {
+    /// Fits the scaler on a training feature matrix.
+    pub fn fit(features: &Matrix<f64>) -> Self {
+        let rows = features.rows().max(1);
+        let cols = features.cols();
+        let mut column_means = vec![0.0; cols];
+        for row in features.rows_iter() {
+            for (mean, &value) in column_means.iter_mut().zip(row.iter()) {
+                *mean += value;
+            }
+        }
+        for mean in column_means.iter_mut() {
+            *mean /= rows as f64;
+        }
+        let scale = features
+            .data()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1.0);
+        FeatureScaler {
+            column_means,
+            scale,
+        }
+    }
+
+    /// Applies the fitted transform `(x − mean) / scale` to a feature matrix.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted matrix.
+    pub fn transform(&self, features: &Matrix<f64>) -> Matrix<f64> {
+        assert_eq!(
+            features.cols(),
+            self.column_means.len(),
+            "feature dimension does not match the fitted scaler"
+        );
+        let mut data = Vec::with_capacity(features.len());
+        for row in features.rows_iter() {
+            for (&value, &mean) in row.iter().zip(self.column_means.iter()) {
+                data.push((value - mean) / self.scale);
+            }
+        }
+        Matrix::from_vec(features.rows(), features.cols(), data)
+    }
+
+    /// Fits on the training features and transforms both splits in one call.
+    pub fn fit_transform(train: &Matrix<f64>, test: &Matrix<f64>) -> (Self, Matrix<f64>, Matrix<f64>) {
+        let scaler = Self::fit(train);
+        let train_scaled = scaler.transform(train);
+        let test_scaled = scaler.transform(test);
+        (scaler, train_scaled, test_scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+
+    #[test]
+    fn sigmoid_has_expected_fixed_points() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(20.0) > 0.999);
+        assert!(sigmoid(-20.0) < 0.001);
+        // Symmetry: h(-x) = 1 - h(x).
+        for x in [-3.0, -0.7, 0.4, 2.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_extreme_inputs() {
+        assert!(sigmoid(1e6).is_finite());
+        assert!(sigmoid(-1e6).is_finite());
+        assert_eq!(sigmoid(-1e6), 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_is_zero_for_perfect_confident_predictions() {
+        let loss = cross_entropy(&[1.0, 0.0, 1.0], &[1.0, 0.0, 1.0]);
+        assert!(loss < 1e-9);
+        let bad = cross_entropy(&[0.0, 1.0], &[1.0, 0.0]);
+        assert!(bad > 10.0);
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_agreements() {
+        let predictions = [0.9, 0.2, 0.6, 0.4];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        assert!((accuracy(&predictions, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss_on_separable_data() {
+        // Tiny separable problem: positive iff feature 0 is large.
+        let features = Matrix::from_vec(4, 2, vec![5.0, 1.0, 4.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let mut model = LogisticModel::zeros(2);
+        let initial = model.evaluate_loss(&features, &labels);
+        for _ in 0..200 {
+            model.step(&features, &labels, 0.5);
+        }
+        let trained = model.evaluate_loss(&features, &labels);
+        assert!(trained < initial * 0.5, "loss {initial} -> {trained}");
+        assert_eq!(model.evaluate_accuracy(&features, &labels), 1.0);
+    }
+
+    #[test]
+    fn training_on_synthetic_dataset_beats_chance() {
+        let dataset = Dataset::gisette_like(DatasetConfig {
+            train_samples: 450,
+            test_samples: 150,
+            features: 63,
+            informative: 21,
+            ..DatasetConfig::default()
+        });
+        let (_, train, test) =
+            FeatureScaler::fit_transform(&dataset.train_features, &dataset.test_features);
+        let (model, history) = LogisticModel::train(
+            &train,
+            &dataset.train_labels,
+            TrainConfig {
+                iterations: 60,
+                learning_rate: 5.0,
+                normalize: false,
+            },
+        );
+        let accuracy = model.evaluate_accuracy(&test, &dataset.test_labels);
+        assert!(accuracy > 0.8, "test accuracy {accuracy} too low");
+        // Loss history should be non-increasing overall.
+        assert!(history.last().unwrap() < history.first().unwrap());
+    }
+
+    #[test]
+    fn feature_scaler_centers_columns_and_bounds_values() {
+        let dataset = Dataset::gisette_like(DatasetConfig::default());
+        let (scaler, train, test) =
+            FeatureScaler::fit_transform(&dataset.train_features, &dataset.test_features);
+        assert_eq!(scaler.column_means.len(), dataset.features());
+        // Every transformed training column has (near-)zero mean.
+        for j in 0..train.cols() {
+            let mean: f64 =
+                (0..train.rows()).map(|i| *train.get(i, j)).sum::<f64>() / train.rows() as f64;
+            assert!(mean.abs() < 1e-9, "column {j} mean {mean}");
+        }
+        // Values stay within [-1, 1] so the quantized pipeline's overflow
+        // analysis applies.
+        for &value in train.data().iter().chain(test.data().iter()) {
+            assert!(value.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the fitted scaler")]
+    fn scaler_rejects_mismatched_dimensions() {
+        let features = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let scaler = FeatureScaler::fit(&features);
+        let other = Matrix::from_vec(2, 3, vec![0.0; 6]);
+        let _ = scaler.transform(&other);
+    }
+
+    #[test]
+    fn apply_gradient_matches_manual_update() {
+        let mut model = LogisticModel {
+            weights: vec![1.0, -1.0],
+        };
+        model.apply_gradient(&[2.0, 4.0], 0.5, 4);
+        assert!((model.weights[0] - (1.0 - 0.25)).abs() < 1e-12);
+        assert!((model.weights[1] - (-1.0 - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_features_scales_by_global_maximum() {
+        let features = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let (normalized, scale) = normalize_features(&features);
+        assert_eq!(scale, 4.0);
+        assert_eq!(*normalized.get(1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_prediction_lengths_panic() {
+        let _ = accuracy(&[0.5], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Polynomials, Lagrange interpolation, linear solving and Reed–Solomon error
+//! decoding over prime fields.
+//!
+//! This crate provides the algebraic machinery behind both coding layers of
+//! the AVCC reproduction:
+//!
+//! * The **MDS / Lagrange encoders** (crate `avcc-coding`) build the encoding
+//!   polynomial `u(z) = Σ X_j ℓ_j(z) + Σ W_j ℓ_j(z)` from Lagrange basis
+//!   monomials ([`lagrange`]) and evaluate it at the worker points `α_i`.
+//! * The **decoders** interpolate `f(u(z))` from worker evaluations:
+//!   erasure-only decoding is plain Lagrange interpolation
+//!   ([`lagrange::interpolate`]), while the LCC baseline's Byzantine
+//!   tolerance needs *error-correcting* decoding, implemented here as the
+//!   Berlekamp–Welch algorithm ([`reed_solomon::BerlekampWelch`]) on top of a
+//!   dense Gaussian-elimination solver ([`linear::solve`]).
+//!
+//! All algorithms are written generically over [`avcc_field::PrimeField`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod lagrange;
+pub mod linear;
+pub mod reed_solomon;
+
+pub use dense::Polynomial;
+pub use lagrange::{evaluate_basis_at, interpolate, interpolate_eval, LagrangeBasis};
+pub use linear::{invert_matrix, mat_vec, rank, solve, LinearSolveError};
+pub use reed_solomon::{BerlekampWelch, RsDecodeError, RsDecoded};

@@ -1,0 +1,441 @@
+//! Berlekamp–Welch error-correcting decoding of Reed–Solomon (evaluation)
+//! codes.
+//!
+//! The LCC baseline (paper §II-A, eq. 1) tolerates `M` Byzantine workers by
+//! Reed–Solomon decoding the worker evaluations of `f(u(z))`: the polynomial
+//! has degree `≤ (K+T−1)·deg f`, the master receives `N − S` evaluations of
+//! which up to `M` may be arbitrary garbage, and correcting `M` errors
+//! requires `2M` redundant evaluations — which is exactly why a Byzantine
+//! worker costs LCC twice what a straggler does. This module implements that
+//! decoder so the baseline's cost is real rather than assumed.
+//!
+//! Given evaluations `y_i = P(x_i)` (with at most `e` of them wrong) of a
+//! polynomial `P` with `k` coefficients, and `n ≥ k + 2e` evaluation points,
+//! Berlekamp–Welch finds a monic *error locator* `E(z)` of degree `e` and a
+//! polynomial `Q(z)` of degree `< k + e` satisfying `Q(x_i) = y_i E(x_i)` for
+//! every `i`; then `P = Q / E` exactly. The linear system is solved by
+//! Gaussian elimination (`O(n³)`, tiny `n` here). Workers whose evaluation
+//! disagrees with the decoded polynomial are reported as error positions —
+//! this is how the LCC baseline identifies Byzantine workers.
+
+use avcc_field::PrimeField;
+
+use crate::dense::Polynomial;
+
+/// Errors reported by the Reed–Solomon decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsDecodeError {
+    /// Fewer evaluations than unknowns: `n < k + 2·max_errors`.
+    NotEnoughEvaluations {
+        /// Number of evaluations provided.
+        provided: usize,
+        /// Number required for the requested error tolerance.
+        required: usize,
+    },
+    /// No consistent `(Q, E)` pair exists — more than `max_errors` evaluations
+    /// are corrupted.
+    TooManyErrors,
+    /// The number of values does not match the number of evaluation points.
+    LengthMismatch {
+        /// Number of evaluation points configured.
+        points: usize,
+        /// Number of values supplied.
+        values: usize,
+    },
+}
+
+impl std::fmt::Display for RsDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsDecodeError::NotEnoughEvaluations { provided, required } => write!(
+                f,
+                "not enough evaluations: got {provided}, need at least {required}"
+            ),
+            RsDecodeError::TooManyErrors => {
+                write!(f, "more corrupted evaluations than the decoder can correct")
+            }
+            RsDecodeError::LengthMismatch { points, values } => write!(
+                f,
+                "evaluation count mismatch: {points} points but {values} values"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RsDecodeError {}
+
+/// The result of a successful error-correcting decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsDecoded<F: PrimeField> {
+    /// The recovered message polynomial `P`.
+    pub polynomial: Polynomial<F>,
+    /// Indices (into the evaluation-point array) whose supplied value
+    /// disagreed with `P` — i.e. the detected Byzantine workers.
+    pub error_positions: Vec<usize>,
+}
+
+/// A Berlekamp–Welch decoder bound to a fixed set of evaluation points and a
+/// fixed message length (number of coefficients of the encoded polynomial).
+#[derive(Debug, Clone)]
+pub struct BerlekampWelch<F: PrimeField> {
+    points: Vec<F>,
+    message_length: usize,
+}
+
+impl<F: PrimeField> BerlekampWelch<F> {
+    /// Creates a decoder for polynomials with `message_length` coefficients
+    /// (degree `≤ message_length − 1`) evaluated at `points`.
+    ///
+    /// # Panics
+    /// Panics if `message_length` is zero or the points are not distinct.
+    pub fn new(points: Vec<F>, message_length: usize) -> Self {
+        assert!(message_length > 0, "message length must be positive");
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                assert!(points[i] != points[j], "evaluation points must be distinct");
+            }
+        }
+        BerlekampWelch {
+            points,
+            message_length,
+        }
+    }
+
+    /// The evaluation points.
+    pub fn points(&self) -> &[F] {
+        &self.points
+    }
+
+    /// The number of message coefficients `k`.
+    pub fn message_length(&self) -> usize {
+        self.message_length
+    }
+
+    /// The maximum number of errors correctable from `available` evaluations:
+    /// `⌊(available − k) / 2⌋`.
+    pub fn correctable_errors(&self, available: usize) -> usize {
+        available.saturating_sub(self.message_length) / 2
+    }
+
+    /// Decodes the message polynomial from `values[i] = P(points[i])`
+    /// (possibly corrupted in up to `max_errors` positions).
+    pub fn decode(&self, values: &[F], max_errors: usize) -> Result<RsDecoded<F>, RsDecodeError> {
+        if values.len() != self.points.len() {
+            return Err(RsDecodeError::LengthMismatch {
+                points: self.points.len(),
+                values: values.len(),
+            });
+        }
+        let required = self.message_length + 2 * max_errors;
+        if self.points.len() < required {
+            return Err(RsDecodeError::NotEnoughEvaluations {
+                provided: self.points.len(),
+                required,
+            });
+        }
+
+        // Try the requested error budget first, then smaller budgets: when the
+        // actual number of errors is smaller, the degree-e monic locator still
+        // exists, but the linear system can become singular in unlucky
+        // configurations; falling back is both standard and cheap at this size.
+        for error_budget in (0..=max_errors).rev() {
+            if let Some(decoded) = self.try_decode_with_budget(values, error_budget) {
+                return Ok(decoded);
+            }
+        }
+        Err(RsDecodeError::TooManyErrors)
+    }
+
+    /// Attempts a decode assuming exactly `error_budget` errors; returns
+    /// `None` when the resulting system is inconsistent or `Q` is not
+    /// divisible by `E`.
+    fn try_decode_with_budget(&self, values: &[F], error_budget: usize) -> Option<RsDecoded<F>> {
+        let k = self.message_length;
+        let e = error_budget;
+        let n = self.points.len();
+        let q_len = k + e; // number of unknown Q coefficients
+        let unknowns = q_len + e; // E is monic of degree e: e unknown coefficients
+
+        // Build the n × unknowns system:
+        //   Σ_j q_j x_i^j − y_i Σ_{j<e} E_j x_i^j = y_i x_i^e
+        let mut matrix = vec![F::ZERO; n * unknowns];
+        let mut rhs = vec![F::ZERO; n];
+        for (i, (&x, &y)) in self.points.iter().zip(values.iter()).enumerate() {
+            let mut power = F::ONE;
+            for j in 0..q_len {
+                matrix[i * unknowns + j] = power;
+                power *= x;
+            }
+            let mut power = F::ONE;
+            for j in 0..e {
+                matrix[i * unknowns + q_len + j] = -(y * power);
+                power *= x;
+            }
+            // power is now x^e
+            rhs[i] = y * power;
+        }
+
+        let solution = solve_rectangular(&matrix, &rhs, n, unknowns)?;
+        let q_polynomial = Polynomial::from_coefficients(solution[..q_len].to_vec());
+        let mut locator_coefficients = solution[q_len..].to_vec();
+        locator_coefficients.push(F::ONE); // monic degree-e locator
+        let locator = Polynomial::from_coefficients(locator_coefficients);
+
+        let (message, remainder) = if locator.degree() == Some(0) {
+            (q_polynomial.clone(), Polynomial::zero())
+        } else {
+            q_polynomial.div_rem(&locator)
+        };
+        if !remainder.is_zero() {
+            return None;
+        }
+        if message.degree().map_or(false, |d| d >= k) {
+            return None;
+        }
+
+        // Identify disagreeing positions and make sure they fit the budget.
+        let error_positions: Vec<usize> = self
+            .points
+            .iter()
+            .zip(values.iter())
+            .enumerate()
+            .filter(|(_, (&x, &y))| message.evaluate(x) != y)
+            .map(|(i, _)| i)
+            .collect();
+        if error_positions.len() > error_budget {
+            return None;
+        }
+        Some(RsDecoded {
+            polynomial: message,
+            error_positions,
+        })
+    }
+}
+
+/// Solves the (possibly rectangular, typically overdetermined) system
+/// `A x = b` with `rows ≥ cols`, returning one solution with free variables
+/// set to zero, or `None` if the system is inconsistent.
+fn solve_rectangular<F: PrimeField>(
+    matrix: &[F],
+    rhs: &[F],
+    rows: usize,
+    cols: usize,
+) -> Option<Vec<F>> {
+    let width = cols + 1;
+    let mut augmented = vec![F::ZERO; rows * width];
+    for row in 0..rows {
+        augmented[row * width..row * width + cols]
+            .copy_from_slice(&matrix[row * cols..(row + 1) * cols]);
+        augmented[row * width + cols] = rhs[row];
+    }
+
+    let mut pivot_columns = Vec::new();
+    let mut pivot_row = 0usize;
+    for column in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        let Some(found) = (pivot_row..rows).find(|&r| !augmented[r * width + column].is_zero())
+        else {
+            continue;
+        };
+        if found != pivot_row {
+            for c in 0..width {
+                augmented.swap(found * width + c, pivot_row * width + c);
+            }
+        }
+        let inverse = augmented[pivot_row * width + column].inverse();
+        for c in column..width {
+            augmented[pivot_row * width + c] *= inverse;
+        }
+        for r in 0..rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = augmented[r * width + column];
+            if factor.is_zero() {
+                continue;
+            }
+            for c in column..width {
+                let value = augmented[pivot_row * width + c];
+                augmented[r * width + c] -= factor * value;
+            }
+        }
+        pivot_columns.push(column);
+        pivot_row += 1;
+    }
+
+    // Consistency: every all-zero row must have zero RHS.
+    for row in pivot_row..rows {
+        let all_zero = (0..cols).all(|c| augmented[row * width + c].is_zero());
+        if all_zero && !augmented[row * width + cols].is_zero() {
+            return None;
+        }
+    }
+
+    let mut solution = vec![F::ZERO; cols];
+    for (row, &column) in pivot_columns.iter().enumerate() {
+        solution[column] = augmented[row * width + cols];
+    }
+    Some(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::F25;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn poly(coefficients: &[u64]) -> Polynomial<F25> {
+        Polynomial::from_coefficients(coefficients.iter().map(|&c| F25::from_u64(c)).collect())
+    }
+
+    fn points(n: usize) -> Vec<F25> {
+        (1..=n as u64).map(F25::from_u64).collect()
+    }
+
+    #[test]
+    fn decodes_clean_evaluations() {
+        let p = poly(&[3, 1, 4, 1]);
+        let xs = points(8);
+        let values = p.evaluate_many(&xs);
+        let decoder = BerlekampWelch::new(xs, 4);
+        let decoded = decoder.decode(&values, 2).unwrap();
+        assert_eq!(decoded.polynomial, p);
+        assert!(decoded.error_positions.is_empty());
+    }
+
+    #[test]
+    fn corrects_single_error_and_reports_position() {
+        let p = poly(&[7, 7, 7]);
+        let xs = points(7);
+        let mut values = p.evaluate_many(&xs);
+        values[2] += F25::from_u64(12345);
+        let decoder = BerlekampWelch::new(xs, 3);
+        let decoded = decoder.decode(&values, 2).unwrap();
+        assert_eq!(decoded.polynomial, p);
+        assert_eq!(decoded.error_positions, vec![2]);
+    }
+
+    #[test]
+    fn corrects_two_errors() {
+        let p = poly(&[5, 0, 2, 9]);
+        let xs = points(10);
+        let mut values = p.evaluate_many(&xs);
+        values[0] = F25::from_u64(1);
+        values[7] = F25::from_u64(99);
+        let decoder = BerlekampWelch::new(xs, 4);
+        let decoded = decoder.decode(&values, 3).unwrap();
+        assert_eq!(decoded.polynomial, p);
+        assert_eq!(decoded.error_positions, vec![0, 7]);
+    }
+
+    #[test]
+    fn too_many_errors_is_detected() {
+        let p = poly(&[1, 2, 3]);
+        let xs = points(7);
+        let mut values = p.evaluate_many(&xs);
+        // Budget allows ⌊(7-3)/2⌋ = 2 errors; inject 3.
+        values[0] += F25::ONE;
+        values[1] += F25::ONE;
+        values[2] += F25::ONE;
+        let decoder = BerlekampWelch::new(xs, 3);
+        match decoder.decode(&values, 2) {
+            Err(RsDecodeError::TooManyErrors) => {}
+            Ok(decoded) => {
+                // If a codeword within distance 2 exists it must not be p.
+                assert_ne!(decoded.polynomial, p);
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_when_not_enough_evaluations() {
+        let xs = points(4);
+        let decoder = BerlekampWelch::new(xs, 3);
+        let values = vec![F25::ZERO; 4];
+        assert_eq!(
+            decoder.decode(&values, 2),
+            Err(RsDecodeError::NotEnoughEvaluations {
+                provided: 4,
+                required: 7
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let decoder = BerlekampWelch::new(points(5), 2);
+        let values = vec![F25::ZERO; 4];
+        assert_eq!(
+            decoder.decode(&values, 1),
+            Err(RsDecodeError::LengthMismatch {
+                points: 5,
+                values: 4
+            })
+        );
+    }
+
+    #[test]
+    fn correctable_errors_formula() {
+        let decoder = BerlekampWelch::new(points(12), 9);
+        assert_eq!(decoder.correctable_errors(12), 1);
+        assert_eq!(decoder.correctable_errors(11), 1);
+        assert_eq!(decoder.correctable_errors(10), 0);
+    }
+
+    #[test]
+    fn zero_error_budget_decodes_exactly() {
+        let p = poly(&[11, 22]);
+        let xs = points(2);
+        let values = p.evaluate_many(&xs);
+        let decoder = BerlekampWelch::new(xs, 2);
+        let decoded = decoder.decode(&values, 0).unwrap();
+        assert_eq!(decoded.polynomial, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_points_panic() {
+        let _ = BerlekampWelch::<F25>::new(vec![F25::ONE, F25::ONE], 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_decodes_with_random_errors(
+            seed in any::<u64>(),
+            degree in 0usize..5,
+            extra in 0usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let k = degree + 1;
+            let max_errors = 2usize;
+            let n = k + 2 * max_errors + extra;
+            let coefficients: Vec<F25> = (0..k)
+                .map(|_| F25::from_u64(rng.gen_range(0..F25::MODULUS)))
+                .collect();
+            let p = Polynomial::from_coefficients(coefficients);
+            let xs = points(n);
+            let mut values = p.evaluate_many(&xs);
+            // Corrupt up to max_errors distinct positions with nonzero deltas.
+            let error_count = rng.gen_range(0..=max_errors);
+            let mut corrupted = std::collections::BTreeSet::new();
+            while corrupted.len() < error_count {
+                corrupted.insert(rng.gen_range(0..n));
+            }
+            for &index in &corrupted {
+                values[index] += F25::from_u64(rng.gen_range(1..F25::MODULUS));
+            }
+            let decoder = BerlekampWelch::new(xs, k);
+            let decoded = decoder.decode(&values, max_errors).unwrap();
+            prop_assert_eq!(decoded.polynomial, p);
+            let reported: std::collections::BTreeSet<usize> =
+                decoded.error_positions.into_iter().collect();
+            prop_assert_eq!(reported, corrupted);
+        }
+    }
+}

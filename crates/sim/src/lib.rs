@@ -1,0 +1,36 @@
+//! Distributed-cluster substrate: workers, latency and straggler models,
+//! Byzantine attack injection and per-iteration cost accounting.
+//!
+//! The paper evaluates AVCC on a 13-node DCOMP testbed (one master plus
+//! `N = 12` Minnow workers). That hardware is not available here, so this
+//! crate provides the substitute substrate described in DESIGN.md §4: worker
+//! tasks are *actually executed* (real finite-field arithmetic, measured with
+//! a monotonic clock) and their completion times are then placed on a virtual
+//! timeline according to a [`cluster::ClusterProfile`] — per-worker speed
+//! factors, straggler slowdowns and a network model. What the experiments
+//! depend on (the *order* in which results arrive at the master and the
+//! *relative* cost of compute, communication, verification and decoding) is
+//! therefore preserved while remaining fully reproducible and laptop-sized.
+//!
+//! * [`cluster`] — worker profiles, straggler injection and the network model.
+//! * [`attack`] — the paper's Byzantine attack models (reverse-value and
+//!   constant), applied to field-vector payloads.
+//! * [`executor`] — the [`executor::VirtualExecutor`] (deterministic virtual
+//!   timeline, used by every experiment) and the
+//!   [`executor::ThreadedExecutor`] (real OS threads and channels, used by the
+//!   examples to demonstrate the same API end to end).
+//! * [`metrics`] — per-iteration cost breakdown (compute / communication /
+//!   verification / decoding), the quantity plotted in Fig. 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod cluster;
+pub mod executor;
+pub mod metrics;
+
+pub use attack::{AttackModel, ByzantineSpec};
+pub use cluster::{ClusterProfile, NetworkModel, WorkerProfile};
+pub use executor::{ThreadedExecutor, VirtualExecutor, WorkerOutcome};
+pub use metrics::{CostAccumulator, IterationCosts};

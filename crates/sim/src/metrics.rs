@@ -1,0 +1,202 @@
+//! Per-iteration cost accounting — the quantities plotted in Fig. 4 of the
+//! paper.
+//!
+//! The paper breaks one training iteration into four categories:
+//!
+//! 1. **Compute time** — the worst-case latency of the matrix operations at
+//!    any worker whose result the master actually used.
+//! 2. **Communication time** — sending inputs to and receiving results from
+//!    those workers.
+//! 3. **Verification time** — the Freivalds checks at the master (zero for
+//!    LCC and the uncoded baseline, whose integrity handling is coupled with
+//!    decoding or absent).
+//! 4. **Decoding time** — MDS/Lagrange decoding at the master (zero for the
+//!    uncoded baseline).
+//!
+//! [`IterationCosts`] holds one iteration's breakdown in simulated seconds;
+//! [`CostAccumulator`] aggregates across iterations for the cumulative curves
+//! of Fig. 3 and Fig. 5.
+
+use serde::{Deserialize, Serialize};
+
+/// The per-iteration cost breakdown, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IterationCosts {
+    /// Worst-case worker compute latency among used results.
+    pub compute: f64,
+    /// Worst-case communication latency among used results.
+    pub communication: f64,
+    /// Master-side verification time (AVCC only).
+    pub verification: f64,
+    /// Master-side decoding time.
+    pub decoding: f64,
+    /// One-off costs charged to this iteration (e.g. re-encoding and
+    /// re-distributing data after a dynamic coding switch, Fig. 5).
+    pub reconfiguration: f64,
+}
+
+impl IterationCosts {
+    /// Total wall-clock charged to the iteration.
+    pub fn total(&self) -> f64 {
+        self.compute + self.communication + self.verification + self.decoding + self.reconfiguration
+    }
+
+    /// Element-wise sum of two breakdowns.
+    pub fn combined(&self, other: &IterationCosts) -> IterationCosts {
+        IterationCosts {
+            compute: self.compute + other.compute,
+            communication: self.communication + other.communication,
+            verification: self.verification + other.verification,
+            decoding: self.decoding + other.decoding,
+            reconfiguration: self.reconfiguration + other.reconfiguration,
+        }
+    }
+
+    /// Scales every component (used when averaging).
+    pub fn scaled(&self, factor: f64) -> IterationCosts {
+        IterationCosts {
+            compute: self.compute * factor,
+            communication: self.communication * factor,
+            verification: self.verification * factor,
+            decoding: self.decoding * factor,
+            reconfiguration: self.reconfiguration * factor,
+        }
+    }
+}
+
+/// Accumulates iteration costs into cumulative and average views.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostAccumulator {
+    iterations: Vec<IterationCosts>,
+}
+
+impl CostAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        CostAccumulator::default()
+    }
+
+    /// Records one iteration's costs.
+    pub fn record(&mut self, costs: IterationCosts) {
+        self.iterations.push(costs);
+    }
+
+    /// Number of iterations recorded.
+    pub fn len(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.iterations.is_empty()
+    }
+
+    /// The recorded per-iteration costs.
+    pub fn iterations(&self) -> &[IterationCosts] {
+        &self.iterations
+    }
+
+    /// Sum of all recorded iterations.
+    pub fn cumulative(&self) -> IterationCosts {
+        self.iterations
+            .iter()
+            .fold(IterationCosts::default(), |acc, c| acc.combined(c))
+    }
+
+    /// Total elapsed (simulated) time.
+    pub fn total_seconds(&self) -> f64 {
+        self.cumulative().total()
+    }
+
+    /// Running total after each iteration — the x-axis of the convergence
+    /// curves (Fig. 3) and the cumulative-time comparison (Fig. 5).
+    pub fn cumulative_timeline(&self) -> Vec<f64> {
+        let mut timeline = Vec::with_capacity(self.iterations.len());
+        let mut running = 0.0;
+        for costs in &self.iterations {
+            running += costs.total();
+            timeline.push(running);
+        }
+        timeline
+    }
+
+    /// Average per-iteration breakdown.
+    pub fn average(&self) -> IterationCosts {
+        if self.iterations.is_empty() {
+            return IterationCosts::default();
+        }
+        self.cumulative().scaled(1.0 / self.iterations.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(compute: f64) -> IterationCosts {
+        IterationCosts {
+            compute,
+            communication: 0.1,
+            verification: 0.01,
+            decoding: 0.02,
+            reconfiguration: 0.0,
+        }
+    }
+
+    #[test]
+    fn total_sums_all_components() {
+        let costs = IterationCosts {
+            compute: 1.0,
+            communication: 2.0,
+            verification: 3.0,
+            decoding: 4.0,
+            reconfiguration: 5.0,
+        };
+        assert!((costs.total() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_adds_componentwise() {
+        let a = sample(1.0);
+        let b = sample(2.0);
+        let c = a.combined(&b);
+        assert!((c.compute - 3.0).abs() < 1e-12);
+        assert!((c.communication - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_componentwise() {
+        let a = sample(2.0).scaled(0.5);
+        assert!((a.compute - 1.0).abs() < 1e-12);
+        assert!((a.communication - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_tracks_cumulative_time() {
+        let mut accumulator = CostAccumulator::new();
+        assert!(accumulator.is_empty());
+        accumulator.record(sample(1.0));
+        accumulator.record(sample(2.0));
+        assert_eq!(accumulator.len(), 2);
+        let total = accumulator.total_seconds();
+        assert!((total - (1.13 + 2.13)).abs() < 1e-9);
+        let timeline = accumulator.cumulative_timeline();
+        assert_eq!(timeline.len(), 2);
+        assert!(timeline[0] < timeline[1]);
+        assert!((timeline[1] - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_divides_by_iteration_count() {
+        let mut accumulator = CostAccumulator::new();
+        accumulator.record(sample(1.0));
+        accumulator.record(sample(3.0));
+        let average = accumulator.average();
+        assert!((average.compute - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_has_zero_average() {
+        assert_eq!(CostAccumulator::new().average(), IterationCosts::default());
+    }
+}

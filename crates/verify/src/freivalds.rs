@@ -1,0 +1,144 @@
+//! The Freivalds integrity check (paper §IV-A, step 3) and its soundness
+//! accounting.
+//!
+//! The check itself is one dot product on each side of eq. (8) / eq. (9):
+//! `s⁽¹⁾·w = r⁽¹⁾·z̃` for round 1 and `s⁽²⁾·e = r⁽²⁾·g̃` for round 2. A worker
+//! that returns the correct product always passes; a worker that returns
+//! anything else passes with probability at most `1/q` per key repetition
+//! (eq. 10/11), because the difference vector is nonzero and a uniformly
+//! random `r` is orthogonal to a fixed nonzero vector with probability `1/q`.
+
+use avcc_field::{dot, Fp, PrimeModulus};
+
+use crate::keys::MatVecKey;
+
+/// The outcome of a verification together with its cost, so the simulator can
+/// charge verification time per worker exactly as Fig. 4 does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreivaldsCheck {
+    /// `true` iff every repetition of the check passed.
+    pub accepted: bool,
+    /// Number of field multiply-accumulate operations performed.
+    pub operations: usize,
+}
+
+/// Verifies a claimed matrix–vector product against a key. Equivalent to
+/// [`MatVecKey::verify`] but also reports the operation count.
+pub fn check_mat_vec<M: PrimeModulus>(
+    key: &MatVecKey<M>,
+    input: &[Fp<M>],
+    claimed: &[Fp<M>],
+) -> FreivaldsCheck {
+    let accepted = key.verify(input, claimed);
+    FreivaldsCheck {
+        accepted,
+        operations: key.verification_cost(),
+    }
+}
+
+/// Verifies a claimed product with explicit `(r, s)` vectors — the raw form of
+/// eq. (8): accepts iff `s·input = r·claimed`.
+pub fn check_with_key_pair<M: PrimeModulus>(
+    r: &[Fp<M>],
+    s: &[Fp<M>],
+    input: &[Fp<M>],
+    claimed: &[Fp<M>],
+) -> bool {
+    dot(s, input) == dot(r, claimed)
+}
+
+/// Upper bound on the probability that a *wrong* result is accepted:
+/// `q^{-repetitions}` (eq. 10/11 generalized to repeated keys).
+pub fn soundness_error(modulus: u64, repetitions: u32) -> f64 {
+    (1.0 / modulus as f64).powi(repetitions as i32)
+}
+
+/// The paper's comparison of verification cost against recomputation: a
+/// Freivalds check needs about `rows + cols` multiply-accumulates while
+/// recomputing the product needs `rows · cols`; the ratio is the speedup of
+/// verification over recomputation.
+pub fn verification_speedup(rows: usize, cols: usize) -> f64 {
+    (rows * cols) as f64 / (rows + cols) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyGenConfig;
+    use avcc_field::{F251, F25, P251, PrimeField};
+    use avcc_linalg::{mat_vec, Matrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn check_reports_cost_and_acceptance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let block = Matrix::from_vec(8, 5, avcc_field::random_matrix(&mut rng, 8, 5));
+        let key = MatVecKey::generate(&block, KeyGenConfig::default(), &mut rng);
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 5);
+        let z = mat_vec(&block, &w);
+        let check = check_mat_vec(&key, &w, &z);
+        assert!(check.accepted);
+        assert_eq!(check.operations, 13);
+        let mut corrupted = z;
+        corrupted[0] += F25::ONE;
+        assert!(!check_mat_vec(&key, &w, &corrupted).accepted);
+    }
+
+    #[test]
+    fn raw_key_pair_check_matches_definition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let block = Matrix::from_vec(3, 3, avcc_field::random_matrix(&mut rng, 3, 3));
+        let r: Vec<F25> = avcc_field::random_vector(&mut rng, 3);
+        let s = avcc_linalg::matt_vec(&block, &r);
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 3);
+        let z = mat_vec(&block, &w);
+        assert!(check_with_key_pair(&r, &s, &w, &z));
+        let wrong: Vec<F25> = z.iter().map(|&v| v + F25::ONE).collect();
+        assert!(!check_with_key_pair(&r, &s, &w, &wrong));
+    }
+
+    #[test]
+    fn soundness_error_matches_field_size() {
+        assert!((soundness_error(33_554_393, 1) - 2.98e-8).abs() < 1e-9);
+        let double = soundness_error(33_554_393, 2);
+        assert!(double < 1e-15);
+        assert_eq!(soundness_error(251, 1), 1.0 / 251.0);
+    }
+
+    #[test]
+    fn verification_speedup_is_large_for_paper_dimensions() {
+        // GISETTE block: m/K = 667 rows, d = 5000 columns.
+        let speedup = verification_speedup(667, 5000);
+        assert!(speedup > 500.0, "speedup {speedup} unexpectedly small");
+    }
+
+    /// Empirically measures the acceptance rate of *random wrong answers* in a
+    /// tiny field: it must be close to the theoretical 1/q (here 1/251), which
+    /// demonstrates eq. (10) — and that the bound is tight, not just an upper
+    /// bound.
+    #[test]
+    fn empirical_soundness_in_tiny_field() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = Matrix::from_vec(4, 4, avcc_field::random_matrix(&mut rng, 4, 4));
+        let key = MatVecKey::<P251>::generate(&block, KeyGenConfig::default(), &mut rng);
+        let trials = 20_000;
+        let mut accepted_wrong = 0u32;
+        for _ in 0..trials {
+            let w: Vec<F251> = avcc_field::random_vector(&mut rng, 4);
+            let mut z = mat_vec(&block, &w);
+            // Corrupt one coordinate by a random nonzero delta.
+            let index = rng.gen_range(0..4);
+            z[index] += F251::from_u64(rng.gen_range(1..251));
+            if key.verify(&w, &z) {
+                accepted_wrong += 1;
+            }
+        }
+        let rate = accepted_wrong as f64 / trials as f64;
+        let theoretical = 1.0 / 251.0;
+        assert!(
+            rate < 3.0 * theoretical + 1e-3,
+            "false-acceptance rate {rate} too far above 1/q = {theoretical}"
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Information-theoretic verifiable computing for matrix operations —
+//! Freivalds' algorithm, as used by AVCC to detect Byzantine workers.
+//!
+//! The paper's key observation (§IV) is that for matrix–vector workloads the
+//! master can check a worker's result *individually and cheaply*: with a
+//! one-time secret key `r` (a uniformly random vector) and the precomputed
+//! product `s = r·X̃`, the claimed result `ẑ = X̃w` is accepted iff
+//! `s·w = r·ẑ`. The check costs `O(m + d)` arithmetic operations versus
+//! `O(m·d/K)` for recomputing, and a wrong result slips through with
+//! probability at most `1/q` (about `3·10⁻⁸` in the paper's 25-bit field).
+//! Repeating the check with `t` independent keys drives the soundness error
+//! to `q⁻ᵗ`.
+//!
+//! * [`keys`] — verification-key generation: per-worker round-1 keys
+//!   (`s⁽¹⁾ = r⁽¹⁾·X̃`, eq. 6) and round-2 keys (`s⁽²⁾ = r⁽²⁾·X̃ᵀ`, eq. 7).
+//! * [`freivalds`] — the integrity checks themselves (eq. 8 / eq. 9), plus a
+//!   multi-key variant and the soundness-error bookkeeping.
+//! * [`verifier`] — the per-worker [`verifier::WorkerVerifier`] bundling both
+//!   rounds, and a [`verifier::VerifierSet`] for a whole cluster, which is
+//!   what the AVCC master holds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod freivalds;
+pub mod keys;
+pub mod verifier;
+
+pub use freivalds::{check_mat_vec, soundness_error, FreivaldsCheck};
+pub use keys::{KeyGenConfig, MatVecKey, RoundKeys};
+pub use verifier::{VerdictStats, VerifierSet, WorkerVerifier};

@@ -1,0 +1,237 @@
+//! Per-worker and per-cluster verifiers — the objects the AVCC master holds.
+//!
+//! A [`WorkerVerifier`] owns the two round keys of one worker and checks that
+//! worker's round-1 and round-2 results. A [`VerifierSet`] owns one verifier
+//! per worker, which is exactly the state the AVCC master keeps after the
+//! one-time key-generation phase; it also tracks aggregate accept/reject
+//! statistics ([`VerdictStats`]) used by the adaptive controller to estimate
+//! the Byzantine population.
+
+use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::Matrix;
+use rand::Rng;
+
+use crate::freivalds::{check_mat_vec, FreivaldsCheck};
+use crate::keys::{KeyGenConfig, RoundKeys};
+
+/// The verifier for a single worker: both round keys plus the worker index.
+#[derive(Debug, Clone)]
+pub struct WorkerVerifier<M: PrimeModulus> {
+    worker: usize,
+    keys: RoundKeys<M>,
+}
+
+impl<M: PrimeModulus> WorkerVerifier<M> {
+    /// Generates the verifier for `worker`, whose coded block is `coded_block`.
+    pub fn generate<R: Rng + ?Sized>(
+        worker: usize,
+        coded_block: &Matrix<Fp<M>>,
+        config: KeyGenConfig,
+        rng: &mut R,
+    ) -> Self {
+        WorkerVerifier {
+            worker,
+            keys: RoundKeys::generate(coded_block, config, rng),
+        }
+    }
+
+    /// The worker index this verifier is bound to.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Verifies a round-1 result `z̃ = X̃ w` (eq. 8).
+    pub fn verify_round1(&self, w: &[Fp<M>], claimed_z: &[Fp<M>]) -> FreivaldsCheck {
+        check_mat_vec(&self.keys.round1, w, claimed_z)
+    }
+
+    /// Verifies a round-2 result `g̃ = X̃ᵀ e` (eq. 9).
+    pub fn verify_round2(&self, e: &[Fp<M>], claimed_g: &[Fp<M>]) -> FreivaldsCheck {
+        check_mat_vec(&self.keys.round2, e, claimed_g)
+    }
+
+    /// The round keys (exposed for cost accounting and tests).
+    pub fn keys(&self) -> &RoundKeys<M> {
+        &self.keys
+    }
+}
+
+/// Aggregate accept/reject statistics across verifications.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerdictStats {
+    /// Number of results that passed verification.
+    pub accepted: usize,
+    /// Number of results that failed verification.
+    pub rejected: usize,
+}
+
+impl VerdictStats {
+    /// Records one verification outcome.
+    pub fn record(&mut self, accepted: bool) {
+        if accepted {
+            self.accepted += 1;
+        } else {
+            self.rejected += 1;
+        }
+    }
+
+    /// Total number of verifications recorded.
+    pub fn total(&self) -> usize {
+        self.accepted + self.rejected
+    }
+}
+
+/// One verifier per worker — the master's verification state.
+#[derive(Debug, Clone)]
+pub struct VerifierSet<M: PrimeModulus> {
+    verifiers: Vec<WorkerVerifier<M>>,
+    stats: VerdictStats,
+}
+
+impl<M: PrimeModulus> VerifierSet<M> {
+    /// Generates a verifier for every worker's coded block (blocks are indexed
+    /// by worker).
+    pub fn generate<R: Rng + ?Sized>(
+        coded_blocks: &[Matrix<Fp<M>>],
+        config: KeyGenConfig,
+        rng: &mut R,
+    ) -> Self {
+        let verifiers = coded_blocks
+            .iter()
+            .enumerate()
+            .map(|(worker, block)| WorkerVerifier::generate(worker, block, config, rng))
+            .collect();
+        VerifierSet {
+            verifiers,
+            stats: VerdictStats::default(),
+        }
+    }
+
+    /// Number of workers covered.
+    pub fn len(&self) -> usize {
+        self.verifiers.len()
+    }
+
+    /// `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verifiers.is_empty()
+    }
+
+    /// The verifier for a given worker.
+    ///
+    /// # Panics
+    /// Panics if the worker index is out of range.
+    pub fn worker(&self, worker: usize) -> &WorkerVerifier<M> {
+        &self.verifiers[worker]
+    }
+
+    /// Verifies a round-1 result for `worker` and records the verdict.
+    pub fn verify_round1(
+        &mut self,
+        worker: usize,
+        w: &[Fp<M>],
+        claimed_z: &[Fp<M>],
+    ) -> FreivaldsCheck {
+        let check = self.verifiers[worker].verify_round1(w, claimed_z);
+        self.stats.record(check.accepted);
+        check
+    }
+
+    /// Verifies a round-2 result for `worker` and records the verdict.
+    pub fn verify_round2(
+        &mut self,
+        worker: usize,
+        e: &[Fp<M>],
+        claimed_g: &[Fp<M>],
+    ) -> FreivaldsCheck {
+        let check = self.verifiers[worker].verify_round2(e, claimed_g);
+        self.stats.record(check.accepted);
+        check
+    }
+
+    /// Aggregate accept/reject statistics.
+    pub fn stats(&self) -> VerdictStats {
+        self.stats
+    }
+
+    /// Resets the aggregate statistics (e.g. at the start of an iteration).
+    pub fn reset_stats(&mut self) {
+        self.stats = VerdictStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, PrimeField};
+    use avcc_linalg::{mat_vec, matt_vec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coded_blocks(n: usize, rows: usize, cols: usize, seed: u64) -> Vec<Matrix<F25>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols)))
+            .collect()
+    }
+
+    #[test]
+    fn worker_verifier_accepts_honest_rounds() {
+        let blocks = coded_blocks(1, 6, 4, 1);
+        let mut rng = StdRng::seed_from_u64(10);
+        let verifier =
+            WorkerVerifier::generate(0, &blocks[0], KeyGenConfig::default(), &mut rng);
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 4);
+        let e: Vec<F25> = avcc_field::random_vector(&mut rng, 6);
+        assert!(verifier.verify_round1(&w, &mat_vec(&blocks[0], &w)).accepted);
+        assert!(verifier.verify_round2(&e, &matt_vec(&blocks[0], &e)).accepted);
+        assert_eq!(verifier.worker(), 0);
+    }
+
+    #[test]
+    fn worker_verifier_rejects_byzantine_rounds() {
+        let blocks = coded_blocks(1, 6, 4, 2);
+        let mut rng = StdRng::seed_from_u64(20);
+        let verifier =
+            WorkerVerifier::generate(0, &blocks[0], KeyGenConfig::default(), &mut rng);
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 4);
+        let e: Vec<F25> = avcc_field::random_vector(&mut rng, 6);
+        let reversed: Vec<F25> = mat_vec(&blocks[0], &w).iter().map(|&v| -v).collect();
+        assert!(!verifier.verify_round1(&w, &reversed).accepted);
+        let constant = vec![F25::from_u64(9); 4];
+        assert!(!verifier.verify_round2(&e, &constant).accepted);
+    }
+
+    #[test]
+    fn verifier_set_covers_every_worker_and_tracks_stats() {
+        let blocks = coded_blocks(5, 4, 3, 3);
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut set = VerifierSet::generate(&blocks, KeyGenConfig::default(), &mut rng);
+        assert_eq!(set.len(), 5);
+        assert!(!set.is_empty());
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 3);
+        for (worker, block) in blocks.iter().enumerate() {
+            let honest = mat_vec(block, &w);
+            assert!(set.verify_round1(worker, &w, &honest).accepted);
+        }
+        // One Byzantine result.
+        let corrupted = vec![F25::ONE; 4];
+        assert!(!set.verify_round1(2, &w, &corrupted).accepted);
+        assert_eq!(set.stats(), VerdictStats { accepted: 5, rejected: 1 });
+        assert_eq!(set.stats().total(), 6);
+        set.reset_stats();
+        assert_eq!(set.stats().total(), 0);
+    }
+
+    #[test]
+    fn verification_is_independent_per_worker() {
+        // A result computed with worker 1's block must not verify under worker
+        // 0's key (the keys are bound to the coded data).
+        let blocks = coded_blocks(2, 5, 5, 4);
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut set = VerifierSet::generate(&blocks, KeyGenConfig::default(), &mut rng);
+        let w: Vec<F25> = avcc_field::random_vector(&mut rng, 5);
+        let z_of_worker1 = mat_vec(&blocks[1], &w);
+        assert!(!set.verify_round1(0, &w, &z_of_worker1).accepted);
+    }
+}

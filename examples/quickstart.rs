@@ -1,0 +1,60 @@
+//! Quickstart: train a distributed logistic-regression model with AVCC on a
+//! simulated 12-worker cluster with one straggler and one Byzantine worker,
+//! and compare it against the LCC and uncoded baselines.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use avcc::core::report::speedup;
+use avcc::core::{run_experiment, ExperimentConfig, FaultScenario, SchemeKind};
+use avcc::field::P25;
+use avcc::sim::attack::AttackModel;
+
+fn main() {
+    // One straggler and one Byzantine worker mounting the constant attack —
+    // the conditions of the paper's Fig. 3(c).
+    let scenario = FaultScenario::paper(2, 1, AttackModel::constant());
+
+    println!("scheme      final-acc  best-acc   total-time[s]  detections");
+    println!("-----------------------------------------------------------");
+    let mut reports = Vec::new();
+    for (label, config) in [
+        ("uncoded", ExperimentConfig::paper_uncoded(scenario.clone())),
+        ("lcc", ExperimentConfig::paper_lcc(scenario.clone())),
+        (
+            "avcc",
+            ExperimentConfig::paper_avcc(2, 1, scenario.clone()),
+        ),
+    ] {
+        let report = run_experiment::<P25>(&config).expect("experiment failed");
+        println!(
+            "{label:<11} {:>8.3}  {:>8.3}   {:>12.2}  {:>10}",
+            report.final_accuracy(),
+            report.best_accuracy(),
+            report.total_seconds(),
+            report.total_detections()
+        );
+        reports.push((label, report));
+    }
+
+    let avcc = &reports.iter().find(|(l, _)| *l == "avcc").unwrap().1;
+    let lcc = &reports.iter().find(|(l, _)| *l == "lcc").unwrap().1;
+    let uncoded = &reports.iter().find(|(l, _)| *l == "uncoded").unwrap().1;
+    let target = 0.85;
+    println!();
+    println!(
+        "speedup of {} over LCC at {:.0}% accuracy:      {:.2}x",
+        SchemeKind::Avcc.label(),
+        target * 100.0,
+        speedup(avcc, lcc, target)
+    );
+    println!(
+        "speedup of {} over uncoded at {:.0}% accuracy:  {:.2}x",
+        SchemeKind::Avcc.label(),
+        target * 100.0,
+        speedup(avcc, uncoded, target)
+    );
+}
