@@ -56,5 +56,9 @@ fn bench_error_correcting_decoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_erasure_decoding, bench_error_correcting_decoding);
+criterion_group!(
+    benches,
+    bench_erasure_decoding,
+    bench_error_correcting_decoding
+);
 criterion_main!(benches);

@@ -39,7 +39,9 @@ fn bench_one_iteration_per_scheme(c: &mut Criterion) {
                 bencher.iter(|| {
                     let mut trainer = config.build_trainer::<P25>();
                     let mut cumulative = 0.0;
-                    trainer.run_iteration(0, &mut cumulative).expect("iteration failed")
+                    trainer
+                        .run_iteration(0, &mut cumulative)
+                        .expect("iteration failed")
                 })
             },
         );

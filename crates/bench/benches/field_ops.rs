@@ -1,10 +1,45 @@
 //! Micro-benchmarks of the finite-field substrate: scalar arithmetic, dot
 //! products and batch inversion, which bound every higher-level cost.
+//!
+//! The `reduction/` and `mat_vec_512/` groups compare three implementations
+//! of the multiply-reduce at the bottom of every kernel:
+//!
+//! * **generic_div** — `(a as u128 * b as u128) % q`: the pre-PR1 baseline, a
+//!   128-bit hardware division per product;
+//! * **specialized** — the per-modulus [`PrimeModulus::reduce_wide`] backend
+//!   (Mersenne fold for `F_{2^61-1}`, pseudo-Mersenne fold for `F_{2^25-39}`,
+//!   Barrett for `F_251`), one reduction per product;
+//! * **lazy** — unreduced `u128` accumulation with one specialized reduction
+//!   per [`PrimeModulus::WIDE_BATCH`] products (the batch/linalg kernels).
+//!
+//! `BENCH_PR1.json` in the repo root records a captured run.
 
-use avcc_field::{batch_inverse, dot, F25, F61, PrimeField};
+use avcc_field::{batch_inverse, dot, Fp, PrimeField, PrimeModulus, F25, F61, P25, P61};
+use avcc_linalg::{mat_vec, Matrix};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The pre-PR1 multiply-reduce: one 128-bit division per product.
+#[inline]
+fn mul_generic_div<M: PrimeModulus>(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % M::MODULUS as u128) as u64
+}
+
+/// The pre-PR1 dot product: elementwise multiply-reduce, modular adds.
+fn dot_generic_div<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Fp<M> {
+    let mut accumulator = 0u64;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let product = mul_generic_div::<M>(x.value(), y.value());
+        accumulator = ((accumulator as u128 + product as u128) % M::MODULUS as u128) as u64;
+    }
+    Fp::<M>::new(accumulator)
+}
+
+/// The pre-PR1 matrix–vector product: one division-reduced dot per row.
+fn mat_vec_generic_div<M: PrimeModulus>(a: &Matrix<Fp<M>>, x: &[Fp<M>]) -> Vec<Fp<M>> {
+    a.rows_iter().map(|row| dot_generic_div(row, x)).collect()
+}
 
 fn bench_scalar_ops(c: &mut Criterion) {
     let a = F25::from_u64(12_345_678);
@@ -22,6 +57,48 @@ fn bench_scalar_ops(c: &mut Criterion) {
     });
 }
 
+/// Streams `LEN` multiply-reduces per iteration so the comparison measures
+/// reduction throughput, not loop or black-box overhead.
+fn bench_reduction_backends(c: &mut Criterion) {
+    const LEN: usize = 4096;
+
+    fn operands<M: PrimeModulus>(seed: u64) -> (Vec<Fp<M>>, Vec<Fp<M>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (
+            avcc_field::random_vector(&mut rng, LEN),
+            avcc_field::random_vector(&mut rng, LEN),
+        )
+    }
+
+    fn run<M: PrimeModulus>(c: &mut Criterion, field_name: &str, seed: u64) {
+        let (a, b) = operands::<M>(seed);
+        let mut group = c.benchmark_group(format!("reduction/{field_name}"));
+        group.bench_function(BenchmarkId::from_parameter("generic_div"), |bencher| {
+            bencher.iter(|| {
+                let mut acc = 0u64;
+                for (&x, &y) in a.iter().zip(b.iter()) {
+                    acc ^= mul_generic_div::<M>(black_box(x.value()), black_box(y.value()));
+                }
+                acc
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("specialized"), |bencher| {
+            bencher.iter(|| {
+                let mut acc = 0u64;
+                for (&x, &y) in a.iter().zip(b.iter()) {
+                    acc ^=
+                        M::reduce_wide(black_box(x.value()) as u128 * black_box(y.value()) as u128);
+                }
+                acc
+            })
+        });
+        group.finish();
+    }
+
+    run::<P61>(c, "p61", 1);
+    run::<P25>(c, "p25", 2);
+}
+
 fn bench_dot_products(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut group = c.benchmark_group("field/dot");
@@ -35,6 +112,59 @@ fn bench_dot_products(c: &mut Criterion) {
     group.finish();
 }
 
+/// generic-div vs specialized-per-element vs lazy dot at a fixed length.
+fn bench_dot_backends(c: &mut Criterion) {
+    const LEN: usize = 4096;
+
+    fn run<M: PrimeModulus>(c: &mut Criterion, field_name: &str, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<Fp<M>> = avcc_field::random_vector(&mut rng, LEN);
+        let b: Vec<Fp<M>> = avcc_field::random_vector(&mut rng, LEN);
+        let mut group = c.benchmark_group(format!("dot_4096/{field_name}"));
+        group.bench_function(BenchmarkId::from_parameter("generic_div"), |bencher| {
+            bencher.iter(|| dot_generic_div(black_box(&a), black_box(&b)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("specialized"), |bencher| {
+            bencher.iter(|| {
+                black_box(&a)
+                    .iter()
+                    .zip(black_box(&b).iter())
+                    .map(|(&x, &y)| x * y)
+                    .sum::<Fp<M>>()
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("lazy"), |bencher| {
+            bencher.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        group.finish();
+    }
+
+    run::<P61>(c, "p61", 3);
+    run::<P25>(c, "p25", 4);
+}
+
+/// The acceptance-criterion kernel: 512×512 matrix–vector product.
+fn bench_mat_vec_512(c: &mut Criterion) {
+    const N: usize = 512;
+
+    fn run<M: PrimeModulus>(c: &mut Criterion, field_name: &str, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let matrix = Matrix::from_vec(N, N, avcc_field::random_matrix(&mut rng, N, N));
+        let x: Vec<Fp<M>> = avcc_field::random_vector(&mut rng, N);
+        let mut group = c.benchmark_group(format!("mat_vec_512/{field_name}"));
+        group.bench_function(BenchmarkId::from_parameter("generic_div"), |bencher| {
+            bencher.iter(|| mat_vec_generic_div(black_box(&matrix), black_box(&x)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("blocked_lazy"), |bencher| {
+            bencher.iter(|| mat_vec(black_box(&matrix), black_box(&x)))
+        });
+        group.finish();
+    }
+
+    run::<P61>(c, "p61", 5);
+    run::<P25>(c, "p25", 6);
+}
+
 fn bench_batch_inverse(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let values: Vec<F25> = avcc_field::rng::random_nonzero_vector(&mut rng, 1024);
@@ -43,5 +173,13 @@ fn bench_batch_inverse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scalar_ops, bench_dot_products, bench_batch_inverse);
+criterion_group!(
+    benches,
+    bench_scalar_ops,
+    bench_reduction_backends,
+    bench_dot_products,
+    bench_dot_backends,
+    bench_mat_vec_512,
+    bench_batch_inverse
+);
 criterion_main!(benches);

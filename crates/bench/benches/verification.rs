@@ -46,5 +46,9 @@ fn bench_key_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_verification_vs_recompute, bench_key_generation);
+criterion_group!(
+    benches,
+    bench_verification_vs_recompute,
+    bench_key_generation
+);
 criterion_main!(benches);

@@ -44,7 +44,9 @@ fn fault_free_configs() -> Vec<(avcc_core::SchemeKind, ExperimentConfig)> {
 }
 
 fn print_breakdown_block(configs: &[(avcc_core::SchemeKind, ExperimentConfig)]) {
-    println!("scheme\tcompute_s\tcommunication_s\tverification_s\tdecoding_s\ttotal_s\tfinal_accuracy");
+    println!(
+        "scheme\tcompute_s\tcommunication_s\tverification_s\tdecoding_s\ttotal_s\tfinal_accuracy"
+    );
     for (kind, config) in configs {
         let report = run_experiment::<P25>(config).expect("experiment failed");
         let costs = report.average_costs();

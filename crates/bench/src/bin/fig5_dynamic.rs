@@ -6,10 +6,8 @@
 //! cargo run -p avcc-bench --bin fig5_dynamic --release
 //! ```
 
-use avcc_bench::{harness_dataset};
-use avcc_core::{
-    run_dynamic_coding_scenario, ExperimentConfig, FaultScenario, SchemeKind,
-};
+use avcc_bench::harness_dataset;
+use avcc_core::{run_dynamic_coding_scenario, ExperimentConfig, FaultScenario, SchemeKind};
 use avcc_field::P25;
 use avcc_sim::attack::AttackModel;
 

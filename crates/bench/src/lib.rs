@@ -18,7 +18,9 @@ use avcc_sim::attack::AttackModel;
 /// Returns `true` when the full-scale (GISETTE-sized) configuration was
 /// requested via the `AVCC_FULL` environment variable.
 pub fn full_scale() -> bool {
-    std::env::var("AVCC_FULL").map(|v| v != "0").unwrap_or(false)
+    std::env::var("AVCC_FULL")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// The dataset configuration used by the harness (quick or full scale).
@@ -75,7 +77,9 @@ pub fn panel_configs(
         ),
         (
             SchemeKind::Avcc,
-            harness_tune(ExperimentConfig::paper_avcc(stragglers, byzantine, scenario)),
+            harness_tune(ExperimentConfig::paper_avcc(
+                stragglers, byzantine, scenario,
+            )),
         ),
     ]
 }
@@ -94,7 +98,9 @@ mod tests {
     fn paper_settings_cover_both_attacks_and_both_splits() {
         let settings = paper_settings();
         assert_eq!(settings.len(), 4);
-        assert!(settings.iter().any(|(label, ..)| *label == "constant_s1_m2"));
+        assert!(settings
+            .iter()
+            .any(|(label, ..)| *label == "constant_s1_m2"));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //!   codeword.
 
 use avcc_field::{dot, random_vector, Fp, PrimeModulus};
-use avcc_poly::{evaluate_basis_at, BerlekampWelch, RsDecodeError};
+use avcc_poly::{BerlekampWelch, LagrangeBasis, RsDecodeError};
 use rand::Rng;
 
 use crate::points::EvaluationPoints;
@@ -61,7 +61,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::NotEnoughResults { provided, required } => {
-                write!(f, "not enough results: {provided} provided, {required} required")
+                write!(
+                    f,
+                    "not enough results: {provided} provided, {required} required"
+                )
             }
             DecodeError::DuplicateWorker { worker } => {
                 write!(f, "worker {worker} supplied more than one result")
@@ -69,13 +72,20 @@ impl std::fmt::Display for DecodeError {
             DecodeError::UnknownWorker { worker } => write!(f, "unknown worker index {worker}"),
             DecodeError::ShapeMismatch => write!(f, "result vectors disagree in length"),
             DecodeError::TooManyErrors => {
-                write!(f, "could not find a consistent codeword within the error budget")
+                write!(
+                    f,
+                    "could not find a consistent codeword within the error budget"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+/// The result of error-correcting decoding: the `K` output blocks plus the
+/// worker indices identified as corrupted.
+pub type DecodedWithErrors<M> = (Vec<Vec<Fp<M>>>, Vec<usize>);
 
 /// The decoder bound to a scheme configuration and its evaluation points.
 #[derive(Debug, Clone)]
@@ -122,6 +132,10 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             .collect();
         let width = selected[0].1.len();
 
+        // One basis construction (with its batch-inverted barycentric
+        // weights) is shared by all K β-point evaluations below.
+        let basis = LagrangeBasis::new(alphas);
+
         let mut outputs = Vec::with_capacity(self.config.partitions);
         for k in 0..self.config.partitions {
             let beta = self.points.beta()[k];
@@ -133,15 +147,17 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
                 outputs.push(vector.clone());
                 continue;
             }
-            let coefficients = evaluate_basis_at(&alphas, beta);
-            let mut block = vec![Fp::<M>::ZERO; width];
+            let coefficients = basis.evaluate_at(beta);
+            // One lazy-reduction pass over the selected workers: the u128
+            // lanes absorb one product per worker and reduce once at the end.
+            let mut block = avcc_field::WideAccumulator::<M>::new(width);
             for ((_, vector), &coefficient) in selected.iter().zip(coefficients.iter()) {
                 if coefficient == Fp::<M>::ZERO {
                     continue;
                 }
-                avcc_field::batch::slice_axpy(&mut block, coefficient, vector);
+                block.axpy(coefficient, vector);
             }
-            outputs.push(block);
+            outputs.push(block.finish());
         }
         Ok(outputs)
     }
@@ -154,7 +170,7 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
         results: &[(usize, Vec<Fp<M>>)],
         max_errors: usize,
         rng: &mut R,
-    ) -> Result<(Vec<Vec<Fp<M>>>, Vec<usize>), DecodeError> {
+    ) -> Result<DecodedWithErrors<M>, DecodeError> {
         let threshold = self.recovery_threshold();
         let required = threshold + 2 * max_errors;
         self.validate(results, required)?;
@@ -193,8 +209,10 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             return Err(DecodeError::TooManyErrors);
         }
         let outputs = self.decode_erasure(&clean)?;
-        let corrupted_workers: Vec<usize> =
-            located.iter().map(|&position| results[position].0).collect();
+        let corrupted_workers: Vec<usize> = located
+            .iter()
+            .map(|&position| results[position].0)
+            .collect();
         Ok((outputs, corrupted_workers))
     }
 
@@ -231,7 +249,7 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
 mod tests {
     use super::*;
     use crate::encoder::LagrangeEncoder;
-    use avcc_field::{F25, P25, PrimeField};
+    use avcc_field::{PrimeField, F25, P25};
     use avcc_linalg::{mat_vec, Matrix};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
@@ -240,10 +258,9 @@ mod tests {
     /// Builds a full encode → worker-compute → decode round for a linear map
     /// (matrix–vector product), returning the expected per-block outputs and
     /// the worker results.
-    fn linear_round(
-        config: SchemeConfig,
-        seed: u64,
-    ) -> (Vec<Vec<F25>>, Vec<(usize, Vec<F25>)>, LagrangeDecoder<P25>) {
+    type LinearRound = (Vec<Vec<F25>>, Vec<(usize, Vec<F25>)>, LagrangeDecoder<P25>);
+
+    fn linear_round(config: SchemeConfig, seed: u64) -> LinearRound {
         let mut rng = StdRng::seed_from_u64(seed);
         let rows = 4;
         let cols = 6;
@@ -331,7 +348,10 @@ mod tests {
         let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
         let (_, mut results, decoder) = linear_round(config, 6);
         results[2].1.pop();
-        assert_eq!(decoder.decode_erasure(&results), Err(DecodeError::ShapeMismatch));
+        assert_eq!(
+            decoder.decode_erasure(&results),
+            Err(DecodeError::ShapeMismatch)
+        );
     }
 
     #[test]

@@ -114,18 +114,21 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
 
         (0..self.config.workers)
             .map(|worker| {
-                let mut coded = vec![Fp::<M>::ZERO; rows * cols];
+                // Lazy reduction across all K+T blocks: the u128 lanes absorb
+                // one product per block and reduce once per lane at the end
+                // (see avcc_field::batch::WideAccumulator).
+                let mut coded = avcc_field::WideAccumulator::<M>::new(rows * cols);
                 for (j, block) in blocks.iter().chain(pads.iter()).enumerate() {
                     let coefficient = self.encoding_matrix[j][worker];
                     if coefficient == Fp::<M>::ZERO {
                         continue;
                     }
-                    avcc_field::batch::slice_axpy(&mut coded, coefficient, block.data());
+                    coded.axpy(coefficient, block.data());
                 }
                 EncodedShare {
                     worker,
                     alpha: self.points.alpha()[worker],
-                    block: Matrix::from_vec(rows, cols, coded),
+                    block: Matrix::from_vec(rows, cols, coded.finish()),
                 }
             })
             .collect()
@@ -161,9 +164,7 @@ mod tests {
     fn data_blocks(k: usize, rows: usize, cols: usize, seed: u64) -> Vec<Matrix<F25>> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..k)
-            .map(|_| {
-                Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols))
-            })
+            .map(|_| Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols)))
             .collect()
     }
 
@@ -195,10 +196,7 @@ mod tests {
         for (k, block) in blocks.iter().enumerate() {
             let beta = encoder.points().beta()[k];
             for coordinate in 0..block.len() {
-                let values: Vec<F25> = subset
-                    .iter()
-                    .map(|s| s.block.data()[coordinate])
-                    .collect();
+                let values: Vec<F25> = subset.iter().map(|s| s.block.data()[coordinate]).collect();
                 let recovered = interpolate_eval(&alphas, &values, beta);
                 assert_eq!(recovered, block.data()[coordinate]);
             }
@@ -269,10 +267,10 @@ mod tests {
         let config = SchemeConfig::linear(6, 3, 2, 1).unwrap();
         let encoder = LagrangeEncoder::<P25>::new(config);
         let matrix = encoder.encoding_matrix();
-        for j in 0..3 {
-            for i in 0..3 {
+        for (j, row) in matrix.iter().enumerate().take(3) {
+            for (i, &value) in row.iter().enumerate().take(3) {
                 let expected = if i == j { F25::ONE } else { F25::ZERO };
-                assert_eq!(matrix[j][i], expected);
+                assert_eq!(value, expected);
             }
         }
     }
@@ -291,10 +289,7 @@ mod tests {
     fn mismatched_block_shapes_panic() {
         let config = SchemeConfig::linear(4, 2, 1, 1).unwrap();
         let encoder = LagrangeEncoder::<P25>::new(config);
-        let blocks = vec![
-            Matrix::<F25>::zeros(2, 2),
-            Matrix::<F25>::zeros(3, 2),
-        ];
+        let blocks = vec![Matrix::<F25>::zeros(2, 2), Matrix::<F25>::zeros(3, 2)];
         let _ = encoder.encode_deterministic(&blocks);
     }
 

@@ -105,7 +105,7 @@ impl<M: PrimeModulus> MdsCode<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avcc_field::{F25, P25, PrimeField};
+    use avcc_field::{PrimeField, F25, P25};
     use avcc_linalg::mat_vec;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -115,11 +115,7 @@ mod tests {
     #[test]
     fn figure_1_example_three_workers_one_straggler() {
         let code = MdsCode::<P25>::new(3, 2).unwrap();
-        let data = Matrix::from_vec(
-            4,
-            3,
-            (1..=12u64).map(F25::from_u64).collect(),
-        );
+        let data = Matrix::from_vec(4, 3, (1..=12u64).map(F25::from_u64).collect());
         let b: Vec<F25> = [2u64, 1, 3].iter().map(|&v| F25::from_u64(v)).collect();
         let expected = mat_vec(&data, &b);
 

@@ -93,9 +93,7 @@ impl SchemeConfig {
         }
         if workers < partitions {
             return Err(SchemeError::Invalid {
-                details: format!(
-                    "N = {workers} workers cannot hold K = {partitions} partitions"
-                ),
+                details: format!("N = {workers} workers cannot hold K = {partitions} partitions"),
             });
         }
         Ok(SchemeConfig {
@@ -195,7 +193,11 @@ impl std::fmt::Display for SchemeConfig {
         write!(
             f,
             "(N={}, K={}, S={}, M={}, T={}, deg={})",
-            self.workers, self.partitions, self.stragglers, self.byzantine, self.colluding,
+            self.workers,
+            self.partitions,
+            self.stragglers,
+            self.byzantine,
+            self.colluding,
             self.degree
         )
     }

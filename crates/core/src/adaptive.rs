@@ -133,10 +133,7 @@ mod tests {
     fn disabled_controller_never_adapts() {
         let controller = AdaptiveController::new(false);
         assert!(!controller.is_enabled());
-        assert_eq!(
-            controller.evaluate(&paper_config(), &[3], &[0, 1, 2]),
-            None
-        );
+        assert_eq!(controller.evaluate(&paper_config(), &[3], &[0, 1, 2]), None);
     }
 
     #[test]

@@ -165,8 +165,7 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
                 )
             }
             SchemeKind::Lcc => {
-                let executor =
-                    VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
+                let executor = VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
                 (
                     Box::new(LccMatVec::new(&round1_matrix, config.coding, &mut rng)),
                     Box::new(LccMatVec::new(&round2_matrix, config.coding, &mut rng)),
@@ -174,8 +173,7 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
                 )
             }
             SchemeKind::Avcc | SchemeKind::StaticVcc => {
-                let executor =
-                    VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
+                let executor = VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
                 (
                     Box::new(AvccMatVec::new(
                         &round1_matrix,
@@ -249,12 +247,9 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
     ) -> Result<IterationRecord, SchemeFailure> {
         // Round 1: z = X w.
         let w_field = self.protocol.quantize_weights::<M>(&self.model.weights);
-        let round1 = self.round1.execute(
-            &w_field,
-            &self.executor,
-            &self.byzantine,
-            &mut self.rng,
-        )?;
+        let round1 =
+            self.round1
+                .execute(&w_field, &self.executor, &self.byzantine, &mut self.rng)?;
 
         // Master-side: error vector in the real domain.
         let errors = self
@@ -263,18 +258,12 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         let e_field = self.protocol.quantize_error::<M>(&errors);
 
         // Round 2: g = Xᵀ e.
-        let round2 = self.round2.execute(
-            &e_field,
-            &self.executor,
-            &self.byzantine,
-            &mut self.rng,
-        )?;
+        let round2 =
+            self.round2
+                .execute(&e_field, &self.executor, &self.byzantine, &mut self.rng)?;
         let gradient = self.protocol.dequantize_round2(&round2.output);
-        self.model.apply_gradient(
-            &gradient,
-            self.config.learning_rate,
-            self.problem.samples(),
-        );
+        self.model
+            .apply_gradient(&gradient, self.config.learning_rate, self.problem.samples());
 
         // Bookkeeping.
         let mut costs = round1.costs.combined(&round2.costs);
@@ -351,18 +340,10 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         let key_config = KeyGenConfig {
             repetitions: self.config.key_repetitions.max(1),
         };
-        let engine1 = AvccMatVec::<M>::new(
-            &self.round1_matrix,
-            new_config,
-            key_config,
-            &mut self.rng,
-        );
-        let engine2 = AvccMatVec::<M>::new(
-            &self.round2_matrix,
-            new_config,
-            key_config,
-            &mut self.rng,
-        );
+        let engine1 =
+            AvccMatVec::<M>::new(&self.round1_matrix, new_config, key_config, &mut self.rng);
+        let engine2 =
+            AvccMatVec::<M>::new(&self.round2_matrix, new_config, key_config, &mut self.rng);
         let redistribution_seconds = if reencode {
             let shipped_bytes = engine1.encoded_bytes() + engine2.encoded_bytes();
             // The master pushes every worker its new share over its single
@@ -415,10 +396,7 @@ mod tests {
         TrainerConfig {
             iterations: 6,
             time_scale: 1.0,
-            ..TrainerConfig::paper_defaults(
-                scheme,
-                SchemeConfig::linear(12, 9, s, m).unwrap(),
-            )
+            ..TrainerConfig::paper_defaults(scheme, SchemeConfig::linear(12, 9, s, m).unwrap())
         }
     }
 
@@ -436,7 +414,10 @@ mod tests {
         );
         let report = trainer.train().unwrap();
         assert_eq!(report.len(), 6);
-        assert!(report.total_detections() > 0, "the Byzantine worker must be caught");
+        assert!(
+            report.total_detections() > 0,
+            "the Byzantine worker must be caught"
+        );
         assert!(report.final_accuracy() > 0.5);
         assert!(report.total_seconds() > 0.0);
     }

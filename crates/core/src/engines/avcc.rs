@@ -33,7 +33,7 @@ fn pad_rows_to_multiple<M: PrimeModulus>(matrix: &Matrix<Fp<M>>, parts: usize) -
     }
     let extra = parts - remainder;
     let mut data = matrix.data().to_vec();
-    data.extend(std::iter::repeat(Fp::<M>::ZERO).take(extra * matrix.cols()));
+    data.extend(std::iter::repeat_n(Fp::<M>::ZERO, extra * matrix.cols()));
     Matrix::from_vec(matrix.rows() + extra, matrix.cols(), data)
 }
 
@@ -173,12 +173,12 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         costs.verification = verification_seconds * executor.time_scale;
 
         let decode_start = Instant::now();
-        let blocks = self
-            .decoder
-            .decode_erasure(&verified)
-            .map_err(|e| SchemeFailure::DecodeFailed {
-                details: e.to_string(),
-            })?;
+        let blocks =
+            self.decoder
+                .decode_erasure(&verified)
+                .map_err(|e| SchemeFailure::DecodeFailed {
+                    details: e.to_string(),
+                })?;
         costs.decoding = decode_start.elapsed().as_secs_f64() * executor.time_scale;
 
         let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
@@ -244,7 +244,9 @@ mod tests {
         let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([0, 6], AttackModel::constant());
         let mut rng = StdRng::seed_from_u64(5);
-        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        let round = engine
+            .execute(&input, &executor, &byzantine, &mut rng)
+            .unwrap();
         assert_eq!(round.output, expected, "AVCC must still decode correctly");
         let mut detected = round.detected_byzantine.clone();
         detected.sort_unstable();
@@ -260,7 +262,9 @@ mod tests {
         let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([4], AttackModel::reverse());
         let mut rng = StdRng::seed_from_u64(7);
-        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        let round = engine
+            .execute(&input, &executor, &byzantine, &mut rng)
+            .unwrap();
         assert_eq!(round.output, expected);
         assert_eq!(round.detected_byzantine, vec![4]);
     }
@@ -289,7 +293,9 @@ mod tests {
         let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([7], AttackModel::constant());
         let mut rng = StdRng::seed_from_u64(11);
-        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        let round = engine
+            .execute(&input, &executor, &byzantine, &mut rng)
+            .unwrap();
         assert_eq!(round.output, expected);
         assert_eq!(round.detected_byzantine, vec![7]);
     }

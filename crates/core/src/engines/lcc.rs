@@ -115,10 +115,8 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
             self.config.workers,
         );
 
-        let results: Vec<(usize, Vec<Fp<M>>)> = used
-            .iter()
-            .map(|o| (o.worker, o.payload.clone()))
-            .collect();
+        let results: Vec<(usize, Vec<Fp<M>>)> =
+            used.iter().map(|o| (o.worker, o.payload.clone())).collect();
         let decode_start = Instant::now();
         let decoded = self
             .decoder
@@ -198,7 +196,9 @@ mod tests {
         let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
         let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([5], AttackModel::reverse());
-        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        let round = engine
+            .execute(&input, &executor, &byzantine, &mut rng)
+            .unwrap();
         assert_eq!(round.output, expected);
         assert_eq!(round.detected_byzantine, vec![5]);
     }
@@ -212,7 +212,9 @@ mod tests {
         let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
         let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([2, 7], AttackModel::constant());
-        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        let round = engine
+            .execute(&input, &executor, &byzantine, &mut rng)
+            .unwrap();
         assert_ne!(round.output, expected, "LCC beyond capability should err");
     }
 
@@ -228,7 +230,10 @@ mod tests {
             .execute(&input, &executor, &ByzantineSpec::none(), &mut rng)
             .unwrap();
         assert_eq!(round.output, expected);
-        assert!(!round.used_workers.contains(&3), "straggler should be excluded");
+        assert!(
+            !round.used_workers.contains(&3),
+            "straggler should be excluded"
+        );
         assert!(round.observed_stragglers.contains(&3));
     }
 

@@ -144,7 +144,9 @@ mod tests {
         let executor = VirtualExecutor::new(ClusterProfile::uniform(6)).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([2], AttackModel::constant());
         let mut rng = StdRng::seed_from_u64(3);
-        let round = engine.execute(&input, &executor, &byzantine, &mut rng).unwrap();
+        let round = engine
+            .execute(&input, &executor, &byzantine, &mut rng)
+            .unwrap();
         assert_ne!(round.output, expected, "corruption should reach the output");
         // The uncoded scheme has no way to notice.
         assert!(round.detected_byzantine.is_empty());
@@ -158,10 +160,8 @@ mod tests {
         let mut engine = UncodedMatVec::<P25>::new(&matrix, 6);
         let mut rng = StdRng::seed_from_u64(4);
         let fast = VirtualExecutor::new(ClusterProfile::uniform(6)).with_time_scale(1.0);
-        let slow = VirtualExecutor::new(
-            ClusterProfile::uniform(6).with_stragglers(&[0], 200.0),
-        )
-        .with_time_scale(1.0);
+        let slow = VirtualExecutor::new(ClusterProfile::uniform(6).with_stragglers(&[0], 200.0))
+            .with_time_scale(1.0);
         let fast_costs = engine
             .execute(&input, &fast, &ByzantineSpec::none(), &mut rng)
             .unwrap()

@@ -156,7 +156,12 @@ impl ExperimentConfig {
         designed_byzantine: usize,
         scenario: FaultScenario,
     ) -> Self {
-        Self::paper_default(SchemeKind::Avcc, designed_stragglers, designed_byzantine, scenario)
+        Self::paper_default(
+            SchemeKind::Avcc,
+            designed_stragglers,
+            designed_byzantine,
+            scenario,
+        )
     }
 
     /// The uncoded baseline (9 participating workers, no redundancy).

@@ -85,7 +85,7 @@ fn pad_columns(matrix: &Matrix<f64>, partitions: usize) -> Matrix<f64> {
     let mut data = Vec::with_capacity(matrix.rows() * new_cols);
     for row in matrix.rows_iter() {
         data.extend_from_slice(row);
-        data.extend(std::iter::repeat(0.0).take(extra));
+        data.extend(std::iter::repeat_n(0.0, extra));
     }
     Matrix::from_vec(matrix.rows(), new_cols, data)
 }

@@ -80,9 +80,46 @@ impl TrainingReport {
             .unwrap_or(0.0)
     }
 
+    /// Median per-iteration *recurring* simulated time (reconfiguration
+    /// excluded — it is a genuine one-off, not part of the steady state).
+    ///
+    /// The simulator derives iteration costs from real wall-clock
+    /// measurements, so a host-scheduler preemption during one iteration can
+    /// inflate [`TrainingReport::total_seconds`] arbitrarily. The median is
+    /// robust to such spikes; cross-scheme timing comparisons should use
+    /// [`TrainingReport::robust_total_seconds`].
+    pub fn median_iteration_seconds(&self) -> f64 {
+        if self.iterations.is_empty() {
+            return 0.0;
+        }
+        let mut per_iteration: Vec<f64> = self
+            .iterations
+            .iter()
+            .map(|r| r.costs.total() - r.costs.reconfiguration)
+            .collect();
+        per_iteration.sort_by(|a, b| a.partial_cmp(b).expect("iteration costs are finite"));
+        per_iteration[per_iteration.len() / 2]
+    }
+
+    /// Noise-robust total: median recurring per-iteration time × iteration
+    /// count, plus the *sum* of one-time reconfiguration costs. The median
+    /// absorbs preemption spikes in the recurring costs without discarding
+    /// real one-offs like dynamic re-encoding (Fig. 5).
+    pub fn robust_total_seconds(&self) -> f64 {
+        let reconfiguration: f64 = self
+            .iterations
+            .iter()
+            .map(|r| r.costs.reconfiguration)
+            .sum();
+        self.median_iteration_seconds() * self.iterations.len() as f64 + reconfiguration
+    }
+
     /// Final test accuracy.
     pub fn final_accuracy(&self) -> f64 {
-        self.iterations.last().map(|r| r.test_accuracy).unwrap_or(0.0)
+        self.iterations
+            .last()
+            .map(|r| r.test_accuracy)
+            .unwrap_or(0.0)
     }
 
     /// Best test accuracy reached at any iteration.
@@ -103,7 +140,10 @@ impl TrainingReport {
 
     /// Cumulative time after each iteration — the series plotted in Fig. 5.
     pub fn cumulative_timeline(&self) -> Vec<f64> {
-        self.iterations.iter().map(|r| r.cumulative_seconds).collect()
+        self.iterations
+            .iter()
+            .map(|r| r.cumulative_seconds)
+            .collect()
     }
 
     /// The first (simulated) time at which the test accuracy reached
@@ -129,7 +169,10 @@ impl TrainingReport {
 
     /// Total number of Byzantine detections across the run.
     pub fn total_detections(&self) -> usize {
-        self.iterations.iter().map(|r| r.detected_byzantine.len()).sum()
+        self.iterations
+            .iter()
+            .map(|r| r.detected_byzantine.len())
+            .sum()
     }
 
     /// Number of iterations after which the adaptive controller re-encoded.
@@ -148,9 +191,11 @@ pub fn speedup(fast: &TrainingReport, slow: &TrainingReport, target_accuracy: f6
     ) {
         (Some(fast_time), Some(slow_time)) if fast_time > 0.0 => slow_time / fast_time,
         _ => {
-            let fast_total = fast.total_seconds();
+            // Median-based totals so a single preemption-inflated iteration
+            // cannot skew the ratio.
+            let fast_total = fast.robust_total_seconds();
             if fast_total > 0.0 {
-                slow.total_seconds() / fast_total
+                slow.robust_total_seconds() / fast_total
             } else {
                 1.0
             }

@@ -49,7 +49,10 @@ pub enum SchemeFailure {
 impl std::fmt::Display for SchemeFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SchemeFailure::NotEnoughResults { available, required } => write!(
+            SchemeFailure::NotEnoughResults {
+                available,
+                required,
+            } => write!(
                 f,
                 "not enough usable worker results: {available} available, {required} required"
             ),
@@ -145,7 +148,11 @@ mod tests {
 
     #[test]
     fn no_stragglers_in_a_homogeneous_round() {
-        let outcomes = vec![outcome(0, 1.0, 0.1), outcome(1, 1.2, 0.1), outcome(2, 0.8, 0.1)];
+        let outcomes = vec![
+            outcome(0, 1.0, 0.1),
+            outcome(1, 1.2, 0.1),
+            outcome(2, 0.8, 0.1),
+        ];
         assert!(detect_stragglers(&outcomes).is_empty());
     }
 

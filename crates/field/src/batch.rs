@@ -1,12 +1,29 @@
-//! Slice-level field kernels: element-wise arithmetic, dot products and
-//! Montgomery batch inversion.
+//! Slice-level field kernels: element-wise arithmetic, lazy-reduction dot
+//! products and accumulators, and Montgomery batch inversion.
 //!
 //! These are the inner loops of the encoder (`X̃ = Σ X_j ℓ_j(α)`), the worker
-//! compute kernels (`X̃ w`, `X̃ᵀ e`) and the Freivalds verifier (`r · z̃`), so
-//! they avoid per-element modular inversions and use lazy reduction where the
-//! modulus permits.
+//! compute kernels (`X̃ w`, `X̃ᵀ e`) and the Freivalds verifier (`r · z̃`).
+//! They exploit *lazy reduction*: products of canonical representatives are
+//! accumulated unreduced in `u128` lanes and collapsed through the modulus's
+//! specialized [`PrimeModulus::reduce_wide`] backend only every
+//! [`PrimeModulus::WIDE_BATCH`] products — a compile-time bound derived from
+//! the modulus (see [`assert_wide_batch`]) guaranteeing the accumulator can
+//! never overflow. For the paper's 25-bit field the batch exceeds any
+//! realistic vector length, so a dot product performs exactly one reduction;
+//! for the 61-bit field a reduction happens every ~63 products.
 
 use crate::fp::{Fp, PrimeField, PrimeModulus};
+
+/// Compile-time guard that lazy accumulation is sound for a modulus: at least
+/// one product must fit per reduction. Every kernel in this module evaluates
+/// it in an inline-`const` block, so an unsound modulus fails to *compile*
+/// rather than overflow at run time.
+pub const fn assert_wide_batch<M: PrimeModulus>() {
+    assert!(
+        M::WIDE_BATCH >= 1,
+        "modulus too large for lazy reduction: one (q-1)^2 product must fit in u128"
+    );
+}
 
 /// Element-wise sum of two equal-length slices into a new vector.
 ///
@@ -39,88 +56,184 @@ pub fn slice_add_assign<M: PrimeModulus>(a: &mut [Fp<M>], b: &[Fp<M>]) {
 
 /// Scales every element of `a` by the scalar `c` into a new vector.
 pub fn slice_scale<M: PrimeModulus>(a: &[Fp<M>], c: Fp<M>) -> Vec<Fp<M>> {
-    a.iter().map(|&x| x * c).collect()
+    let scale = c.value() as u128;
+    a.iter()
+        .map(|&x| Fp::from_canonical(M::reduce_wide(scale * x.value() as u128)))
+        .collect()
 }
 
-/// In-place fused multiply-add `acc[i] += c * b[i]`, the kernel used by the
-/// Lagrange encoder when combining data blocks with basis coefficients.
+/// In-place fused multiply-add `acc[i] += c * b[i]`.
+///
+/// One reduction per element (of `c·b[i] + acc[i]`, which never overflows a
+/// `u128`). When several axpys accumulate into the same output — the Lagrange
+/// encoder/decoder case — prefer [`WideAccumulator`], which defers reduction
+/// across *all* of them.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn slice_axpy<M: PrimeModulus>(acc: &mut [Fp<M>], c: Fp<M>, b: &[Fp<M>]) {
     assert_eq!(acc.len(), b.len(), "slice_axpy length mismatch");
+    const { assert_wide_batch::<M>() }
+    let scale = c.value() as u128;
     for (x, &y) in acc.iter_mut().zip(b.iter()) {
-        *x += c * y;
+        *x = Fp::from_canonical(M::reduce_wide(
+            scale * y.value() as u128 + x.value() as u128,
+        ));
     }
 }
 
 /// Inner product `Σ a[i]·b[i]` with lazy reduction.
 ///
-/// Products of canonical representatives are at most `(q−1)²`; they are summed
-/// in a `u128` accumulator and reduced only when the accumulator would
-/// otherwise overflow, then once at the end. For the paper's 25-bit field this
-/// means a single final reduction for any realistic vector length.
+/// Unreduced products are summed in a `u128` accumulator, reduced through the
+/// specialized backend once every [`PrimeModulus::WIDE_BATCH`] products and
+/// once at the end — the inner loop is multiply-add only, with no division,
+/// no comparison and no branch.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dot<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Fp<M> {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
-    let modulus = M::MODULUS as u128;
-    let product_bound = (M::MODULUS as u128 - 1).pow(2);
-    // Largest accumulator value for which adding one more product cannot
-    // overflow a u128.
-    let reduction_threshold = u128::MAX - product_bound;
+    const { assert_wide_batch::<M>() }
     let mut accumulator: u128 = 0;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        let product = x.to_u64() as u128 * y.to_u64() as u128;
-        if accumulator > reduction_threshold {
-            accumulator %= modulus;
+    for (chunk_a, chunk_b) in a.chunks(M::WIDE_BATCH).zip(b.chunks(M::WIDE_BATCH)) {
+        for (&x, &y) in chunk_a.iter().zip(chunk_b.iter()) {
+            accumulator += x.value() as u128 * y.value() as u128;
         }
-        accumulator += product;
+        accumulator = M::reduce_wide(accumulator) as u128;
     }
-    Fp::<M>::new((accumulator % modulus) as u64)
+    Fp::from_canonical(M::reduce_wide(accumulator))
+}
+
+/// A vector of `u128` lanes accumulating unreduced products — the shared
+/// engine of the Lagrange encoder (`Σ_j ℓ_j(α)·X_j`), the erasure decoder and
+/// the blocked matrix kernels.
+///
+/// Each `axpy` adds one product per lane; after [`PrimeModulus::WIDE_BATCH`]
+/// accumulated products the lanes are collapsed with one reduction each.
+/// Compared to repeated [`slice_axpy`] this performs `1/WIDE_BATCH` as many
+/// reductions (for the 25-bit field: one reduction per lane, total).
+#[derive(Debug, Clone)]
+pub struct WideAccumulator<M: PrimeModulus> {
+    lanes: Vec<u128>,
+    /// Products accumulated since the last collapse.
+    pending: usize,
+    _modulus: core::marker::PhantomData<M>,
+}
+
+impl<M: PrimeModulus> WideAccumulator<M> {
+    /// Creates a zeroed accumulator with `len` lanes.
+    pub fn new(len: usize) -> Self {
+        const { assert_wide_batch::<M>() }
+        WideAccumulator {
+            lanes: vec![0u128; len],
+            pending: 0,
+            _modulus: core::marker::PhantomData,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// `true` iff the accumulator has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Fused multiply-add `lane[i] += c · b[i]`, reducing lazily.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the number of lanes.
+    pub fn axpy(&mut self, c: Fp<M>, b: &[Fp<M>]) {
+        assert_eq!(self.lanes.len(), b.len(), "axpy length mismatch");
+        if self.pending == M::WIDE_BATCH {
+            self.collapse();
+        }
+        let scale = c.value() as u128;
+        for (lane, &y) in self.lanes.iter_mut().zip(b.iter()) {
+            *lane += scale * y.value() as u128;
+        }
+        self.pending += 1;
+    }
+
+    /// Adds already-canonical values (one addition counts as one product
+    /// against the overflow budget, which is conservative).
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the number of lanes.
+    pub fn add(&mut self, b: &[Fp<M>]) {
+        assert_eq!(self.lanes.len(), b.len(), "add length mismatch");
+        if self.pending == M::WIDE_BATCH {
+            self.collapse();
+        }
+        for (lane, &y) in self.lanes.iter_mut().zip(b.iter()) {
+            *lane += y.value() as u128;
+        }
+        self.pending += 1;
+    }
+
+    /// Reduces every lane to its canonical representative in place.
+    fn collapse(&mut self) {
+        for lane in self.lanes.iter_mut() {
+            *lane = M::reduce_wide(*lane) as u128;
+        }
+        self.pending = 0;
+    }
+
+    /// Reduces and returns the accumulated vector.
+    pub fn finish(self) -> Vec<Fp<M>> {
+        self.lanes
+            .into_iter()
+            .map(|lane| Fp::from_canonical(M::reduce_wide(lane)))
+            .collect()
+    }
+
+    /// Reduces the accumulated values into an existing slice (the blocked
+    /// kernels reuse one accumulator across tiles).
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the number of lanes.
+    pub fn finish_into(mut self, out: &mut [Fp<M>]) {
+        assert_eq!(self.lanes.len(), out.len(), "finish_into length mismatch");
+        for (slot, lane) in out.iter_mut().zip(self.lanes.drain(..)) {
+            *slot = Fp::from_canonical(M::reduce_wide(lane));
+        }
+    }
 }
 
 /// Montgomery batch inversion: inverts every element of `values` using a
 /// single field inversion plus `3(n−1)` multiplications.
 ///
+/// Free-function form of [`PrimeField::batch_inverse`], kept for callers that
+/// work with a concrete [`PrimeModulus`].
+///
 /// # Panics
 /// Panics if any element is zero.
 pub fn batch_inverse<M: PrimeModulus>(values: &[Fp<M>]) -> Vec<Fp<M>> {
-    if values.is_empty() {
-        return Vec::new();
-    }
-    // Prefix products: prefixes[i] = v0 * v1 * ... * vi.
-    let mut prefixes = Vec::with_capacity(values.len());
-    let mut running = Fp::<M>::ONE;
-    for &v in values {
-        assert!(!v.is_zero(), "batch_inverse: zero element");
-        running *= v;
-        prefixes.push(running);
-    }
-    let mut inverse_of_running = running.inverse();
-    let mut result = vec![Fp::<M>::ZERO; values.len()];
-    for i in (0..values.len()).rev() {
-        if i == 0 {
-            result[0] = inverse_of_running;
-        } else {
-            result[i] = inverse_of_running * prefixes[i - 1];
-            inverse_of_running *= values[i];
-        }
-    }
-    result
+    <Fp<M> as PrimeField>::batch_inverse(values)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fp::P25;
+    use crate::fp::{P25, P251, P61};
     use proptest::prelude::*;
 
     type F = Fp<P25>;
 
     fn fv(values: &[u64]) -> Vec<F> {
         values.iter().map(|&v| F::from_u64(v)).collect()
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn wide_batch_constants_are_sane() {
+        // P25 products are ~2^50: the whole u128 is effectively one batch.
+        assert!(P25::WIDE_BATCH > 1 << 40);
+        // P61 products are ~2^122: roughly 63 fit.
+        assert!((32..256).contains(&P61::WIDE_BATCH), "{}", P61::WIDE_BATCH);
+        assert!(P251::WIDE_BATCH > 1 << 40);
     }
 
     #[test]
@@ -178,9 +291,71 @@ mod tests {
     }
 
     #[test]
+    fn dot_crosses_the_p61_reduction_batch() {
+        // Vector longer than WIDE_BATCH forces mid-loop collapses in F_{2^61-1}.
+        type G = Fp<P61>;
+        let len = P61::WIDE_BATCH * 3 + 7;
+        let a: Vec<G> = (0..len as u64)
+            .map(|i| G::from_u64(P61::MODULUS - 1 - i))
+            .collect();
+        let b: Vec<G> = (0..len as u64)
+            .map(|i| G::from_u64(P61::MODULUS - 7 - i))
+            .collect();
+        let naive: G = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot(&a, &b), naive);
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn dot_panics_on_length_mismatch() {
         let _ = dot(&fv(&[1]), &fv(&[1, 2]));
+    }
+
+    #[test]
+    fn wide_accumulator_matches_repeated_axpy() {
+        let blocks = [fv(&[1, 2, 3]), fv(&[4, 5, 6]), fv(&[7, 8, 9])];
+        let coefficients = fv(&[3, 1, 4]);
+        let mut expected = fv(&[0, 0, 0]);
+        let mut accumulator = WideAccumulator::<P25>::new(3);
+        for (c, b) in coefficients.iter().zip(blocks.iter()) {
+            slice_axpy(&mut expected, *c, b);
+            accumulator.axpy(*c, b);
+        }
+        assert_eq!(accumulator.finish(), expected);
+    }
+
+    #[test]
+    fn wide_accumulator_collapses_past_the_batch_limit() {
+        type G = Fp<P61>;
+        let near = G::from_u64(P61::MODULUS - 1);
+        let b = vec![near; 4];
+        let mut accumulator = WideAccumulator::<P61>::new(4);
+        let rounds = P61::WIDE_BATCH * 2 + 5;
+        for _ in 0..rounds {
+            accumulator.axpy(near, &b);
+        }
+        // (q-1)^2 * rounds mod q == rounds mod q (since (q-1)^2 ≡ 1).
+        let expected = G::from_u64(rounds as u64);
+        assert_eq!(accumulator.finish(), vec![expected; 4]);
+    }
+
+    #[test]
+    fn wide_accumulator_add_matches_slice_add() {
+        let a = fv(&[1, 2, 3]);
+        let b = fv(&[P25::MODULUS - 1, 5, 6]);
+        let mut accumulator = WideAccumulator::<P25>::new(3);
+        accumulator.add(&a);
+        accumulator.add(&b);
+        assert_eq!(accumulator.finish(), slice_add(&a, &b));
+    }
+
+    #[test]
+    fn wide_accumulator_finish_into_writes_slice() {
+        let mut accumulator = WideAccumulator::<P25>::new(2);
+        accumulator.axpy(F::from_u64(3), &fv(&[10, 20]));
+        let mut out = fv(&[0, 0]);
+        accumulator.finish_into(&mut out);
+        assert_eq!(out, fv(&[30, 60]));
     }
 
     #[test]
@@ -216,6 +391,23 @@ mod tests {
             let c = F::from_u64(c);
             let scaled = slice_scale(&a, c);
             prop_assert_eq!(dot(&scaled, &b), c * dot(&a, &b));
+        }
+
+        #[test]
+        fn prop_lazy_dot_matches_elementwise_reference_all_moduli(
+            raw_a in proptest::collection::vec(any::<u64>(), 1..80),
+            raw_b in proptest::collection::vec(any::<u64>(), 1..80),
+        ) {
+            let n = raw_a.len().min(raw_b.len());
+            fn check<M: PrimeModulus>(raw_a: &[u64], raw_b: &[u64], n: usize) {
+                let a: Vec<Fp<M>> = raw_a[..n].iter().map(|&v| Fp::from_u64(v)).collect();
+                let b: Vec<Fp<M>> = raw_b[..n].iter().map(|&v| Fp::from_u64(v)).collect();
+                let reference: Fp<M> = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+                assert_eq!(dot(&a, &b), reference);
+            }
+            check::<P25>(&raw_a, &raw_b, n);
+            check::<P61>(&raw_a, &raw_b, n);
+            check::<P251>(&raw_a, &raw_b, n);
         }
 
         #[test]

@@ -14,11 +14,15 @@ use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAss
 
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
-/// A zero-sized marker supplying the prime modulus of a field.
+/// A zero-sized marker supplying the prime modulus of a field together with
+/// its specialized reduction backend.
 ///
 /// Implementations must guarantee that [`PrimeModulus::MODULUS`] is prime and
 /// fits in 63 bits (so that `a + b` never overflows a `u64` for canonical
-/// representatives).
+/// representatives). The default [`PrimeModulus::reduce_wide`] is Barrett
+/// reduction — division-free and correct for any conforming modulus; moduli
+/// with special structure (Mersenne, pseudo-Mersenne) override it with a
+/// cheaper fold (see [`crate::reduce`]).
 pub trait PrimeModulus:
     'static + Copy + Clone + fmt::Debug + Default + PartialEq + Eq + Send + Sync
 {
@@ -26,6 +30,33 @@ pub trait PrimeModulus:
     const MODULUS: u64;
     /// A short human-readable name used in `Debug`/display output.
     const NAME: &'static str;
+    /// The Barrett constant `⌊2^128 / q⌋` used by the default
+    /// [`PrimeModulus::reduce_wide`].
+    const BARRETT_MU: u128 = crate::reduce::barrett_mu(Self::MODULUS);
+    /// How many unreduced products of canonical representatives a `u128`
+    /// accumulator can absorb (on top of one canonical carry-in) before it
+    /// could overflow: `⌊(2^128 − q) / (q−1)²⌋`, clamped to `usize`. The batch
+    /// kernels ([`crate::batch`]) reduce once per this many products.
+    const WIDE_BATCH: usize = {
+        let bound = (Self::MODULUS - 1) as u128 * (Self::MODULUS - 1) as u128;
+        let capacity = (u128::MAX - Self::MODULUS as u128) / bound;
+        if capacity > usize::MAX as u128 {
+            usize::MAX
+        } else {
+            capacity as usize
+        }
+    };
+
+    /// Reduces a full-range `u128` to the canonical representative in
+    /// `[0, q)` without hardware division.
+    ///
+    /// This is the hottest operation in the system: every field
+    /// multiplication and every lane of every batched kernel funnels through
+    /// it.
+    #[inline]
+    fn reduce_wide(value: u128) -> u64 {
+        crate::reduce::reduce_barrett(value, Self::MODULUS, Self::BARRETT_MU)
+    }
 }
 
 /// The paper's field: `q = 2^25 − 39 = 33_554_393`, the largest 25-bit prime.
@@ -35,6 +66,11 @@ pub struct P25;
 impl PrimeModulus for P25 {
     const MODULUS: u64 = (1u64 << 25) - 39;
     const NAME: &'static str = "F_{2^25-39}";
+
+    #[inline]
+    fn reduce_wide(value: u128) -> u64 {
+        crate::reduce::reduce_pseudo_mersenne25(value)
+    }
 }
 
 /// The Mersenne prime `q = 2^61 − 1`.
@@ -44,9 +80,15 @@ pub struct P61;
 impl PrimeModulus for P61 {
     const MODULUS: u64 = (1u64 << 61) - 1;
     const NAME: &'static str = "F_{2^61-1}";
+
+    #[inline]
+    fn reduce_wide(value: u128) -> u64 {
+        crate::reduce::reduce_mersenne61(value)
+    }
 }
 
 /// A tiny prime (`q = 251`) for exhaustive tests and soundness-error demos.
+/// Uses the generic Barrett backend.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct P251;
 
@@ -111,6 +153,37 @@ pub trait PrimeField:
     fn try_inverse(self) -> Option<Self>;
     /// `true` iff the element is zero.
     fn is_zero(self) -> bool;
+
+    /// Montgomery batch inversion: inverts every element using a single field
+    /// inversion plus `3(n−1)` multiplications. Hot on the decoder's
+    /// per-iteration path (Lagrange basis construction and evaluation).
+    ///
+    /// # Panics
+    /// Panics if any element is zero.
+    fn batch_inverse(values: &[Self]) -> Vec<Self> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        // Prefix products: prefixes[i] = v0 * v1 * ... * vi.
+        let mut prefixes = Vec::with_capacity(values.len());
+        let mut running = Self::ONE;
+        for &v in values {
+            assert!(!v.is_zero(), "batch_inverse: zero element");
+            running *= v;
+            prefixes.push(running);
+        }
+        let mut inverse_of_running = running.inverse();
+        let mut result = vec![Self::ZERO; values.len()];
+        for i in (0..values.len()).rev() {
+            if i == 0 {
+                result[0] = inverse_of_running;
+            } else {
+                result[i] = inverse_of_running * prefixes[i - 1];
+                inverse_of_running *= values[i];
+            }
+        }
+        result
+    }
 }
 
 /// A prime-field element with modulus supplied by the marker type `M`.
@@ -126,9 +199,28 @@ impl<M: PrimeModulus> Fp<M> {
     pub const ONE: Self = Fp(1, PhantomData);
 
     /// Builds an element reducing `value` modulo `q`.
+    ///
+    /// Already-canonical values (the common case: every arithmetic result and
+    /// every sampled element) take the comparison-only fast path and never
+    /// divide.
     #[inline]
     pub fn new(value: u64) -> Self {
-        Fp(value % M::MODULUS, PhantomData)
+        if value < M::MODULUS {
+            Fp(value, PhantomData)
+        } else {
+            Fp(M::reduce_wide(value as u128), PhantomData)
+        }
+    }
+
+    /// Builds an element from a representative already known to be canonical.
+    ///
+    /// # Panics
+    /// Debug builds assert `value < q`; release builds trust the caller (the
+    /// batch kernels use this after [`PrimeModulus::reduce_wide`]).
+    #[inline]
+    pub(crate) fn from_canonical(value: u64) -> Self {
+        debug_assert!(value < M::MODULUS, "non-canonical representative {value}");
+        Fp(value, PhantomData)
     }
 
     /// Returns the canonical representative in `[0, q)`.
@@ -137,10 +229,11 @@ impl<M: PrimeModulus> Fp<M> {
         self.0
     }
 
-    /// Fused multiply-reduce of two canonical representatives.
+    /// Fused multiply-reduce of two canonical representatives through the
+    /// modulus's specialized backend.
     #[inline]
     fn mul_raw(a: u64, b: u64) -> u64 {
-        ((a as u128 * b as u128) % M::MODULUS as u128) as u64
+        M::reduce_wide(a as u128 * b as u128)
     }
 }
 
@@ -159,7 +252,10 @@ impl<M: PrimeModulus> PrimeField for Fp<M> {
         if value >= 0 {
             Self::new(value as u64)
         } else {
-            let magnitude = value.unsigned_abs() % M::MODULUS;
+            // `unsigned_abs` is total (covers `i64::MIN`, whose magnitude
+            // 2^63 does not fit in an `i64`), and the reduced magnitude is in
+            // `[0, q)`, so the negation below never underflows.
+            let magnitude = M::reduce_wide(value.unsigned_abs() as u128);
             if magnitude == 0 {
                 Self::ZERO
             } else {
@@ -291,6 +387,8 @@ impl<M: PrimeModulus> MulAssign for Fp<M> {
 
 impl<M: PrimeModulus> Div for Fp<M> {
     type Output = Self;
+    // Division in a prime field *is* multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Self) -> Self {
         self * rhs.inverse()
@@ -420,6 +518,51 @@ mod tests {
     #[should_panic(expected = "invert the zero element")]
     fn inverting_zero_panics() {
         let _ = F::ZERO.inverse();
+    }
+
+    #[test]
+    fn from_i64_handles_extreme_and_super_modulus_values() {
+        // i64::MIN has no i64-representable magnitude; 2^63 mod q must be
+        // negated correctly in every field.
+        fn check<M: PrimeModulus>() {
+            let expected_min = ((M::MODULUS as u128 - (1u128 << 63) % M::MODULUS as u128)
+                % M::MODULUS as u128) as u64;
+            assert_eq!(Fp::<M>::from_i64(i64::MIN).to_u64(), expected_min);
+            assert_eq!(
+                Fp::<M>::from_i64(i64::MAX).to_u64(),
+                ((i64::MAX as u128) % M::MODULUS as u128) as u64
+            );
+            // Values at and beyond the modulus reduce; exact multiples hit zero.
+            assert_eq!(Fp::<M>::from_i64(M::MODULUS as i64), Fp::<M>::ZERO);
+            assert_eq!(Fp::<M>::from_i64(-(M::MODULUS as i64)), Fp::<M>::ZERO);
+            assert_eq!(Fp::<M>::from_i64(M::MODULUS as i64 + 7).to_u64(), 7);
+            assert_eq!(
+                Fp::<M>::from_i64(-(M::MODULUS as i64) - 7).to_u64(),
+                M::MODULUS - 7
+            );
+            // from_i64(v) + from_i64(-v) = 0 at the extremes.
+            for v in [i64::MIN + 1, -1, 1, i64::MAX] {
+                assert_eq!(Fp::<M>::from_i64(v) + Fp::<M>::from_i64(-v), Fp::<M>::ZERO);
+            }
+        }
+        check::<P25>();
+        check::<P61>();
+        check::<P251>();
+    }
+
+    #[test]
+    fn new_reduces_values_at_and_above_modulus() {
+        fn check<M: PrimeModulus>() {
+            assert_eq!(Fp::<M>::new(M::MODULUS).to_u64(), 0);
+            assert_eq!(Fp::<M>::new(M::MODULUS - 1).to_u64(), M::MODULUS - 1);
+            assert_eq!(
+                Fp::<M>::new(u64::MAX).to_u64(),
+                (u64::MAX as u128 % M::MODULUS as u128) as u64
+            );
+        }
+        check::<P25>();
+        check::<P61>();
+        check::<P251>();
     }
 
     #[test]

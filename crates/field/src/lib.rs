@@ -15,8 +15,11 @@
 //!   available as [`F25`]; a larger Mersenne field `q = 2^61 − 1` is available
 //!   as [`F61`] for workloads that need more headroom, and a tiny field
 //!   [`F251`] is provided for exhaustive tests.
+//! * [`reduce`] — the specialized wide-reduction backends behind every
+//!   multiply (see *Reduction strategy* below).
 //! * [`batch`] — slice-level kernels: element-wise operations, dot products
-//!   with lazy reduction, Montgomery batch inversion.
+//!   with lazy reduction, the [`WideAccumulator`] engine of the encoder and
+//!   decoder, Montgomery batch inversion.
 //! * [`quantize`] — fixed-point quantization between `f64` and `F_q` using the
 //!   two's-complement style signed embedding described in §V of the paper
 //!   (values above `(q−1)/2` represent negative numbers), together with
@@ -24,6 +27,37 @@
 //!   `d·(q−1)² ≤ 2^63 − 1` constraint.
 //! * [`rng`] — sampling of uniformly random field elements, vectors and
 //!   matrices (used for Lagrange privacy padding and Freivalds keys).
+//!
+//! # Reduction strategy
+//!
+//! Every multiply funnels through [`PrimeModulus::reduce_wide`], which maps a
+//! full-range `u128` to the canonical representative without hardware
+//! division:
+//!
+//! | Modulus | Backend | Cost per reduction |
+//! |---------|---------|--------------------|
+//! | `2^61 − 1` ([`P61`]) | Mersenne fold (`2^61 ≡ 1`) | 3 shift-add folds + 1 conditional subtract |
+//! | `2^25 − 39` ([`P25`]) | pseudo-Mersenne fold (`2^25 ≡ 39`) | 3 folds + 1 conditional subtract for inputs `< 2^64` (any product of canonical values); a loop sheds ≈19.7 bits/fold above that |
+//! | `251` ([`P251`]) and any other | Barrett with `μ = ⌊2^128/q⌋` | 1 high-128 multiply + ≤ 2 conditional subtracts |
+//!
+//! # Overflow bounds (lazy reduction)
+//!
+//! The batch and linalg kernels do not reduce per product. A `u128` lane
+//! holding one canonical carry-in (`< q`) absorbs up to
+//! [`PrimeModulus::WIDE_BATCH`]` = ⌊(2^128 − q) / (q−1)²⌋` unreduced products
+//! before it could overflow:
+//!
+//! * `q = 2^25 − 39`: products are `< 2^50`, so the batch is `≈ 2^78` — one
+//!   reduction per lane for any realistic vector length;
+//! * `q = 2^61 − 1`: products are `< 2^122`, so the batch is 63 — one
+//!   reduction per 63 products.
+//!
+//! Every kernel checks the bound at **compile time** via an inline-`const`
+//! evaluation of [`batch::assert_wide_batch`], so an unsound modulus is a
+//! build error, not a run-time overflow. This replaces the paper's
+//! 64-bit-accumulator constraint `d·(q−1)² ≤ 2^63 − 1` (§V) with a 128-bit
+//! budget that admits the GISETTE dimension `d = 5000` in both fields with
+//! a single reduction per lane (`F25`) or 79 reductions (`F61`).
 //!
 //! # Example
 //!
@@ -43,9 +77,13 @@
 pub mod batch;
 pub mod fp;
 pub mod quantize;
+pub mod reduce;
 pub mod rng;
 
-pub use batch::{batch_inverse, dot, slice_add, slice_add_assign, slice_scale, slice_sub};
+pub use batch::{
+    batch_inverse, dot, slice_add, slice_add_assign, slice_axpy, slice_scale, slice_sub,
+    WideAccumulator,
+};
 pub use fp::{Fp, PrimeField, PrimeModulus, P25, P251, P61};
 pub use quantize::{QuantError, Quantizer, SignedEmbedding};
 pub use rng::{random_element, random_matrix, random_vector};

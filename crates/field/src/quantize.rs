@@ -188,7 +188,10 @@ mod tests {
         for value in [-3.75, -0.5, 0.0, 0.03125, 1.0, 7.25] {
             let element: F = q.quantize(value).unwrap();
             let recovered = q.dequantize(element);
-            assert!((recovered - value).abs() <= 1.0 / 64.0, "{value} -> {recovered}");
+            assert!(
+                (recovered - value).abs() <= 1.0 / 64.0,
+                "{value} -> {recovered}"
+            );
         }
     }
 

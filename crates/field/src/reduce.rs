@@ -1,0 +1,209 @@
+//! Specialized wide modular reduction: `u128 → [0, q)` without hardware
+//! division.
+//!
+//! Every hot loop in the AVCC pipeline (Lagrange encoding, the worker kernels
+//! `X̃w` / `X̃ᵀe`, Freivalds verification, RS decoding) bottoms out in a
+//! multiply-reduce of two canonical representatives. A generic
+//! `(a as u128 * b as u128) % q` compiles to a 128-bit division — dozens of
+//! cycles on the hottest instruction in the system. This module provides
+//! branch-light alternatives, selected per modulus through
+//! [`crate::fp::PrimeModulus::reduce_wide`]:
+//!
+//! * [`reduce_mersenne61`] — for `q = 2^61 − 1`: `2^61 ≡ 1 (mod q)`, so a
+//!   value folds as `(x & (2^61−1)) + (x >> 61)`. Three folds take any `u128`
+//!   below `2^61 + 1`; one conditional subtraction lands in `[0, q)`.
+//! * [`reduce_pseudo_mersenne25`] — for `q = 2^25 − 39`: `2^25 ≡ 39 (mod q)`,
+//!   so a value folds as `(x & (2^25−1)) + 39·(x >> 25)`, shedding ≈19.7 bits
+//!   per fold. Products of canonical representatives are below `2^50`, so the
+//!   hot path is three folds plus one conditional subtraction.
+//! * [`reduce_barrett`] — the generic fallback (used by `F_251` and any future
+//!   modulus without a special form): one 128×128→256-bit high multiply by the
+//!   precomputed `μ = ⌊2^128 / q⌋` estimates the quotient to within 2, then at
+//!   most two conditional subtractions correct the remainder.
+//!
+//! All three accept the **full** `u128` range, which is what lets the batch
+//! kernels ([`crate::batch`]) accumulate many unreduced products and reduce
+//! once per lane.
+
+/// The high 128 bits of the 256-bit product `a · b`.
+#[inline]
+pub const fn mulhi_u128(a: u128, b: u128) -> u128 {
+    const LO: u128 = (1u128 << 64) - 1;
+    let (a_lo, a_hi) = (a & LO, a >> 64);
+    let (b_lo, b_hi) = (b & LO, b >> 64);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    // Carries out of the middle 64-bit column.
+    let mid = (ll >> 64) + (lh & LO) + (hl & LO);
+    hh + (lh >> 64) + (hl >> 64) + (mid >> 64)
+}
+
+/// Barrett constant `μ = ⌊2^128 / q⌋` for a modulus `q`.
+///
+/// `q` is prime (in particular, not a power of two), so
+/// `⌊(2^128 − 1) / q⌋ = ⌊2^128 / q⌋` and the computation stays in `u128`.
+#[inline]
+pub const fn barrett_mu(modulus: u64) -> u128 {
+    u128::MAX / modulus as u128
+}
+
+/// Barrett reduction of a full-range `u128` by a modulus below `2^63`.
+///
+/// With `q̂ = mulhi(x, μ)` the true quotient satisfies
+/// `q̂ ≤ ⌊x/q⌋ ≤ q̂ + 2`, so after subtracting `q̂·q` at most two conditional
+/// subtractions remain — no division anywhere.
+#[inline]
+pub const fn reduce_barrett(value: u128, modulus: u64, mu: u128) -> u64 {
+    let quotient = mulhi_u128(value, mu);
+    let mut remainder = value - quotient * modulus as u128;
+    while remainder >= modulus as u128 {
+        remainder -= modulus as u128;
+    }
+    remainder as u64
+}
+
+/// Mersenne reduction of a full-range `u128` modulo `q = 2^61 − 1`.
+#[inline]
+pub const fn reduce_mersenne61(value: u128) -> u64 {
+    const Q: u64 = (1u64 << 61) - 1;
+    const MASK: u128 = (1u128 << 61) - 1;
+    // 128 bits → ≤ 68 bits → ≤ 62 bits → ≤ 2^61.
+    let folded = (value & MASK) + (value >> 61);
+    let folded = (folded & MASK) + (folded >> 61);
+    let folded = ((folded & MASK) + (folded >> 61)) as u64;
+    if folded >= Q {
+        folded - Q
+    } else {
+        folded
+    }
+}
+
+/// Pseudo-Mersenne reduction of a full-range `u128` modulo `q = 2^25 − 39`
+/// (`2^25 ≡ 39`).
+#[inline]
+pub const fn reduce_pseudo_mersenne25(value: u128) -> u64 {
+    const Q: u64 = (1u64 << 25) - 39;
+    const MASK128: u128 = (1u128 << 25) - 1;
+    const MASK: u64 = (1u64 << 25) - 1;
+    // Each fold sheds ≈19.7 bits. Values below 2^64 (in particular any
+    // product of canonical representatives, < 2^50) skip this loop entirely.
+    let mut wide = value;
+    while wide >> 64 != 0 {
+        wide = (wide & MASK128) + 39 * (wide >> 25);
+    }
+    // 64 bits → ≤ 45 bits → ≤ 26 bits → ≤ 2^25 + 38.
+    let x = wide as u64;
+    let x = (x & MASK) + 39 * (x >> 25);
+    let x = (x & MASK) + 39 * (x >> 25);
+    let x = (x & MASK) + 39 * (x >> 25);
+    if x >= Q {
+        x - Q
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const P61: u64 = (1u64 << 61) - 1;
+    const P25: u64 = (1u64 << 25) - 39;
+    const P251: u64 = 251;
+
+    fn naive(value: u128, modulus: u64) -> u64 {
+        (value % modulus as u128) as u64
+    }
+
+    /// Boundary inputs every backend must reduce exactly: 0, 1, q−1, q,
+    /// (q−1)², and the extremes of the `u64`/`u128` ranges.
+    fn boundary_inputs(modulus: u64) -> Vec<u128> {
+        let q = modulus as u128;
+        vec![
+            0,
+            1,
+            q - 1,
+            q,
+            q + 1,
+            (q - 1) * (q - 1),
+            (q - 1) * (q - 1) + q,
+            u64::MAX as u128,
+            u64::MAX as u128 + 1,
+            u128::MAX - 1,
+            u128::MAX,
+        ]
+    }
+
+    #[test]
+    fn mulhi_matches_truncated_schoolbook() {
+        assert_eq!(mulhi_u128(0, u128::MAX), 0);
+        assert_eq!(mulhi_u128(u128::MAX, u128::MAX), u128::MAX - 1);
+        assert_eq!(mulhi_u128(1 << 64, 1 << 64), 1);
+        assert_eq!(mulhi_u128(u128::MAX, 2), 1);
+    }
+
+    #[test]
+    fn mersenne61_matches_naive_on_boundaries() {
+        for input in boundary_inputs(P61) {
+            assert_eq!(reduce_mersenne61(input), naive(input, P61), "input {input}");
+        }
+    }
+
+    #[test]
+    fn pseudo_mersenne25_matches_naive_on_boundaries() {
+        for input in boundary_inputs(P25) {
+            assert_eq!(
+                reduce_pseudo_mersenne25(input),
+                naive(input, P25),
+                "input {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn barrett_matches_naive_on_boundaries_for_all_moduli() {
+        for modulus in [P25, P61, P251] {
+            let mu = barrett_mu(modulus);
+            for input in boundary_inputs(modulus) {
+                assert_eq!(
+                    reduce_barrett(input, modulus, mu),
+                    naive(input, modulus),
+                    "modulus {modulus}, input {input}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mersenne61_matches_naive(hi in any::<u64>(), lo in any::<u64>()) {
+            let input = (hi as u128) << 64 | lo as u128;
+            prop_assert_eq!(reduce_mersenne61(input), naive(input, P61));
+        }
+
+        #[test]
+        fn prop_pseudo_mersenne25_matches_naive(hi in any::<u64>(), lo in any::<u64>()) {
+            let input = (hi as u128) << 64 | lo as u128;
+            prop_assert_eq!(reduce_pseudo_mersenne25(input), naive(input, P25));
+        }
+
+        #[test]
+        fn prop_barrett_matches_naive_all_moduli(hi in any::<u64>(), lo in any::<u64>()) {
+            let input = (hi as u128) << 64 | lo as u128;
+            for modulus in [P25, P61, P251] {
+                let mu = barrett_mu(modulus);
+                prop_assert_eq!(reduce_barrett(input, modulus, mu), naive(input, modulus));
+            }
+        }
+
+        #[test]
+        fn prop_product_range_reduces_exactly(a in 0..P61, b in 0..P61) {
+            // The hot-path shape: products of canonical representatives.
+            let product = a as u128 * b as u128;
+            prop_assert_eq!(reduce_mersenne61(product), naive(product, P61));
+        }
+    }
+}

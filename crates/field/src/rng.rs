@@ -47,7 +47,7 @@ pub fn random_nonzero_vector<M: PrimeModulus, R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fp::{P25, P251, PrimeField};
+    use crate::fp::{PrimeField, P25, P251};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -3,78 +3,163 @@
 //!
 //! The worker-side computations of the paper's two-round logistic-regression
 //! protocol are exactly these kernels: round one computes `z̃ = X̃ w`
-//! ([`mat_vec`]) and round two computes `g̃ = X̃ᵀ e` ([`matt_vec`]). The
-//! parallel variants split the row (respectively column) range over scoped
-//! threads; they are used by the threaded cluster executor where a worker may
-//! own several cores, and by the benchmarks that calibrate the simulator's
-//! compute-cost model.
+//! ([`mat_vec`]) and round two computes `g̃ = X̃ᵀ e` ([`matt_vec`]).
+//!
+//! All kernels are built on *lazy reduction* (see [`avcc_field::batch`]):
+//! unreduced products accumulate in `u128` lanes and collapse through the
+//! modulus's specialized [`PrimeModulus::reduce_wide`] backend once per
+//! [`PrimeModulus::WIDE_BATCH`] products, so the inner loops are
+//! multiply-add only — no division, no per-element reduction:
+//!
+//! * [`mat_vec`] — register-blocked: four rows share one streaming pass over
+//!   `x`, each with its own lazy accumulator.
+//! * [`matt_vec`] — one [`WideAccumulator`] over the output columns; the
+//!   matrix streams through row-major exactly once.
+//! * [`mat_mat`] — cache-blocked: strips of [`MAT_MAT_ROW_BLOCK`] output rows
+//!   share one streaming pass over `B`, so `B` is read `rows/block` times
+//!   instead of `rows` times.
+//!
+//! The parallel variants split the row range with the shared
+//! [`crate::partition`] helper; they are used by the threaded cluster
+//! executor where a worker may own several cores, and by the benchmarks that
+//! calibrate the simulator's compute-cost model.
 
-use avcc_field::{dot, Fp, PrimeModulus};
+use avcc_field::batch::assert_wide_batch;
+use avcc_field::{Fp, PrimeModulus, WideAccumulator};
 
 use crate::matrix::Matrix;
+use crate::partition::{chunk_ranges, scoped_map};
+
+/// Number of output rows that share one streaming pass over `B` (or over `x`)
+/// in the blocked kernels. Chosen so a strip of `u128` accumulator lanes for
+/// typical widths stays within L2 while still cutting memory traffic on the
+/// streamed operand by the same factor.
+pub const MAT_MAT_ROW_BLOCK: usize = 8;
+
+/// Work-size threshold below which the parallel kernels stay serial.
+const PARALLEL_MIN_ELEMENTS: usize = 1 << 14;
 
 /// Serial matrix–vector product `A·x` over the field.
+///
+/// Rows are processed four at a time so each streamed load of `x[j]` feeds
+/// four multiply-adds; accumulation is lazy with one reduction per row per
+/// [`PrimeModulus::WIDE_BATCH`] products.
 ///
 /// # Panics
 /// Panics if `x.len() != A.cols()`.
 pub fn mat_vec<M: PrimeModulus>(a: &Matrix<Fp<M>>, x: &[Fp<M>]) -> Vec<Fp<M>> {
     assert_eq!(a.cols(), x.len(), "mat_vec dimension mismatch");
-    a.rows_iter().map(|row| dot(row, x)).collect()
+    mat_vec_rows(a, x, 0..a.rows())
+}
+
+/// The row-range worker behind [`mat_vec`] / [`mat_vec_parallel`].
+fn mat_vec_rows<M: PrimeModulus>(
+    a: &Matrix<Fp<M>>,
+    x: &[Fp<M>],
+    rows: core::ops::Range<usize>,
+) -> Vec<Fp<M>> {
+    const { assert_wide_batch::<M>() }
+    let mut out = Vec::with_capacity(rows.len());
+    let mut row = rows.start;
+    // Four-row micro-kernel: one pass over x feeds four accumulators.
+    while row + 4 <= rows.end {
+        let (r0, r1, r2, r3) = (a.row(row), a.row(row + 1), a.row(row + 2), a.row(row + 3));
+        let mut acc = [0u128; 4];
+        let mut column = 0;
+        while column < x.len() {
+            let stop = (column + M::WIDE_BATCH).min(x.len());
+            for j in column..stop {
+                let xj = x[j].value() as u128;
+                acc[0] += r0[j].value() as u128 * xj;
+                acc[1] += r1[j].value() as u128 * xj;
+                acc[2] += r2[j].value() as u128 * xj;
+                acc[3] += r3[j].value() as u128 * xj;
+            }
+            for lane in acc.iter_mut() {
+                *lane = M::reduce_wide(*lane) as u128;
+            }
+            column = stop;
+        }
+        // Lanes are collapsed to canonical representatives at every chunk
+        // boundary, so the final cast is exact.
+        out.extend(acc.iter().map(|&lane| Fp::<M>::new(lane as u64)));
+        row += 4;
+    }
+    // Remainder rows: plain lazy dot.
+    for r in row..rows.end {
+        out.push(avcc_field::dot(a.row(r), x));
+    }
+    out
 }
 
 /// Serial transpose–vector product `Aᵀ·y` over the field, computed without
-/// materializing the transpose.
+/// materializing the transpose: one [`WideAccumulator`] over the output
+/// columns absorbs `y[i]·A[i,·]` per row, reducing lazily.
 ///
 /// # Panics
 /// Panics if `y.len() != A.rows()`.
 pub fn matt_vec<M: PrimeModulus>(a: &Matrix<Fp<M>>, y: &[Fp<M>]) -> Vec<Fp<M>> {
     assert_eq!(a.rows(), y.len(), "matt_vec dimension mismatch");
-    let mut result = vec![Fp::<M>::ZERO; a.cols()];
-    for (row, &scale) in a.rows_iter().zip(y.iter()) {
-        for (slot, &value) in result.iter_mut().zip(row.iter()) {
-            *slot += scale * value;
-        }
-    }
-    result
+    matt_vec_rows(a, y, 0..a.rows())
 }
 
-/// Serial matrix–matrix product `A·B` over the field.
+/// Partial transpose–vector product over a row range (full-width output).
+fn matt_vec_rows<M: PrimeModulus>(
+    a: &Matrix<Fp<M>>,
+    y: &[Fp<M>],
+    rows: core::ops::Range<usize>,
+) -> Vec<Fp<M>> {
+    let mut accumulator = WideAccumulator::<M>::new(a.cols());
+    for row in rows {
+        accumulator.axpy(y[row], a.row(row));
+    }
+    accumulator.finish()
+}
+
+/// Serial matrix–matrix product `A·B` over the field, cache-blocked: strips
+/// of [`MAT_MAT_ROW_BLOCK`] output rows share one streaming pass over `B`.
 ///
 /// # Panics
 /// Panics if `A.cols() != B.rows()`.
 pub fn mat_mat<M: PrimeModulus>(a: &Matrix<Fp<M>>, b: &Matrix<Fp<M>>) -> Matrix<Fp<M>> {
     assert_eq!(a.cols(), b.rows(), "mat_mat dimension mismatch");
-    let mut out = Matrix::zeros(a.rows(), b.cols());
-    for i in 0..a.rows() {
-        let row = a.row(i);
-        for (k, &a_ik) in row.iter().enumerate() {
-            if a_ik.is_zero_element() {
-                continue;
-            }
+    Matrix::from_vec(a.rows(), b.cols(), mat_mat_rows(a, b, 0..a.rows()))
+}
+
+/// The row-strip worker behind [`mat_mat`] / [`mat_mat_parallel`]: computes
+/// output rows `rows` in row-major order.
+fn mat_mat_rows<M: PrimeModulus>(
+    a: &Matrix<Fp<M>>,
+    b: &Matrix<Fp<M>>,
+    rows: core::ops::Range<usize>,
+) -> Vec<Fp<M>> {
+    let mut out = Vec::with_capacity(rows.len() * b.cols());
+    let mut strip_start = rows.start;
+    while strip_start < rows.end {
+        let strip_end = (strip_start + MAT_MAT_ROW_BLOCK).min(rows.end);
+        let mut accumulators: Vec<WideAccumulator<M>> = (strip_start..strip_end)
+            .map(|_| WideAccumulator::new(b.cols()))
+            .collect();
+        // One pass over B serves the whole strip.
+        for k in 0..a.cols() {
             let b_row = b.row(k);
-            let out_row = out.row_mut(i);
-            for (slot, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                *slot += a_ik * b_kj;
+            for (offset, accumulator) in accumulators.iter_mut().enumerate() {
+                let a_ik = *a.get(strip_start + offset, k);
+                if a_ik.value() != 0 {
+                    accumulator.axpy(a_ik, b_row);
+                }
             }
         }
+        for accumulator in accumulators {
+            out.extend(accumulator.finish());
+        }
+        strip_start = strip_end;
     }
     out
 }
 
-/// Helper trait so the inner loop can skip structural zeros without importing
-/// the `PrimeField` trait at every call site.
-trait IsZeroElement {
-    fn is_zero_element(&self) -> bool;
-}
-
-impl<M: PrimeModulus> IsZeroElement for Fp<M> {
-    fn is_zero_element(&self) -> bool {
-        self.value() == 0
-    }
-}
-
 /// Multi-threaded matrix–vector product: rows are split into `threads`
-/// contiguous chunks, each processed by a scoped thread.
+/// contiguous chunks by the shared [`crate::partition`] helper.
 ///
 /// Falls back to the serial kernel when `threads <= 1` or the matrix is small
 /// enough that threading overhead would dominate.
@@ -85,36 +170,18 @@ pub fn mat_vec_parallel<M: PrimeModulus>(
 ) -> Vec<Fp<M>> {
     assert_eq!(a.cols(), x.len(), "mat_vec_parallel dimension mismatch");
     let rows = a.rows();
-    if threads <= 1 || rows < 2 * threads || rows * a.cols() < 1 << 14 {
+    if threads <= 1 || rows < 2 * threads || rows * a.cols() < PARALLEL_MIN_ELEMENTS {
         return mat_vec(a, x);
     }
-    let chunk_rows = rows.div_ceil(threads);
-    let mut result = vec![Fp::<M>::ZERO; rows];
-    std::thread::scope(|scope| {
-        let mut remaining = result.as_mut_slice();
-        let mut row_start = 0usize;
-        let mut handles = Vec::new();
-        while row_start < rows {
-            let this_chunk = chunk_rows.min(rows - row_start);
-            let (chunk_out, rest) = remaining.split_at_mut(this_chunk);
-            remaining = rest;
-            let start = row_start;
-            handles.push(scope.spawn(move || {
-                for (offset, slot) in chunk_out.iter_mut().enumerate() {
-                    *slot = dot(a.row(start + offset), x);
-                }
-            }));
-            row_start += this_chunk;
-        }
-        for handle in handles {
-            handle.join().expect("mat_vec_parallel worker thread panicked");
-        }
+    let partials = scoped_map(chunk_ranges(rows, threads), |range| {
+        mat_vec_rows(a, x, range)
     });
-    result
+    partials.into_iter().flatten().collect()
 }
 
 /// Multi-threaded transpose–vector product: the row range is split across
-/// threads, each producing a partial column accumulation that is then reduced.
+/// threads by the shared [`crate::partition`] helper, each producing a
+/// partial column accumulation that is then reduced.
 pub fn matt_vec_parallel<M: PrimeModulus>(
     a: &Matrix<Fp<M>>,
     y: &[Fp<M>],
@@ -122,40 +189,35 @@ pub fn matt_vec_parallel<M: PrimeModulus>(
 ) -> Vec<Fp<M>> {
     assert_eq!(a.rows(), y.len(), "matt_vec_parallel dimension mismatch");
     let rows = a.rows();
-    if threads <= 1 || rows < 2 * threads || rows * a.cols() < 1 << 14 {
+    if threads <= 1 || rows < 2 * threads || rows * a.cols() < PARALLEL_MIN_ELEMENTS {
         return matt_vec(a, y);
     }
-    let chunk_rows = rows.div_ceil(threads);
-    let partials: Vec<Vec<Fp<M>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut row_start = 0usize;
-        while row_start < rows {
-            let end = (row_start + chunk_rows).min(rows);
-            let start = row_start;
-            handles.push(scope.spawn(move || {
-                let mut partial = vec![Fp::<M>::ZERO; a.cols()];
-                for row_index in start..end {
-                    let scale = y[row_index];
-                    for (slot, &value) in partial.iter_mut().zip(a.row(row_index).iter()) {
-                        *slot += scale * value;
-                    }
-                }
-                partial
-            }));
-            row_start = end;
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("matt_vec_parallel worker thread panicked"))
-            .collect()
+    let partials = scoped_map(chunk_ranges(rows, threads), |range| {
+        matt_vec_rows(a, y, range)
     });
     let mut result = vec![Fp::<M>::ZERO; a.cols()];
     for partial in partials {
-        for (slot, value) in result.iter_mut().zip(partial) {
-            *slot += value;
-        }
+        avcc_field::slice_add_assign(&mut result, &partial);
     }
     result
+}
+
+/// Multi-threaded matrix–matrix product: output row strips are split across
+/// threads by the shared [`crate::partition`] helper.
+pub fn mat_mat_parallel<M: PrimeModulus>(
+    a: &Matrix<Fp<M>>,
+    b: &Matrix<Fp<M>>,
+    threads: usize,
+) -> Matrix<Fp<M>> {
+    assert_eq!(a.cols(), b.rows(), "mat_mat_parallel dimension mismatch");
+    let rows = a.rows();
+    if threads <= 1 || rows < 2 * threads || rows * a.cols() * b.cols() < PARALLEL_MIN_ELEMENTS {
+        return mat_mat(a, b);
+    }
+    let partials = scoped_map(chunk_ranges(rows, threads), |range| {
+        mat_mat_rows(a, b, range)
+    });
+    Matrix::from_vec(rows, b.cols(), partials.into_iter().flatten().collect())
 }
 
 /// Left vector–matrix product `rᵀ·A` over the field — the kernel of Freivalds
@@ -168,7 +230,7 @@ pub fn vec_mat<M: PrimeModulus>(r: &[Fp<M>], a: &Matrix<Fp<M>>) -> Vec<Fp<M>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avcc_field::{F25, PrimeField};
+    use avcc_field::{PrimeField, F25, F61, P61};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -189,15 +251,58 @@ mod tests {
             .collect()
     }
 
+    /// Elementwise reference kernel (the pre-lazy-reduction implementation).
+    fn mat_vec_reference(a: &Matrix<F25>, x: &[F25]) -> Vec<F25> {
+        a.rows_iter()
+            .map(|row| row.iter().zip(x.iter()).map(|(&p, &q)| p * q).sum())
+            .collect()
+    }
+
     #[test]
     fn mat_vec_matches_manual_example() {
         let a = Matrix::from_vec(
             2,
             3,
-            [1u64, 2, 3, 4, 5, 6].iter().map(|&v| F25::from_u64(v)).collect(),
+            [1u64, 2, 3, 4, 5, 6]
+                .iter()
+                .map(|&v| F25::from_u64(v))
+                .collect(),
         );
         let x: Vec<F25> = [1u64, 1, 1].iter().map(|&v| F25::from_u64(v)).collect();
         assert_eq!(mat_vec(&a, &x), vec![F25::from_u64(6), F25::from_u64(15)]);
+    }
+
+    #[test]
+    fn mat_vec_matches_elementwise_reference_across_row_remainders() {
+        // 4-row blocking: exercise every remainder class (0..=3 leftover rows).
+        let mut rng = StdRng::seed_from_u64(6);
+        for rows in [1usize, 2, 3, 4, 5, 7, 8, 9, 12, 15] {
+            let a = random_matrix(&mut rng, rows, 11);
+            let x = random_vector(&mut rng, 11);
+            assert_eq!(mat_vec(&a, &x), mat_vec_reference(&a, &x), "rows = {rows}");
+        }
+    }
+
+    #[test]
+    fn mat_vec_crosses_the_p61_reduction_batch() {
+        // Width beyond WIDE_BATCH forces mid-row collapses in F_{2^61-1}.
+        let mut rng = StdRng::seed_from_u64(61);
+        let cols = P61::WIDE_BATCH * 2 + 3;
+        let a = Matrix::from_vec(
+            5,
+            cols,
+            (0..5 * cols)
+                .map(|_| F61::from_u64(rng.gen_range(0..F61::MODULUS)))
+                .collect(),
+        );
+        let x: Vec<F61> = (0..cols)
+            .map(|_| F61::from_u64(rng.gen_range(0..F61::MODULUS)))
+            .collect();
+        let reference: Vec<F61> = a
+            .rows_iter()
+            .map(|row| row.iter().zip(x.iter()).map(|(&p, &q)| p * q).sum())
+            .collect();
+        assert_eq!(mat_vec(&a, &x), reference);
     }
 
     #[test]
@@ -218,8 +323,24 @@ mod tests {
         for j in 0..3 {
             let column: Vec<F25> = (0..4).map(|k| *b.get(k, j)).collect();
             let expected = mat_vec(&a, &column);
-            for i in 0..5 {
-                assert_eq!(*product.get(i, j), expected[i]);
+            for (i, &value) in expected.iter().enumerate() {
+                assert_eq!(*product.get(i, j), value);
+            }
+        }
+    }
+
+    #[test]
+    fn mat_mat_blocking_handles_strip_remainders() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for rows in [1usize, 7, 8, 9, 17] {
+            let a = random_matrix(&mut rng, rows, 6);
+            let b = random_matrix(&mut rng, 6, 5);
+            let blocked = mat_mat(&a, &b);
+            for i in 0..rows {
+                let expected: Vec<F25> = (0..5)
+                    .map(|j| (0..6).map(|k| *a.get(i, k) * *b.get(k, j)).sum())
+                    .collect();
+                assert_eq!(blocked.row(i), &expected[..], "rows = {rows}, i = {i}");
             }
         }
     }
@@ -241,6 +362,16 @@ mod tests {
         let y = random_vector(&mut rng, 300);
         for threads in [1, 2, 3, 8] {
             assert_eq!(matt_vec_parallel(&a, &y, threads), matt_vec(&a, &y));
+        }
+    }
+
+    #[test]
+    fn parallel_mat_mat_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = random_matrix(&mut rng, 64, 48);
+        let b = random_matrix(&mut rng, 48, 32);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(mat_mat_parallel(&a, &b, threads), mat_mat(&a, &b));
         }
     }
 
@@ -298,6 +429,20 @@ mod tests {
             let rta = vec_mat(&r, &a);
             let rhs = avcc_field::dot(&rta, &x);
             prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_mat_mat_matches_reference(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = random_matrix(&mut rng, 10, 7);
+            let b = random_matrix(&mut rng, 7, 6);
+            let product = mat_mat(&a, &b);
+            for i in 0..10 {
+                for j in 0..6 {
+                    let expected: F25 = (0..7).map(|k| *a.get(i, k) * *b.get(k, j)).sum();
+                    prop_assert_eq!(*product.get(i, j), expected);
+                }
+            }
         }
     }
 }

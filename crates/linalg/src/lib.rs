@@ -21,8 +21,11 @@
 
 pub mod field_ops;
 pub mod matrix;
+pub mod partition;
 pub mod real_ops;
 
-pub use field_ops::{mat_mat, mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel};
+pub use field_ops::{
+    mat_mat, mat_mat_parallel, mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel, vec_mat,
+};
 pub use matrix::Matrix;
 pub use real_ops::{dequantize_matrix, quantize_matrix, real_mat_vec, real_matt_vec};

@@ -117,13 +117,19 @@ impl<T> Matrix<T> {
     /// # Panics
     /// Panics on out-of-bounds indices.
     pub fn get(&self, i: usize, j: usize) -> &T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 
     /// Sets element `(i, j)`.
     pub fn set(&mut self, i: usize, j: usize, value: T) {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         self.data[i * self.cols + j] = value;
     }
 
@@ -190,7 +196,10 @@ impl<T: Copy> Matrix<T> {
         let mut data = Vec::new();
         let mut rows = 0;
         for block in blocks {
-            assert_eq!(block.cols, cols, "all blocks must have the same column count");
+            assert_eq!(
+                block.cols, cols,
+                "all blocks must have the same column count"
+            );
             rows += block.rows;
             data.extend_from_slice(&block.data);
         }
@@ -199,7 +208,10 @@ impl<T: Copy> Matrix<T> {
 
     /// Returns a copy of the sub-matrix consisting of rows `[start, end)`.
     pub fn row_slice(&self, start: usize, end: usize) -> Matrix<T> {
-        assert!(start <= end && end <= self.rows, "invalid row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,

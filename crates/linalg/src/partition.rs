@@ -1,0 +1,89 @@
+//! The shared work-splitting helper behind every multi-threaded kernel.
+//!
+//! The parallel kernels in [`crate::field_ops`] all follow the same shape:
+//! split a row range into contiguous chunks, hand each chunk to a scoped
+//! thread, and collect the per-chunk results in order. This module hosts that
+//! logic once — [`chunk_ranges`] computes the split and [`scoped_map`] runs
+//! it — replacing the hand-rolled scoped-thread splitting that used to be
+//! copied into each kernel.
+
+use core::ops::Range;
+
+/// Splits `0..total` into at most `parts` contiguous, non-empty,
+/// near-equal-length ranges covering the whole span in order.
+pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let chunk = total.div_ceil(parts);
+    (0..total)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(total))
+        .collect()
+}
+
+/// Runs `task` over every range on its own scoped thread and returns the
+/// results in range order.
+///
+/// With a single range the task runs on the calling thread (no spawn cost);
+/// panics in tasks propagate to the caller.
+pub fn scoped_map<R, F>(ranges: Vec<Range<usize>>, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(task).collect();
+    }
+    let task = &task;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || task(range)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_span_in_order_without_overlap() {
+        for (total, parts) in [(10, 3), (10, 1), (3, 10), (16, 4), (1, 1), (7, 2)] {
+            let ranges = chunk_ranges(total, parts);
+            assert!(ranges.len() <= parts);
+            let mut next = 0;
+            for range in &ranges {
+                assert_eq!(range.start, next);
+                assert!(range.end > range.start);
+                next = range.end;
+            }
+            assert_eq!(next, total);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_ranges() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert!(chunk_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn scoped_map_preserves_range_order() {
+        let ranges = chunk_ranges(100, 7);
+        let sums = scoped_map(ranges.clone(), |range| range.sum::<usize>());
+        let expected: Vec<usize> = ranges.into_iter().map(|range| range.sum()).collect();
+        assert_eq!(sums, expected);
+    }
+
+    #[test]
+    fn single_range_runs_inline() {
+        let results = scoped_map(chunk_ranges(5, 1), |range| range.len());
+        assert_eq!(results, vec![5]);
+    }
+}

@@ -137,7 +137,7 @@ impl Dataset {
         let mut raw_scores = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut score = 0.0;
-            for j in 0..d {
+            for (j, &weight) in true_weights.iter().enumerate().take(d) {
                 // The last column is a constant bias feature (the paper folds
                 // the bias into the weights); without it the learner could not
                 // represent the median threshold used to balance the classes.
@@ -146,7 +146,7 @@ impl Dataset {
                 } else {
                     rng.gen_range(0..=config.max_feature_value) as f64
                 };
-                score += value * true_weights[j];
+                score += value * weight;
                 data.push(value);
             }
             raw_scores.push(score);
@@ -236,7 +236,7 @@ mod tests {
     fn features_are_nonnegative_integers_in_range() {
         let dataset = Dataset::gisette_like(DatasetConfig::default());
         for &value in dataset.train_features.data() {
-            assert!(value >= 0.0 && value <= 999.0);
+            assert!((0.0..=999.0).contains(&value));
             assert_eq!(value.fract(), 0.0, "feature values must be integers");
         }
     }
@@ -244,11 +244,18 @@ mod tests {
     #[test]
     fn labels_are_binary_and_roughly_balanced() {
         let dataset = Dataset::gisette_like(DatasetConfig::default());
-        for &label in dataset.train_labels.iter().chain(dataset.test_labels.iter()) {
+        for &label in dataset
+            .train_labels
+            .iter()
+            .chain(dataset.test_labels.iter())
+        {
             assert!(label == 0.0 || label == 1.0);
         }
         let fraction = dataset.positive_fraction();
-        assert!(fraction > 0.3 && fraction < 0.7, "positive fraction {fraction}");
+        assert!(
+            fraction > 0.3 && fraction < 0.7,
+            "positive fraction {fraction}"
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub fn sigmoid(theta: f64) -> f64 {
 
 /// Binary cross-entropy loss (paper eq. 4), clamped away from log(0).
 pub fn cross_entropy(predictions: &[f64], labels: &[f64]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
     let epsilon = 1e-12;
     let total: f64 = predictions
         .iter()
@@ -42,7 +46,11 @@ pub fn cross_entropy(predictions: &[f64], labels: &[f64]) -> f64 {
 
 /// Classification accuracy with a 0.5 threshold.
 pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
     let correct = predictions
         .iter()
         .zip(labels.iter())
@@ -110,7 +118,11 @@ impl LogisticModel {
 
     /// One full-batch gradient step from an already-computed gradient.
     pub fn apply_gradient(&mut self, gradient: &[f64], learning_rate: f64, samples: usize) {
-        assert_eq!(gradient.len(), self.weights.len(), "gradient dimension mismatch");
+        assert_eq!(
+            gradient.len(),
+            self.weights.len(),
+            "gradient dimension mismatch"
+        );
         let scale = learning_rate / samples as f64;
         for (weight, &g) in self.weights.iter_mut().zip(gradient.iter()) {
             *weight -= scale * g;
@@ -119,12 +131,7 @@ impl LogisticModel {
 
     /// One centralized gradient-descent step (computes `Xw`, the error vector
     /// and `Xᵀe` locally). Returns the error vector for diagnostics.
-    pub fn step(
-        &mut self,
-        features: &Matrix<f64>,
-        labels: &[f64],
-        learning_rate: f64,
-    ) -> Vec<f64> {
+    pub fn step(&mut self, features: &Matrix<f64>, labels: &[f64], learning_rate: f64) -> Vec<f64> {
         let z = real_mat_vec(features, &self.weights);
         let errors: Vec<f64> = z
             .iter()
@@ -244,7 +251,10 @@ impl FeatureScaler {
     }
 
     /// Fits on the training features and transforms both splits in one call.
-    pub fn fit_transform(train: &Matrix<f64>, test: &Matrix<f64>) -> (Self, Matrix<f64>, Matrix<f64>) {
+    pub fn fit_transform(
+        train: &Matrix<f64>,
+        test: &Matrix<f64>,
+    ) -> (Self, Matrix<f64>, Matrix<f64>) {
         let scaler = Self::fit(train);
         let train_scaled = scaler.transform(train);
         let test_scaled = scaler.transform(test);

@@ -68,7 +68,9 @@ impl QuantizedProtocol {
         weight_bound: f64,
     ) -> Self {
         let half = ((M::MODULUS - 1) / 2) as f64;
-        let budget_round1 = (half / (features as f64 * weight_bound.max(1.0))).log2().floor();
+        let budget_round1 = (half / (features as f64 * weight_bound.max(1.0)))
+            .log2()
+            .floor();
         let budget_round2 = (half / samples as f64).log2().floor();
         // Split each round's budget between its two operands, clamped to a
         // sensible range.
@@ -139,7 +141,11 @@ impl QuantizedProtocol {
     /// The master-side step between the two rounds: dequantize `z`, apply the
     /// sigmoid and subtract the labels, producing the real-domain error vector.
     pub fn error_vector<M: PrimeModulus>(&self, z: &[Fp<M>], labels: &[f64]) -> Vec<f64> {
-        assert_eq!(z.len(), labels.len(), "round-1 result/label length mismatch");
+        assert_eq!(
+            z.len(),
+            labels.len(),
+            "round-1 result/label length mismatch"
+        );
         self.dequantize_round1(z)
             .into_iter()
             .zip(labels.iter())
@@ -151,6 +157,7 @@ impl QuantizedProtocol {
     /// distribution): computes `z = Xw` and `g = Xᵀe` directly over the field.
     /// Distributed schemes must produce exactly these field vectors — the
     /// property the integration tests check.
+    #[allow(clippy::type_complexity)]
     pub fn reference_iteration<M: PrimeModulus>(
         &self,
         features_field: &Matrix<Fp<M>>,

@@ -303,12 +303,9 @@ mod tests {
     }
 
     fn arbitrary_poly() -> impl Strategy<Value = Polynomial<F25>> {
-        proptest::collection::vec(0u64..F25::MODULUS, 0..8)
-            .prop_map(|coefficients| {
-                Polynomial::from_coefficients(
-                    coefficients.into_iter().map(F25::from_u64).collect(),
-                )
-            })
+        proptest::collection::vec(0u64..F25::MODULUS, 0..8).prop_map(|coefficients| {
+            Polynomial::from_coefficients(coefficients.into_iter().map(F25::from_u64).collect())
+        })
     }
 
     proptest! {

@@ -33,8 +33,11 @@ impl<F: PrimeField> LagrangeBasis<F> {
     /// # Panics
     /// Panics if the points are not pairwise distinct or the set is empty.
     pub fn new(points: Vec<F>) -> Self {
-        assert!(!points.is_empty(), "Lagrange basis needs at least one point");
-        let mut weights = Vec::with_capacity(points.len());
+        assert!(
+            !points.is_empty(),
+            "Lagrange basis needs at least one point"
+        );
+        let mut denominators = Vec::with_capacity(points.len());
         for (j, &beta_j) in points.iter().enumerate() {
             let mut denominator = F::ONE;
             for (k, &beta_k) in points.iter().enumerate() {
@@ -48,8 +51,12 @@ impl<F: PrimeField> LagrangeBasis<F> {
                 );
                 denominator *= difference;
             }
-            weights.push(denominator.inverse());
+            denominators.push(denominator);
         }
+        // One Montgomery batch inversion instead of one Fermat exponentiation
+        // per point — this constructor sits on the decoder's per-iteration
+        // path.
+        let weights = F::batch_inverse(&denominators);
         LagrangeBasis { points, weights }
     }
 
@@ -81,11 +88,13 @@ impl<F: PrimeField> LagrangeBasis<F> {
             return indicator;
         }
         // ℓ_j(z) = w_j · Π_k (z − β_k) / (z − β_j)
-        let full_product: F = self.points.iter().map(|&p| z - p).product();
-        self.points
-            .iter()
+        let differences: Vec<F> = self.points.iter().map(|&p| z - p).collect();
+        let full_product: F = differences.iter().copied().product();
+        let inverses = F::batch_inverse(&differences);
+        inverses
+            .into_iter()
             .zip(self.weights.iter())
-            .map(|(&beta_j, &weight_j)| full_product * (z - beta_j).inverse() * weight_j)
+            .map(|(inverse_j, &weight_j)| full_product * inverse_j * weight_j)
             .collect()
     }
 
@@ -141,7 +150,11 @@ pub fn interpolate<F: PrimeField>(points: &[F], values: &[F]) -> Polynomial<F> {
 /// the polynomial — the core of the erasure decoder, where we interpolate
 /// `f(u(z))` from the fastest verified workers and evaluate at the β-points.
 pub fn interpolate_eval<F: PrimeField>(points: &[F], values: &[F], target: F) -> F {
-    assert_eq!(points.len(), values.len(), "interpolate_eval length mismatch");
+    assert_eq!(
+        points.len(),
+        values.len(),
+        "interpolate_eval length mismatch"
+    );
     let basis_at_target = evaluate_basis_at(points, target);
     values
         .iter()

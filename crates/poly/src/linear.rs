@@ -134,8 +134,7 @@ pub fn rank<F: PrimeField>(matrix: &[F], rows: usize, cols: usize) -> usize {
         if pivot_row >= rows {
             break;
         }
-        let Some(found) =
-            (pivot_row..rows).find(|&row| !work[row * cols + pivot_column].is_zero())
+        let Some(found) = (pivot_row..rows).find(|&row| !work[row * cols + pivot_column].is_zero())
         else {
             continue;
         };
@@ -166,7 +165,11 @@ pub fn rank<F: PrimeField>(matrix: &[F], rows: usize, cols: usize) -> usize {
 
 /// Multiplies the row-major `rows × inner` matrix by the `inner`-length vector.
 pub fn mat_vec<F: PrimeField>(matrix: &[F], vector: &[F], rows: usize, inner: usize) -> Vec<F> {
-    assert_eq!(matrix.len(), rows * inner, "mat_vec: matrix dimension mismatch");
+    assert_eq!(
+        matrix.len(),
+        rows * inner,
+        "mat_vec: matrix dimension mismatch"
+    );
     assert_eq!(vector.len(), inner, "mat_vec: vector dimension mismatch");
     (0..rows)
         .map(|row| {

@@ -189,7 +189,7 @@ impl<F: PrimeField> BerlekampWelch<F> {
         if !remainder.is_zero() {
             return None;
         }
-        if message.degree().map_or(false, |d| d >= k) {
+        if message.degree().is_some_and(|d| d >= k) {
             return None;
         }
 

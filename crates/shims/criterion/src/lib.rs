@@ -1,0 +1,242 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of the criterion API the AVCC benches use: [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (benches therefore set
+//! `harness = false` exactly as they would with the real crate).
+//!
+//! Measurement model: each benchmark is warmed up for [`WARMUP`], then timed
+//! over adaptively sized batches until [`MEASURE`] of samples accumulate; the
+//! reported figure is the median batch mean in ns/iter, printed as
+//!
+//! ```text
+//! bench: <id> ... median <ns> ns/iter (<iters> iters)
+//! ```
+//!
+//! which the repo's `BENCH_*.json` capture scripts parse. Set
+//! `AVCC_BENCH_FAST=1` to cut both budgets 10× for smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Warm-up budget per benchmark.
+pub const WARMUP: Duration = Duration::from_millis(300);
+/// Measurement budget per benchmark.
+pub const MEASURE: Duration = Duration::from_millis(1200);
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+fn budgets() -> (Duration, Duration) {
+    if std::env::var("AVCC_BENCH_FAST")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+    {
+        (WARMUP / 10, MEASURE / 10)
+    } else {
+        (WARMUP, MEASURE)
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `<name>/<parameter>`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive through [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (warmup, measure) = budgets();
+        // Warm-up: also calibrates the batch size so each timed batch runs
+        // for roughly 1/50 of the measurement budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((measure.as_secs_f64() / 50.0) / per_iter.max(1e-9)).ceil() as u64;
+        let batch = batch.clamp(1, 1 << 24);
+
+        let run_start = Instant::now();
+        while run_start.elapsed() < measure {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = batch_start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / batch as f64 * 1e9);
+            self.total_iters += batch;
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("bench: {label} ... no samples");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "bench: {label} ... median {median:.1} ns/iter ({} iters)",
+            self.total_iters
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        routine(&mut bencher);
+        bencher.report(id);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dot", 512).label, "dot/512");
+        assert_eq!(BenchmarkId::from_parameter("p61").label, "p61");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("AVCC_BENCH_FAST", "1");
+        let mut bencher = Bencher::default();
+        bencher.iter(|| black_box(2u64).wrapping_mul(3));
+        assert!(!bencher.samples.is_empty());
+        assert!(bencher.total_iters > 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. Nothing in the AVCC
+//! workspace actually serializes data yet (reports are printed as
+//! tab-separated text; `BENCH_*.json` files are written by the bench harness
+//! directly), but the types are annotated with `#[derive(Serialize,
+//! Deserialize)]` so they are ready for a real serializer. This crate provides
+//! the trait skeletons and a derive that emits structurally trivial impls, so
+//! those annotations compile without the real dependency. Swapping the real
+//! `serde` back in requires only a `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+
+use core::fmt::Display;
+
+/// Error construction for (de)serializers, mirroring `serde::de::Error` /
+/// `serde::ser::Error`.
+pub trait Error: Sized {
+    /// Builds an error from a message.
+    fn custom<T: Display>(message: T) -> Self;
+}
+
+/// A data-format serializer (primitive subset).
+pub trait Serializer: Sized {
+    /// Output on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serializes a `u64`.
+    fn serialize_u64(self, value: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value (what the no-op derives emit).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserializer (primitive subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes a `u64`.
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+}
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_u64()
+    }
+}
+
+/// Mirrors `serde::de` far enough for `D::Error: de::Error` bounds.
+pub mod de {
+    pub use crate::{Deserialize, Deserializer, Error};
+}
+
+/// Mirrors `serde::ser`.
+pub mod ser {
+    pub use crate::{Error, Serialize, Serializer};
+}
+
+pub use serde_derive::{Deserialize, Serialize};

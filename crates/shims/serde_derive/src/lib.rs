@@ -1,0 +1,79 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stand-in.
+//!
+//! The emitted impls are structurally trivial (`serialize_unit` /
+//! `Error::custom`): they exist so that `#[derive(Serialize, Deserialize)]`
+//! annotations across the workspace type-check without crates.io access. The
+//! derive intentionally supports only non-generic types — every annotated type
+//! in this workspace is concrete — and fails loudly otherwise, so a future
+//! switch to real serde cannot silently change behavior.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following `struct` or `enum`, skipping attributes,
+/// doc comments and visibility modifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "serde_derive shim: generic type `{name}` is not supported; \
+                                 write the impl by hand (see avcc_field::Fp)"
+                            );
+                        }
+                    }
+                    return name;
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no `struct` or `enum` found in derive input");
+}
+
+/// Derives a no-op `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl failed to parse")
+}
+
+/// Derives a no-op `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"deserialization is not supported by the offline serde stand-in\",\n\
+                 ))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl failed to parse")
+}

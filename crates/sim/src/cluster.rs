@@ -137,7 +137,10 @@ impl ClusterProfile {
             profile.straggler = false;
         }
         for &index in stragglers {
-            assert!(index < self.workers.len(), "straggler index {index} out of range");
+            assert!(
+                index < self.workers.len(),
+                "straggler index {index} out of range"
+            );
             self.workers[index].straggler = true;
             self.workers[index].straggler_multiplier = multiplier;
         }
@@ -163,7 +166,10 @@ impl ClusterProfile {
     /// dynamic-coding controller when it drops detected Byzantine workers and
     /// shrinks the cluster from `N_t` to `N_{t+1}` (eq. 17/19).
     pub fn truncated(&self, count: usize) -> Self {
-        assert!(count <= self.workers.len(), "cannot grow the cluster by truncation");
+        assert!(
+            count <= self.workers.len(),
+            "cannot grow the cluster by truncation"
+        );
         ClusterProfile {
             workers: self.workers[..count].to_vec(),
             network: self.network,
@@ -197,7 +203,10 @@ mod tests {
         let cluster = ClusterProfile::uniform(12);
         assert_eq!(cluster.len(), 12);
         assert!(!cluster.is_empty());
-        assert!(cluster.workers().iter().all(|w| w.effective_slowdown() == 1.0));
+        assert!(cluster
+            .workers()
+            .iter()
+            .all(|w| w.effective_slowdown() == 1.0));
         assert!(cluster.straggler_indices().is_empty());
     }
 

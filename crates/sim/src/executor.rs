@@ -10,13 +10,13 @@
 //!   Nothing sleeps; a 50-iteration training run over a 12-worker cluster
 //!   completes in seconds of real time while still exhibiting the arrival
 //!   orderings the paper's results depend on.
-//! * [`ThreadedExecutor`] — one OS thread per worker connected with crossbeam
+//! * [`ThreadedExecutor`] — one OS thread per worker connected with mpsc
 //!   channels; stragglers really do finish later. Used by the examples to
 //!   demonstrate that the same master logic drives a live cluster.
 
 use std::time::Instant;
 
-use crossbeam::channel;
+use std::sync::mpsc;
 
 use crate::cluster::ClusterProfile;
 
@@ -184,7 +184,7 @@ impl ThreadedExecutor {
             self.profile.len(),
             tasks.len()
         );
-        let (sender, receiver) = channel::unbounded();
+        let (sender, receiver) = mpsc::channel();
         let round_start = Instant::now();
         let mut arrived: Vec<(usize, T, f64)> = std::thread::scope(|scope| {
             for (worker, task) in tasks.into_iter().enumerate() {
@@ -231,7 +231,7 @@ impl ThreadedExecutor {
 mod tests {
     use super::*;
     use crate::attack::{AttackModel, ByzantineSpec};
-    use avcc_field::{F25, PrimeField};
+    use avcc_field::{PrimeField, F25};
 
     /// A worker task that does a deterministic amount of field arithmetic so
     /// measured compute times are non-trivial and comparable across workers.
@@ -245,7 +245,7 @@ mod tests {
         }
     }
 
-    fn byte_len(v: &Vec<F25>) -> usize {
+    fn byte_len(v: &[F25]) -> usize {
         v.len() * 8
     }
 
@@ -253,7 +253,7 @@ mod tests {
     fn virtual_round_returns_one_outcome_per_worker() {
         let executor = VirtualExecutor::new(ClusterProfile::uniform(4)).with_time_scale(1.0);
         let tasks: Vec<_> = (0..4).map(|w| busy_task(w, 2_000)).collect();
-        let outcomes = executor.run_round(tasks, byte_len, |_, _| false);
+        let outcomes = executor.run_round(tasks, |v| byte_len(v), |_, _| false);
         assert_eq!(outcomes.len(), 4);
         let mut workers: Vec<usize> = outcomes.iter().map(|o| o.worker).collect();
         workers.sort_unstable();
@@ -262,8 +262,7 @@ mod tests {
             assert!(outcome.compute_seconds >= 0.0);
             assert!(outcome.network_seconds > 0.0);
             assert!(
-                (outcome.arrival_seconds - outcome.compute_seconds - outcome.network_seconds)
-                    .abs()
+                (outcome.arrival_seconds - outcome.compute_seconds - outcome.network_seconds).abs()
                     < 1e-12
             );
             assert!(!outcome.corrupted);
@@ -272,12 +271,10 @@ mod tests {
 
     #[test]
     fn outcomes_are_sorted_by_arrival() {
-        let executor = VirtualExecutor::new(
-            ClusterProfile::uniform(6).with_stragglers(&[0], 50.0),
-        )
-        .with_time_scale(1.0);
+        let executor = VirtualExecutor::new(ClusterProfile::uniform(6).with_stragglers(&[0], 50.0))
+            .with_time_scale(1.0);
         let tasks: Vec<_> = (0..6).map(|w| busy_task(w, 20_000)).collect();
-        let outcomes = executor.run_round(tasks, byte_len, |_, _| false);
+        let outcomes = executor.run_round(tasks, |v| byte_len(v), |_, _| false);
         for pair in outcomes.windows(2) {
             assert!(pair[0].arrival_seconds <= pair[1].arrival_seconds);
         }
@@ -290,7 +287,7 @@ mod tests {
         let profile = ClusterProfile::uniform(5).with_stragglers(&[2, 4], 100.0);
         let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
         let tasks: Vec<_> = (0..5).map(|w| busy_task(w, 50_000)).collect();
-        let outcomes = executor.run_round(tasks, byte_len, |_, _| false);
+        let outcomes = executor.run_round(tasks, |v| byte_len(v), |_, _| false);
         let last_two: Vec<usize> = outcomes[3..].iter().map(|o| o.worker).collect();
         assert!(last_two.contains(&2) && last_two.contains(&4));
     }
@@ -300,10 +297,11 @@ mod tests {
         let executor = VirtualExecutor::new(ClusterProfile::uniform(3)).with_time_scale(1.0);
         let spec = ByzantineSpec::new([1], AttackModel::constant());
         let tasks: Vec<_> = (0..3).map(|w| busy_task(w, 1_000)).collect();
-        let outcomes =
-            executor.run_round(tasks, byte_len, |worker, payload: &mut Vec<F25>| {
-                spec.corrupt(worker, payload)
-            });
+        let outcomes = executor.run_round(
+            tasks,
+            |v| byte_len(v),
+            |worker, payload: &mut Vec<F25>| spec.corrupt(worker, payload),
+        );
         for outcome in &outcomes {
             if outcome.worker == 1 {
                 assert!(outcome.corrupted);
@@ -319,7 +317,7 @@ mod tests {
     fn task_count_mismatch_panics() {
         let executor = VirtualExecutor::new(ClusterProfile::uniform(3));
         let tasks: Vec<_> = (0..2).map(|w| busy_task(w, 10)).collect();
-        let _ = executor.run_round(tasks, byte_len, |_, _| false);
+        let _ = executor.run_round(tasks, |v| byte_len(v), |_, _| false);
     }
 
     #[test]
@@ -328,8 +326,8 @@ mod tests {
         let tasks = || vec![busy_task(0, 30_000)];
         let slow = VirtualExecutor::new(profile.clone()).with_time_scale(100.0);
         let fast = VirtualExecutor::new(profile).with_time_scale(1.0);
-        let slow_outcome = &slow.run_round(tasks(), byte_len, |_, _| false)[0];
-        let fast_outcome = &fast.run_round(tasks(), byte_len, |_, _| false)[0];
+        let slow_outcome = &slow.run_round(tasks(), |v| byte_len(v), |_, _| false)[0];
+        let fast_outcome = &fast.run_round(tasks(), |v| byte_len(v), |_, _| false)[0];
         // Measured times vary between runs, but a 100x scale must dominate
         // measurement noise by a wide margin.
         assert!(slow_outcome.compute_seconds > fast_outcome.compute_seconds * 5.0);
@@ -340,7 +338,7 @@ mod tests {
         let profile = ClusterProfile::uniform(4).with_stragglers(&[3], 5.0);
         let executor = ThreadedExecutor::new(profile);
         let tasks: Vec<_> = (0..4).map(|w| busy_task(w, 5_000)).collect();
-        let outcomes = executor.run_round(tasks, byte_len, |_, _| false);
+        let outcomes = executor.run_round(tasks, |v| byte_len(v), |_, _| false);
         assert_eq!(outcomes.len(), 4);
         let mut workers: Vec<usize> = outcomes.iter().map(|o| o.worker).collect();
         workers.sort_unstable();

@@ -65,7 +65,7 @@ pub fn verification_speedup(rows: usize, cols: usize) -> f64 {
 mod tests {
     use super::*;
     use crate::keys::KeyGenConfig;
-    use avcc_field::{F251, F25, P251, PrimeField};
+    use avcc_field::{PrimeField, F25, F251, P251};
     use avcc_linalg::{mat_vec, Matrix};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -128,7 +128,7 @@ mod tests {
             let w: Vec<F251> = avcc_field::random_vector(&mut rng, 4);
             let mut z = mat_vec(&block, &w);
             // Corrupt one coordinate by a random nonzero delta.
-            let index = rng.gen_range(0..4);
+            let index = rng.gen_range(0..4usize);
             z[index] += F251::from_u64(rng.gen_range(1..251));
             if key.verify(&w, &z) {
                 accepted_wrong += 1;

@@ -163,7 +163,7 @@ impl<M: PrimeModulus> VerifierSet<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avcc_field::{F25, PrimeField};
+    use avcc_field::{PrimeField, F25};
     use avcc_linalg::{mat_vec, matt_vec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -179,12 +179,19 @@ mod tests {
     fn worker_verifier_accepts_honest_rounds() {
         let blocks = coded_blocks(1, 6, 4, 1);
         let mut rng = StdRng::seed_from_u64(10);
-        let verifier =
-            WorkerVerifier::generate(0, &blocks[0], KeyGenConfig::default(), &mut rng);
+        let verifier = WorkerVerifier::generate(0, &blocks[0], KeyGenConfig::default(), &mut rng);
         let w: Vec<F25> = avcc_field::random_vector(&mut rng, 4);
         let e: Vec<F25> = avcc_field::random_vector(&mut rng, 6);
-        assert!(verifier.verify_round1(&w, &mat_vec(&blocks[0], &w)).accepted);
-        assert!(verifier.verify_round2(&e, &matt_vec(&blocks[0], &e)).accepted);
+        assert!(
+            verifier
+                .verify_round1(&w, &mat_vec(&blocks[0], &w))
+                .accepted
+        );
+        assert!(
+            verifier
+                .verify_round2(&e, &matt_vec(&blocks[0], &e))
+                .accepted
+        );
         assert_eq!(verifier.worker(), 0);
     }
 
@@ -192,8 +199,7 @@ mod tests {
     fn worker_verifier_rejects_byzantine_rounds() {
         let blocks = coded_blocks(1, 6, 4, 2);
         let mut rng = StdRng::seed_from_u64(20);
-        let verifier =
-            WorkerVerifier::generate(0, &blocks[0], KeyGenConfig::default(), &mut rng);
+        let verifier = WorkerVerifier::generate(0, &blocks[0], KeyGenConfig::default(), &mut rng);
         let w: Vec<F25> = avcc_field::random_vector(&mut rng, 4);
         let e: Vec<F25> = avcc_field::random_vector(&mut rng, 6);
         let reversed: Vec<F25> = mat_vec(&blocks[0], &w).iter().map(|&v| -v).collect();
@@ -217,7 +223,13 @@ mod tests {
         // One Byzantine result.
         let corrupted = vec![F25::ONE; 4];
         assert!(!set.verify_round1(2, &w, &corrupted).accepted);
-        assert_eq!(set.stats(), VerdictStats { accepted: 5, rejected: 1 });
+        assert_eq!(
+            set.stats(),
+            VerdictStats {
+                accepted: 5,
+                rejected: 1
+            }
+        );
         assert_eq!(set.stats().total(), 6);
         set.reset_stats();
         assert_eq!(set.stats().total(), 0);

@@ -35,7 +35,11 @@ fn main() {
 
     let code = MdsCode::<P25>::new(workers, partitions).expect("valid MDS configuration");
     let shares = code.encode_matrix(&matrix);
-    println!("encoded {} data blocks into {} coded shares", partitions, shares.len());
+    println!(
+        "encoded {} data blocks into {} coded shares",
+        partitions,
+        shares.len()
+    );
 
     // One-time Freivalds keys, one per worker.
     let keys: Vec<MatVecKey<P25>> = shares

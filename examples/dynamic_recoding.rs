@@ -35,9 +35,8 @@ fn main() {
 
     let avcc_report = run_dynamic_coding_scenario::<P25>(&avcc, onset, &stragglers, 8.0)
         .expect("AVCC run failed");
-    let static_report =
-        run_dynamic_coding_scenario::<P25>(&static_vcc, onset, &stragglers, 8.0)
-            .expect("Static VCC run failed");
+    let static_report = run_dynamic_coding_scenario::<P25>(&static_vcc, onset, &stragglers, 8.0)
+        .expect("Static VCC run failed");
 
     println!("iteration   AVCC cumulative [s]   StaticVCC cumulative [s]");
     println!("----------------------------------------------------------");

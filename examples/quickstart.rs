@@ -24,10 +24,7 @@ fn main() {
     for (label, config) in [
         ("uncoded", ExperimentConfig::paper_uncoded(scenario.clone())),
         ("lcc", ExperimentConfig::paper_lcc(scenario.clone())),
-        (
-            "avcc",
-            ExperimentConfig::paper_avcc(2, 1, scenario.clone()),
-        ),
+        ("avcc", ExperimentConfig::paper_avcc(2, 1, scenario.clone())),
     ] {
         let report = run_experiment::<P25>(&config).expect("experiment failed");
         println!(

@@ -39,18 +39,27 @@ fn dynamic_coding_beats_static_vcc_in_the_figure_5_scenario() {
     let mut static_vcc = avcc.clone();
     static_vcc.scheme = SchemeKind::StaticVcc;
 
-    let avcc_report =
-        run_dynamic_coding_scenario::<P25>(&avcc, 1, &[0, 1, 2], 8.0).unwrap();
+    let avcc_report = run_dynamic_coding_scenario::<P25>(&avcc, 1, &[0, 1, 2], 8.0).unwrap();
     let static_report =
         run_dynamic_coding_scenario::<P25>(&static_vcc, 1, &[0, 1, 2], 8.0).unwrap();
 
-    assert!(avcc_report.reconfiguration_count() >= 1, "AVCC must re-encode");
-    assert_eq!(static_report.reconfiguration_count(), 0, "Static VCC must not");
     assert!(
-        avcc_report.total_seconds() < static_report.total_seconds(),
+        avcc_report.reconfiguration_count() >= 1,
+        "AVCC must re-encode"
+    );
+    assert_eq!(
+        static_report.reconfiguration_count(),
+        0,
+        "Static VCC must not"
+    );
+    // Median-based totals (with one-time reconfiguration costs retained) so
+    // a host-preemption spike in a single measured iteration cannot decide
+    // the comparison.
+    assert!(
+        avcc_report.robust_total_seconds() < static_report.robust_total_seconds(),
         "AVCC total {} should beat Static VCC total {}",
-        avcc_report.total_seconds(),
-        static_report.total_seconds()
+        avcc_report.robust_total_seconds(),
+        static_report.robust_total_seconds()
     );
     // The re-encoding iteration carries a visible one-time cost.
     assert!(avcc_report
@@ -68,12 +77,10 @@ fn dynamic_coding_beats_static_vcc_in_the_figure_5_scenario() {
 #[test]
 fn cost_breakdown_structure_matches_the_schemes() {
     let clean = FaultScenario::none();
-    let uncoded = run_experiment::<P25>(&quick(ExperimentConfig::paper_uncoded(clean.clone()), 6))
-        .unwrap();
-    let lcc =
-        run_experiment::<P25>(&quick(ExperimentConfig::paper_lcc(clean.clone()), 6)).unwrap();
-    let avcc =
-        run_experiment::<P25>(&quick(ExperimentConfig::paper_avcc(2, 1, clean), 6)).unwrap();
+    let uncoded =
+        run_experiment::<P25>(&quick(ExperimentConfig::paper_uncoded(clean.clone()), 6)).unwrap();
+    let lcc = run_experiment::<P25>(&quick(ExperimentConfig::paper_lcc(clean.clone()), 6)).unwrap();
+    let avcc = run_experiment::<P25>(&quick(ExperimentConfig::paper_avcc(2, 1, clean), 6)).unwrap();
 
     let uncoded_costs = uncoded.average_costs();
     let lcc_costs = lcc.average_costs();

@@ -3,7 +3,7 @@
 //! (S-resiliency, M-security, T-privacy) exercised through the public API.
 
 use avcc::coding::{LagrangeDecoder, LagrangeEncoder, MdsCode, SchemeConfig};
-use avcc::field::{F25, P25, PrimeField};
+use avcc::field::{PrimeField, F25, P25};
 use avcc::linalg::{mat_vec, Matrix};
 use avcc::poly::rank;
 use avcc::verify::{KeyGenConfig, MatVecKey};
@@ -104,11 +104,14 @@ fn t_privacy_pad_submatrices_are_invertible() {
         for b in (a + 1)..n {
             for c in (b + 1)..n {
                 let submatrix: Vec<F25> = vec![
-                    pads[0][a], pads[0][b], pads[0][c],
-                    pads[1][a], pads[1][b], pads[1][c],
+                    pads[0][a], pads[0][b], pads[0][c], pads[1][a], pads[1][b], pads[1][c],
                     pads[2][a], pads[2][b], pads[2][c],
                 ];
-                assert_eq!(rank(&submatrix, 3, 3), 3, "columns {a},{b},{c} are singular");
+                assert_eq!(
+                    rank(&submatrix, 3, 3),
+                    3,
+                    "columns {a},{b},{c} are singular"
+                );
             }
         }
     }

@@ -96,11 +96,14 @@ fn coded_schemes_outpace_the_uncoded_scheme_under_stragglers() {
     let uncoded = quick(ExperimentConfig::paper_uncoded(scenario), 12);
     let avcc_report = run_experiment::<P25>(&avcc).unwrap();
     let uncoded_report = run_experiment::<P25>(&uncoded).unwrap();
+    // Compare medians: per-iteration costs come from wall-clock measurements,
+    // so a host-scheduler preemption spike in a single iteration must not
+    // decide the comparison.
     assert!(
-        avcc_report.total_seconds() < uncoded_report.total_seconds(),
+        avcc_report.robust_total_seconds() < uncoded_report.robust_total_seconds(),
         "AVCC ({}) should finish before the uncoded baseline ({}) with stragglers present",
-        avcc_report.total_seconds(),
-        uncoded_report.total_seconds()
+        avcc_report.robust_total_seconds(),
+        uncoded_report.robust_total_seconds()
     );
     // The speedup helper should agree (total-time fallback is fine here).
     assert!(speedup(&avcc_report, &uncoded_report, 0.99) > 1.0);
@@ -116,7 +119,11 @@ fn lcc_and_avcc_produce_identical_model_trajectories_without_faults() {
     let lcc = quick(ExperimentConfig::paper_lcc(scenario), 10);
     let avcc_report = run_experiment::<P25>(&avcc).unwrap();
     let lcc_report = run_experiment::<P25>(&lcc).unwrap();
-    for (a, l) in avcc_report.iterations.iter().zip(lcc_report.iterations.iter()) {
+    for (a, l) in avcc_report
+        .iterations
+        .iter()
+        .zip(lcc_report.iterations.iter())
+    {
         assert!(
             (a.test_accuracy - l.test_accuracy).abs() < 1e-12,
             "iteration {}: AVCC accuracy {} vs LCC accuracy {}",
@@ -142,7 +149,11 @@ fn all_schemes_learn_something_in_the_fault_free_case() {
             "{label} reached only {}",
             report.final_accuracy()
         );
-        assert_eq!(report.total_detections(), 0, "{label} had spurious detections");
+        assert_eq!(
+            report.total_detections(),
+            0,
+            "{label} had spurious detections"
+        );
     }
 }
 
