@@ -21,9 +21,16 @@
 //!   mark them Byzantine. An exhaustive per-coordinate Berlekamp–Welch
 //!   fallback is used if the fingerprint pass fails to produce a consistent
 //!   codeword.
+//!
+//! When the evaluation points are in subgroup position (NTT-friendly field,
+//! see [`crate::points::EvaluationPoints::subgroup`]) and every worker
+//! responded, erasure decoding takes a full-coset NTT fast path —
+//! `O(N log N)` per coordinate instead of the `O(K·R)` Lagrange combination —
+//! and falls back to Lagrange interpolation the moment any result is missing
+//! (stragglers, evicted Byzantine workers).
 
-use avcc_field::{dot, random_vector, Fp, PrimeModulus};
-use avcc_poly::{BerlekampWelch, LagrangeBasis, RsDecodeError};
+use avcc_field::{dot, random_vector, Fp, PrimeField, PrimeModulus};
+use avcc_poly::{BerlekampWelch, LagrangeBasis, NttPlan, RsDecodeError};
 use rand::Rng;
 
 use crate::points::EvaluationPoints;
@@ -87,20 +94,77 @@ impl std::error::Error for DecodeError {}
 /// worker indices identified as corrupted.
 pub type DecodedWithErrors<M> = (Vec<Vec<Fp<M>>>, Vec<usize>);
 
+/// The cached NTT plans of a decoder whose points are in subgroup position.
+#[derive(Debug, Clone)]
+struct DecoderNtt<M: PrimeModulus> {
+    /// Inverse transform over the α-coset subgroup (size `A`): worker values
+    /// → coefficients of `f(u)` (after undoing the coset shift).
+    interpolate: NttPlan<M>,
+    /// Forward transform over the β-subgroup (size `K + T`): folded
+    /// coefficients → outputs at the β-points.
+    evaluate: NttPlan<M>,
+}
+
 /// The decoder bound to a scheme configuration and its evaluation points.
 #[derive(Debug, Clone)]
 pub struct LagrangeDecoder<M: PrimeModulus> {
     config: SchemeConfig,
     points: EvaluationPoints<M>,
+    /// Cached transforms for the full-coset NTT fast path (`None` → always
+    /// the Lagrange path).
+    ntt: Option<DecoderNtt<M>>,
 }
 
 impl<M: PrimeModulus> LagrangeDecoder<M> {
-    /// Creates a decoder using the standard evaluation points for `config`
-    /// (the same points the [`crate::encoder::LagrangeEncoder`] picks).
+    /// Creates a decoder using the automatically selected evaluation points
+    /// for `config` — [`EvaluationPoints::auto`] is deterministic, so this
+    /// matches the points an independently constructed
+    /// [`crate::encoder::LagrangeEncoder`] picks.
     pub fn new(config: SchemeConfig) -> Self {
-        let points =
-            EvaluationPoints::<M>::standard(config.partitions, config.colluding, config.workers);
-        LagrangeDecoder { config, points }
+        Self::with_points(
+            config,
+            EvaluationPoints::<M>::auto(config.partitions, config.colluding, config.workers),
+        )
+    }
+
+    /// Creates a decoder on explicitly chosen evaluation points (must match
+    /// the encoder's).
+    ///
+    /// # Panics
+    /// Panics if the point counts disagree with the configuration.
+    pub fn with_points(config: SchemeConfig, points: EvaluationPoints<M>) -> Self {
+        assert_eq!(
+            points.beta().len(),
+            config.partitions + config.colluding,
+            "need one β-point per data block and pad"
+        );
+        assert_eq!(
+            points.alpha().len(),
+            config.workers,
+            "need one α-point per worker"
+        );
+        // The full-coset inverse NTT needs an evaluation at *every* coset
+        // point, so the fast path only exists when the worker count fills the
+        // covering subgroup exactly (N a power of two).
+        let ntt = points
+            .ntt_layout()
+            .filter(|layout| layout.workers() == config.workers)
+            .map(|layout| DecoderNtt {
+                interpolate: NttPlan::new(layout.log_workers),
+                evaluate: NttPlan::new(layout.log_blocks),
+            });
+        LagrangeDecoder {
+            config,
+            points,
+            ntt,
+        }
+    }
+
+    /// `true` iff this decoder can take the full-coset `O(N log N)` NTT path
+    /// (subgroup points and `N` filling the covering subgroup); it still
+    /// falls back to Lagrange interpolation when results are missing.
+    pub fn supports_ntt(&self) -> bool {
+        self.ntt.is_some()
     }
 
     /// The scheme configuration.
@@ -124,6 +188,13 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
     ) -> Result<Vec<Vec<Fp<M>>>, DecodeError> {
         let threshold = self.recovery_threshold();
         self.validate(results, threshold)?;
+        // Full-coset NTT fast path: every worker responded (validate has
+        // already established distinctness, so `N` results = all of them),
+        // the points are in subgroup position and `N` fills the covering
+        // subgroup. Missing workers fall through to Lagrange interpolation.
+        if self.ntt.is_some() && results.len() == self.config.workers {
+            return Ok(self.decode_erasure_ntt(results));
+        }
         // Use exactly `threshold` results (the fastest ones the caller chose).
         let selected = &results[..threshold];
         let alphas: Vec<Fp<M>> = selected
@@ -160,6 +231,42 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             outputs.push(block.finish());
         }
         Ok(outputs)
+    }
+
+    /// The `O(N log N)`-per-coordinate fast path: interpolate `P = f(u)` from
+    /// the full α-coset with one inverse NTT, fold the coefficients modulo
+    /// `z^B − 1` (exact, because every β-point satisfies `z^B = 1`) and
+    /// evaluate at all β-points with one forward NTT over the subgroup.
+    fn decode_erasure_ntt(&self, results: &[(usize, Vec<Fp<M>>)]) -> Vec<Vec<Fp<M>>> {
+        let ntt = self.ntt.as_ref().expect("caller checked the fast path");
+        let layout = self
+            .points
+            .ntt_layout()
+            .expect("NTT plans imply a subgroup layout");
+        let width = results[0].1.len();
+        // Scatter results into coset order: worker i sits at α_i = g·ω_A^i.
+        let mut lanes: Vec<Vec<Fp<M>>> = vec![Vec::new(); self.config.workers];
+        for (worker, vector) in results {
+            lanes[*worker] = vector.clone();
+        }
+        // Coefficients of P in the coset basis: INTT gives p_k·g^k, undone by
+        // scaling with g^{-1} powers.
+        ntt.interpolate.inverse_vectors(&mut lanes);
+        ntt.interpolate
+            .coset_scale_vectors(&mut lanes, layout.shift.inverse());
+        // Fold modulo z^B − 1: coefficient m contributes to residue m mod B.
+        let blocks = ntt.evaluate.len();
+        let mut folded: Vec<Vec<Fp<M>>> = lanes.drain(..blocks).collect();
+        for (m, lane) in lanes.into_iter().enumerate() {
+            let target = &mut folded[m % blocks];
+            debug_assert_eq!(lane.len(), width);
+            for (slot, value) in target.iter_mut().zip(lane) {
+                *slot += value;
+            }
+        }
+        ntt.evaluate.forward_vectors(&mut folded);
+        folded.truncate(self.config.partitions);
+        folded
     }
 
     /// Error-correcting decoding: tolerates up to `max_errors` arbitrarily
@@ -433,6 +540,112 @@ mod tests {
         let (outputs, corrupted) = decoder.decode_with_errors(&results, 1, &mut rng).unwrap();
         assert_eq!(outputs, expected);
         assert!(corrupted.is_empty());
+    }
+
+    mod ntt_path {
+        use super::*;
+        use avcc_field::{F64, P64};
+
+        type NttRound = (Vec<Vec<F64>>, Vec<(usize, Vec<F64>)>, LagrangeDecoder<P64>);
+
+        /// A full encode → linear-compute round on the Goldilocks field with
+        /// `N = 16` workers (filling the covering subgroup) and `K = 8`.
+        fn ntt_round(config: SchemeConfig, seed: u64) -> NttRound {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rows = 4;
+            let cols = 6;
+            let blocks: Vec<Matrix<F64>> = (0..config.partitions)
+                .map(|_| {
+                    Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols))
+                })
+                .collect();
+            let w: Vec<F64> = avcc_field::random_vector(&mut rng, cols);
+            let encoder = LagrangeEncoder::<P64>::new(config);
+            assert!(encoder.uses_ntt());
+            let shares = if config.colluding == 0 {
+                encoder.encode_deterministic(&blocks)
+            } else {
+                encoder.encode(&blocks, &mut rng)
+            };
+            let expected: Vec<Vec<F64>> = blocks.iter().map(|b| mat_vec(b, &w)).collect();
+            let results: Vec<(usize, Vec<F64>)> = shares
+                .iter()
+                .map(|share| (share.worker, mat_vec(&share.block, &w)))
+                .collect();
+            (expected, results, LagrangeDecoder::<P64>::new(config))
+        }
+
+        #[test]
+        fn full_coset_results_decode_through_the_ntt() {
+            let config = SchemeConfig::linear(16, 8, 4, 2).unwrap();
+            let (expected, results, decoder) = ntt_round(config, 21);
+            assert!(decoder.supports_ntt());
+            let outputs = decoder.decode_erasure(&results).unwrap();
+            assert_eq!(outputs, expected);
+        }
+
+        #[test]
+        fn missing_workers_fall_back_to_lagrange_and_agree() {
+            let config = SchemeConfig::linear(16, 8, 4, 2).unwrap();
+            let (expected, results, decoder) = ntt_round(config, 22);
+            // Dropping any straggler forces the Lagrange path; both paths
+            // must produce the same outputs.
+            let full = decoder.decode_erasure(&results).unwrap();
+            let subset = results[3..].to_vec();
+            let partial = decoder.decode_erasure(&subset).unwrap();
+            assert_eq!(full, expected);
+            assert_eq!(partial, expected);
+        }
+
+        #[test]
+        fn non_power_of_two_worker_counts_use_lagrange_only() {
+            // N = 12 < 16 never fills the coset: supports_ntt is false but
+            // decoding stays correct.
+            let config = SchemeConfig::linear(12, 8, 2, 1).unwrap();
+            let (expected, results, decoder) = ntt_round(config, 23);
+            assert!(!decoder.supports_ntt());
+            let outputs = decoder.decode_erasure(&results).unwrap();
+            assert_eq!(outputs, expected);
+        }
+
+        #[test]
+        fn private_ntt_round_trips_with_full_coset() {
+            // K + T = 8, N = 16: threshold (8−1)·1+1 = 8 ≤ 16.
+            let config = SchemeConfig::new(16, 6, 2, 2, 2, 1).unwrap();
+            let (expected, results, decoder) = ntt_round(config, 24);
+            assert!(decoder.supports_ntt());
+            let outputs = decoder.decode_erasure(&results).unwrap();
+            assert_eq!(outputs, expected);
+        }
+
+        #[test]
+        fn error_correcting_decode_works_on_subgroup_points() {
+            // LCC-style on F64: locate the corruption via Berlekamp–Welch,
+            // then erasure-decode the clean subset (Lagrange fallback, since
+            // the evicted worker breaks full-coset coverage).
+            let config = SchemeConfig::linear(16, 8, 2, 2).unwrap();
+            let (expected, mut results, decoder) = ntt_round(config, 25);
+            for value in results[5].1.iter_mut() {
+                *value = -*value;
+            }
+            let mut rng = StdRng::seed_from_u64(250);
+            let (outputs, corrupted) = decoder.decode_with_errors(&results, 2, &mut rng).unwrap();
+            assert_eq!(outputs, expected);
+            assert_eq!(corrupted, vec![5]);
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+            #[test]
+            fn prop_ntt_and_lagrange_paths_agree(seed in any::<u64>(), drop_count in 0usize..8) {
+                let config = SchemeConfig::linear(16, 8, 4, 2).unwrap();
+                let (expected, results, decoder) = ntt_round(config, seed);
+                let outputs = decoder
+                    .decode_erasure(&results[drop_count..])
+                    .unwrap();
+                prop_assert_eq!(outputs, expected);
+            }
+        }
     }
 
     proptest! {

@@ -12,10 +12,24 @@
 //! pad blocks; the matrix of those scalars (the *encoding matrix* `U`, with
 //! `U_{j,i} = ℓ_j(α_i)`) is exposed for the privacy analysis and the
 //! verification-key generation.
+//!
+//! # Encoding paths
+//!
+//! With the default ([`EvaluationPoints::standard`]) points every share is a
+//! `(K+T)`-term linear combination — `O((K+T)·N)` multiply-reduces per
+//! coordinate. When the points are in subgroup position
+//! ([`EvaluationPoints::subgroup`], chosen automatically by
+//! [`EvaluationPoints::auto`] on NTT-friendly fields) the encoder instead
+//! interpolates `u` with one inverse NTT over the β-subgroup (size `K+T`) and
+//! evaluates it at all worker points with one forward NTT over the α-coset
+//! (size `next_pow2(N)`) — `O(N log N)` per coordinate, selected
+//! automatically at construction. Both paths produce the evaluations of the
+//! same degree-`< K+T` polynomial at the same points, so they are
+//! interchangeable share-for-share.
 
 use avcc_field::{random_matrix, Fp, PrimeModulus};
 use avcc_linalg::Matrix;
-use avcc_poly::LagrangeBasis;
+use avcc_poly::{LagrangeBasis, NttPlan};
 use rand::Rng;
 
 use crate::points::EvaluationPoints;
@@ -32,37 +46,95 @@ pub struct EncodedShare<M: PrimeModulus> {
     pub block: Matrix<Fp<M>>,
 }
 
+/// The cached NTT plans of an encoder whose points are in subgroup position.
+#[derive(Debug, Clone)]
+struct EncoderNtt<M: PrimeModulus> {
+    /// Inverse transform over the β-subgroup (size `K + T`): block values →
+    /// coefficients of `u`.
+    interpolate: NttPlan<M>,
+    /// Forward transform over the α-coset subgroup (size `next_pow2(N)`):
+    /// coefficients → evaluations at every worker point.
+    evaluate: NttPlan<M>,
+}
+
 /// The Lagrange encoder bound to a scheme configuration and its evaluation
 /// points.
 #[derive(Debug, Clone)]
 pub struct LagrangeEncoder<M: PrimeModulus> {
     config: SchemeConfig,
     points: EvaluationPoints<M>,
-    /// `encoding_matrix[j][i] = ℓ_j(α_i)` for `j ∈ [K+T]`, `i ∈ [N]`.
-    encoding_matrix: Vec<Vec<Fp<M>>>,
+    /// `encoding_matrix[j][i] = ℓ_j(α_i)` for `j ∈ [K+T]`, `i ∈ [N]`,
+    /// materialized on first use: the NTT fast path never evaluates it, and
+    /// its `O((K+T)·N)` construction is exactly the cost that path avoids —
+    /// only the matrix encode path and the analysis accessors
+    /// ([`LagrangeEncoder::encoding_matrix`] / [`LagrangeEncoder::pad_submatrix`])
+    /// force it.
+    encoding_matrix: std::sync::OnceLock<Vec<Vec<Fp<M>>>>,
+    /// Cached transforms for the NTT fast path (`None` → matrix path).
+    ntt: Option<EncoderNtt<M>>,
 }
 
 impl<M: PrimeModulus> LagrangeEncoder<M> {
-    /// Builds the encoder: selects evaluation points and precomputes the
-    /// encoding matrix.
+    /// Builds the encoder with automatically selected evaluation points
+    /// ([`EvaluationPoints::auto`]: subgroup position on NTT-friendly fields
+    /// when `K + T` is a power of two, the standard integer points otherwise)
+    /// and precomputes the encoding matrix.
     pub fn new(config: SchemeConfig) -> Self {
-        let points =
-            EvaluationPoints::<M>::standard(config.partitions, config.colluding, config.workers);
-        let basis = LagrangeBasis::new(points.beta().to_vec());
-        // Column i of the encoding matrix is the basis evaluated at α_i.
-        let mut encoding_matrix =
-            vec![vec![Fp::<M>::ZERO; config.workers]; config.partitions + config.colluding];
-        for (i, &alpha) in points.alpha().iter().enumerate() {
-            let column = basis.evaluate_at(alpha);
-            for (j, value) in column.into_iter().enumerate() {
-                encoding_matrix[j][i] = value;
-            }
-        }
+        Self::with_points(
+            config,
+            EvaluationPoints::<M>::auto(config.partitions, config.colluding, config.workers),
+        )
+    }
+
+    /// Builds the encoder on explicitly chosen evaluation points (the decoder
+    /// must be built on the same points).
+    ///
+    /// # Panics
+    /// Panics if the point counts disagree with the configuration.
+    pub fn with_points(config: SchemeConfig, points: EvaluationPoints<M>) -> Self {
+        assert_eq!(
+            points.beta().len(),
+            config.partitions + config.colluding,
+            "need one β-point per data block and pad"
+        );
+        assert_eq!(
+            points.alpha().len(),
+            config.workers,
+            "need one α-point per worker"
+        );
+        let ntt = points.ntt_layout().map(|layout| EncoderNtt {
+            interpolate: NttPlan::new(layout.log_blocks),
+            evaluate: NttPlan::new(layout.log_workers),
+        });
         LagrangeEncoder {
             config,
             points,
-            encoding_matrix,
+            encoding_matrix: std::sync::OnceLock::new(),
+            ntt,
         }
+    }
+
+    /// Builds the `(K+T) × N` matrix `U_{j,i} = ℓ_j(α_i)`.
+    fn build_encoding_matrix(&self) -> Vec<Vec<Fp<M>>> {
+        let basis = LagrangeBasis::new(self.points.beta().to_vec());
+        // Column i of the encoding matrix is the basis evaluated at α_i.
+        let mut matrix = vec![
+            vec![Fp::<M>::ZERO; self.config.workers];
+            self.config.partitions + self.config.colluding
+        ];
+        for (i, &alpha) in self.points.alpha().iter().enumerate() {
+            let column = basis.evaluate_at(alpha);
+            for (j, value) in column.into_iter().enumerate() {
+                matrix[j][i] = value;
+            }
+        }
+        matrix
+    }
+
+    /// `true` iff this encoder evaluates through the `O(N log N)` NTT path
+    /// rather than the `O((K+T)·N)` encoding matrix.
+    pub fn uses_ntt(&self) -> bool {
+        self.ntt.is_some()
     }
 
     /// The scheme configuration.
@@ -75,9 +147,11 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
         &self.points
     }
 
-    /// The `(K+T) × N` encoding matrix `U` with `U_{j,i} = ℓ_j(α_i)`.
+    /// The `(K+T) × N` encoding matrix `U` with `U_{j,i} = ℓ_j(α_i)`
+    /// (materialized on first access).
     pub fn encoding_matrix(&self) -> &[Vec<Fp<M>>] {
-        &self.encoding_matrix
+        self.encoding_matrix
+            .get_or_init(|| self.build_encoding_matrix())
     }
 
     /// Encodes the `K` data blocks into `N` coded shares, drawing the `T`
@@ -112,6 +186,11 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
             .map(|_| Matrix::from_vec(rows, cols, random_matrix(rng, rows, cols)))
             .collect();
 
+        if self.ntt.is_some() {
+            return self.encode_ntt(blocks, &pads, rows, cols);
+        }
+
+        let encoding_matrix = self.encoding_matrix();
         (0..self.config.workers)
             .map(|worker| {
                 // Lazy reduction across all K+T blocks: the u128 lanes absorb
@@ -119,7 +198,7 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
                 // (see avcc_field::batch::WideAccumulator).
                 let mut coded = avcc_field::WideAccumulator::<M>::new(rows * cols);
                 for (j, block) in blocks.iter().chain(pads.iter()).enumerate() {
-                    let coefficient = self.encoding_matrix[j][worker];
+                    let coefficient = encoding_matrix[j][worker];
                     if coefficient == Fp::<M>::ZERO {
                         continue;
                     }
@@ -130,6 +209,49 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
                     alpha: self.points.alpha()[worker],
                     block: Matrix::from_vec(rows, cols, coded.finish()),
                 }
+            })
+            .collect()
+    }
+
+    /// The `O(N log N)`-per-coordinate fast path for subgroup points.
+    ///
+    /// The `K + T` blocks are the values of `u` on the β-subgroup, so one
+    /// inverse NTT yields the coefficients of `u` (degree `< K + T`, exactly
+    /// as in the matrix path — the recovery threshold is unchanged). Scaling
+    /// coefficient `k` by `g^k` and zero-padding to the coset size turns the
+    /// forward NTT into the evaluation `u(g·ω_A^i)` at every worker point at
+    /// once. All transforms run block-at-a-time over vector lanes, so every
+    /// coordinate is carried through together with contiguous access.
+    fn encode_ntt(
+        &self,
+        blocks: &[Matrix<Fp<M>>],
+        pads: &[Matrix<Fp<M>>],
+        rows: usize,
+        cols: usize,
+    ) -> Vec<EncodedShare<M>> {
+        let ntt = self.ntt.as_ref().expect("caller checked the fast path");
+        let layout = self
+            .points
+            .ntt_layout()
+            .expect("NTT plans imply a subgroup layout");
+        let mut lanes: Vec<Vec<Fp<M>>> = blocks
+            .iter()
+            .chain(pads.iter())
+            .map(|block| block.data().to_vec())
+            .collect();
+        debug_assert_eq!(lanes.len(), ntt.interpolate.len());
+        ntt.interpolate.inverse_vectors(&mut lanes);
+        ntt.evaluate.coset_scale_vectors(&mut lanes, layout.shift);
+        lanes.resize(ntt.evaluate.len(), vec![Fp::<M>::ZERO; rows * cols]);
+        ntt.evaluate.forward_vectors(&mut lanes);
+        lanes
+            .into_iter()
+            .take(self.config.workers)
+            .enumerate()
+            .map(|(worker, lane)| EncodedShare {
+                worker,
+                alpha: self.points.alpha()[worker],
+                block: Matrix::from_vec(rows, cols, lane),
             })
             .collect()
     }
@@ -148,7 +270,7 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
     /// The bottom `T × N` part of the encoding matrix (pad coefficients),
     /// used by the T-privacy check of Theorem 1.
     pub fn pad_submatrix(&self) -> Vec<Vec<Fp<M>>> {
-        self.encoding_matrix[self.config.partitions..].to_vec()
+        self.encoding_matrix()[self.config.partitions..].to_vec()
     }
 }
 
@@ -300,5 +422,110 @@ mod tests {
         let encoder = LagrangeEncoder::<P25>::new(config);
         let blocks = data_blocks(3, 2, 2, 7);
         let _ = encoder.encode_deterministic(&blocks);
+    }
+
+    mod ntt_path {
+        use super::*;
+        use crate::points::EvaluationPoints;
+        use avcc_field::{F64, P64};
+
+        fn f64_blocks(k: usize, rows: usize, cols: usize, seed: u64) -> Vec<Matrix<F64>> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..k)
+                .map(|_| {
+                    Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols))
+                })
+                .collect()
+        }
+
+        #[test]
+        fn path_selection_follows_the_geometry() {
+            // Power-of-two K on the Goldilocks field: NTT.
+            let config = SchemeConfig::linear(12, 8, 2, 1).unwrap();
+            assert!(LagrangeEncoder::<P64>::new(config).uses_ntt());
+            // Non-power-of-two K: matrix fallback.
+            let config = SchemeConfig::linear(12, 9, 2, 1).unwrap();
+            assert!(!LagrangeEncoder::<P64>::new(config).uses_ntt());
+            // Power-of-two K on a field without declared NTT metadata: matrix.
+            let config = SchemeConfig::linear(12, 8, 2, 1).unwrap();
+            assert!(!LagrangeEncoder::<P25>::new(config).uses_ntt());
+        }
+
+        #[test]
+        fn ntt_shares_match_the_encoding_matrix() {
+            // The two paths must agree share-for-share: the constructor still
+            // precomputes the (K+T)×N matrix, so recompute every share as the
+            // explicit linear combination Σ_j U[j][i]·X_j and compare.
+            let config = SchemeConfig::linear(12, 8, 2, 1).unwrap();
+            let encoder = LagrangeEncoder::<P64>::new(config);
+            assert!(encoder.uses_ntt());
+            let blocks = f64_blocks(8, 3, 4, 11);
+            let shares = encoder.encode_deterministic(&blocks);
+            assert_eq!(shares.len(), 12);
+            for share in &shares {
+                let mut expected = [F64::ZERO; 12];
+                for (j, block) in blocks.iter().enumerate() {
+                    let coefficient = encoder.encoding_matrix()[j][share.worker];
+                    for (slot, &value) in expected.iter_mut().zip(block.data()) {
+                        *slot += coefficient * value;
+                    }
+                }
+                assert_eq!(share.block.data(), &expected[..], "worker {}", share.worker);
+            }
+        }
+
+        #[test]
+        fn ntt_shares_are_polynomial_evaluations_at_alpha() {
+            // Interpolating any K shares back to a β-point recovers the block,
+            // exactly as in the matrix path — degree < K is preserved.
+            let config = SchemeConfig::linear(11, 8, 2, 1).unwrap();
+            let encoder = LagrangeEncoder::<P64>::new(config);
+            assert!(encoder.uses_ntt());
+            let blocks = f64_blocks(8, 2, 3, 12);
+            let shares = encoder.encode_deterministic(&blocks);
+            let subset: Vec<_> = shares[3..11].to_vec();
+            let alphas: Vec<F64> = subset.iter().map(|s| s.alpha).collect();
+            for (k, block) in blocks.iter().enumerate() {
+                let beta = encoder.points().beta()[k];
+                for coordinate in 0..block.len() {
+                    let values: Vec<F64> =
+                        subset.iter().map(|s| s.block.data()[coordinate]).collect();
+                    let recovered = interpolate_eval(&alphas, &values, beta);
+                    assert_eq!(recovered, block.data()[coordinate]);
+                }
+            }
+        }
+
+        #[test]
+        fn private_ntt_encoding_stays_ntt_and_disjoint() {
+            // T = 2 pads with K + T = 8: still subgroup position, and privacy
+            // demands disjoint points.
+            let config = SchemeConfig::new(12, 6, 1, 1, 2, 1).unwrap();
+            let encoder = LagrangeEncoder::<P64>::new(config);
+            assert!(encoder.uses_ntt());
+            assert!(encoder.points().disjoint());
+            let blocks = f64_blocks(6, 2, 2, 13);
+            let mut rng = StdRng::seed_from_u64(5);
+            let shares = encoder.encode(&blocks, &mut rng);
+            for share in &shares {
+                for block in &blocks {
+                    assert_ne!(&share.block, block);
+                }
+            }
+        }
+
+        #[test]
+        fn explicit_standard_points_force_the_matrix_path_on_f64() {
+            let config = SchemeConfig::linear(12, 8, 2, 1).unwrap();
+            let points = EvaluationPoints::<P64>::standard(8, 0, 12);
+            let encoder = LagrangeEncoder::<P64>::with_points(config, points);
+            assert!(!encoder.uses_ntt());
+            // Systematic: the standard layout's defining property survives.
+            let blocks = f64_blocks(8, 2, 2, 14);
+            let shares = encoder.encode_deterministic(&blocks);
+            for (i, block) in blocks.iter().enumerate() {
+                assert_eq!(&shares[i].block, block);
+            }
+        }
     }
 }

@@ -32,5 +32,5 @@ pub mod scheme;
 pub use decoder::{DecodeError, LagrangeDecoder};
 pub use encoder::{EncodedShare, LagrangeEncoder};
 pub use mds::MdsCode;
-pub use points::EvaluationPoints;
+pub use points::{EvaluationPoints, SubgroupLayout};
 pub use scheme::{SchemeConfig, SchemeError};

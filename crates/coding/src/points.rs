@@ -8,14 +8,57 @@
 //! raw data block, destroying privacy. When `T = 0` the code is made
 //! *systematic* by letting `α_i = β_i` for `i ≤ K`, which is exactly the MDS
 //! construction of Fig. 1 (worker `i ≤ K` stores `X_i` itself).
+//!
+//! Two layouts are provided:
+//!
+//! * [`EvaluationPoints::standard`] — consecutive integers, works in every
+//!   field, systematic when `T = 0`. Encoding/decoding go through the
+//!   `O(N·K)`-per-coordinate Lagrange matrix.
+//! * [`EvaluationPoints::subgroup`] — for NTT-friendly fields
+//!   ([`avcc_field::NttModulus`]) with `K + T` a power of two: the β-points
+//!   are the order-`K+T` subgroup `H = ⟨ω⟩` and the α-points are the first
+//!   `N` elements of the coset `g·H'` (with `H' ⊇ H` the next power-of-two
+//!   subgroup covering all workers and `g` a generator of the full
+//!   multiplicative group). `g` has order `q − 1`, which no power-of-two
+//!   subgroup order divides, so the coset never intersects `H'` — the layout
+//!   is automatically disjoint (never systematic), and encoding/decoding
+//!   collapse to `O(N log N)` NTTs (see `encoder`/`decoder`).
 
-use avcc_field::{Fp, PrimeModulus};
+use avcc_field::{Fp, NttModulus, PrimeModulus};
+use avcc_poly::root_of_unity;
+
+/// The subgroup geometry of an NTT-ready point layout (see
+/// [`EvaluationPoints::subgroup`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubgroupLayout<M: PrimeModulus> {
+    /// `log2` of the β-subgroup order `B = K + T`.
+    pub log_blocks: u32,
+    /// `log2` of the α-coset order `A = next_pow2(max(N, B))`.
+    pub log_workers: u32,
+    /// The coset shift `g` (a generator of the full multiplicative group):
+    /// `α_i = g·ω_A^i`.
+    pub shift: Fp<M>,
+}
+
+impl<M: PrimeModulus> SubgroupLayout<M> {
+    /// The β-subgroup order `B = K + T`.
+    pub fn blocks(&self) -> usize {
+        1usize << self.log_blocks
+    }
+
+    /// The α-coset order `A` (the decoder's full-coset NTT path needs all `A`
+    /// coset evaluations, i.e. `N = A` and no stragglers).
+    pub fn workers(&self) -> usize {
+        1usize << self.log_workers
+    }
+}
 
 /// The β (interpolation) and α (worker) evaluation points of a Lagrange code.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvaluationPoints<M: PrimeModulus> {
     beta: Vec<Fp<M>>,
     alpha: Vec<Fp<M>>,
+    subgroup: Option<SubgroupLayout<M>>,
 }
 
 impl<M: PrimeModulus> EvaluationPoints<M> {
@@ -51,7 +94,82 @@ impl<M: PrimeModulus> EvaluationPoints<M> {
                 .map(|i| Fp::<M>::new(offset + i))
                 .collect()
         };
-        EvaluationPoints { beta, alpha }
+        EvaluationPoints {
+            beta,
+            alpha,
+            subgroup: None,
+        }
+    }
+
+    /// Places the points in NTT position: `β_j = ω_B^j` (the full order-`B`
+    /// subgroup, `B = K + T`) and `α_i = g·ω_A^i` (a coset of the covering
+    /// subgroup of order `A = next_pow2(max(N, B))`).
+    ///
+    /// Returns `None` when the geometry does not fit: `K + T` must be a power
+    /// of two (the interpolation step must be a full-subgroup inverse NTT —
+    /// padding the subgroup would raise the degree of the encoding polynomial
+    /// and with it the recovery threshold) and `A` must divide the field's
+    /// two-adic subgroup order.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0` / `workers == 0`.
+    pub fn subgroup(partitions: usize, colluding: usize, workers: usize) -> Option<Self>
+    where
+        M: NttModulus,
+    {
+        Self::subgroup_position(partitions, colluding, workers)
+    }
+
+    /// Chooses the subgroup layout when the modulus declares NTT support and
+    /// the geometry fits, and the [`EvaluationPoints::standard`] layout
+    /// otherwise. Deterministic for a given `(K, T, N, M)`, so encoders and
+    /// decoders built independently from the same scheme configuration agree
+    /// on the points.
+    pub fn auto(partitions: usize, colluding: usize, workers: usize) -> Self {
+        Self::subgroup_position(partitions, colluding, workers)
+            .unwrap_or_else(|| Self::standard(partitions, colluding, workers))
+    }
+
+    /// The [`EvaluationPoints::subgroup`] construction without the
+    /// [`NttModulus`] bound: generic callers (like [`EvaluationPoints::auto`])
+    /// rely on the run-time metadata check instead of the marker trait.
+    fn subgroup_position(partitions: usize, colluding: usize, workers: usize) -> Option<Self> {
+        assert!(partitions > 0, "need at least one data partition");
+        assert!(workers > 0, "need at least one worker");
+        let blocks = partitions + colluding;
+        if M::TWO_ADICITY == 0 || !blocks.is_power_of_two() {
+            return None;
+        }
+        let log_blocks = blocks.trailing_zeros();
+        let covering = workers.max(blocks).next_power_of_two();
+        let log_workers = covering.trailing_zeros();
+        if log_workers > M::TWO_ADICITY {
+            return None;
+        }
+        let omega_blocks = root_of_unity::<M>(log_blocks);
+        let omega_workers = root_of_unity::<M>(log_workers);
+        let shift = Fp::<M>::new(M::GROUP_GENERATOR);
+        let mut beta = Vec::with_capacity(blocks);
+        let mut power = Fp::<M>::ONE;
+        for _ in 0..blocks {
+            beta.push(power);
+            power *= omega_blocks;
+        }
+        let mut alpha = Vec::with_capacity(workers);
+        let mut power = shift;
+        for _ in 0..workers {
+            alpha.push(power);
+            power *= omega_workers;
+        }
+        Some(EvaluationPoints {
+            beta,
+            alpha,
+            subgroup: Some(SubgroupLayout {
+                log_blocks,
+                log_workers,
+                shift,
+            }),
+        })
     }
 
     /// The β-points (length `K + T`).
@@ -67,6 +185,12 @@ impl<M: PrimeModulus> EvaluationPoints<M> {
     /// The β-points corresponding to the data blocks only (the first `K`).
     pub fn data_beta(&self, partitions: usize) -> &[Fp<M>] {
         &self.beta[..partitions]
+    }
+
+    /// The subgroup geometry when the points are in NTT position, `None` for
+    /// the standard layout. The encoder/decoder fast paths key off this.
+    pub fn ntt_layout(&self) -> Option<&SubgroupLayout<M>> {
+        self.subgroup.as_ref()
     }
 
     /// `true` iff no worker point coincides with an interpolation point.
@@ -85,7 +209,8 @@ impl<M: PrimeModulus> EvaluationPoints<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avcc_field::{P25, P251};
+    use avcc_field::{PrimeField, P25, P251, P64};
+    use proptest::prelude::*;
 
     #[test]
     fn systematic_layout_when_no_privacy() {
@@ -94,6 +219,7 @@ mod tests {
         assert_eq!(points.alpha().len(), 12);
         assert!(points.is_systematic(9));
         assert!(!points.disjoint());
+        assert!(points.ntt_layout().is_none());
     }
 
     #[test]
@@ -135,5 +261,78 @@ mod tests {
     #[should_panic(expected = "at least one data partition")]
     fn zero_partitions_panics() {
         let _ = EvaluationPoints::<P25>::standard(0, 0, 4);
+    }
+
+    #[test]
+    fn subgroup_layout_places_beta_on_a_subgroup() {
+        let points = EvaluationPoints::<P64>::subgroup(6, 2, 12).unwrap();
+        let layout = *points.ntt_layout().unwrap();
+        assert_eq!(layout.blocks(), 8);
+        assert_eq!(layout.workers(), 16);
+        // Every β is a B-th root of unity; the product of all of them is
+        // (−1)^(B+1)... more simply: β_j^B = 1 for all j.
+        for &beta in points.beta() {
+            assert_eq!(beta.pow(8), Fp::<P64>::ONE);
+        }
+        // No α lies in any power-of-two subgroup: α^A ≠ 1.
+        for &alpha in points.alpha() {
+            assert_ne!(alpha.pow(16), Fp::<P64>::ONE);
+        }
+    }
+
+    #[test]
+    fn subgroup_layout_requires_power_of_two_blocks() {
+        assert!(EvaluationPoints::<P64>::subgroup(9, 0, 12).is_none());
+        assert!(EvaluationPoints::<P64>::subgroup(8, 1, 12).is_none());
+        assert!(EvaluationPoints::<P64>::subgroup(8, 0, 12).is_some());
+        assert!(EvaluationPoints::<P64>::subgroup(7, 1, 12).is_some());
+    }
+
+    #[test]
+    fn auto_prefers_subgroup_only_on_ntt_fields() {
+        // P64 with a power-of-two K+T: subgroup position.
+        let on_ntt_field = EvaluationPoints::<P64>::auto(8, 0, 12);
+        assert!(on_ntt_field.ntt_layout().is_some());
+        // Same geometry on P25 (two-adicity undeclared): standard.
+        let on_plain_field = EvaluationPoints::<P25>::auto(8, 0, 12);
+        assert!(on_plain_field.ntt_layout().is_none());
+        assert!(on_plain_field.is_systematic(8));
+        // Non-power-of-two K+T on P64: standard fallback.
+        let fallback = EvaluationPoints::<P64>::auto(9, 0, 12);
+        assert!(fallback.ntt_layout().is_none());
+        assert!(fallback.is_systematic(9));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_subgroup_points_are_disjoint_distinct_and_never_systematic(
+            log_blocks in 0u32..7,
+            colluding in 0usize..5,
+            extra_workers in 0usize..20,
+        ) {
+            let blocks = 1usize << log_blocks;
+            prop_assume!(blocks > colluding);
+            let partitions = blocks - colluding;
+            let workers = partitions.max(1) + extra_workers;
+            let points = EvaluationPoints::<P64>::subgroup(partitions, colluding, workers)
+                .expect("power-of-two geometry must fit the 2^32-adic field");
+            // The paper's privacy requirement A ∩ B = ∅ holds for *every*
+            // subgroup layout (the coset shift is a full-group generator).
+            prop_assert!(points.disjoint());
+            prop_assert!(!points.is_systematic(partitions));
+            prop_assert_eq!(points.beta().len(), blocks);
+            prop_assert_eq!(points.alpha().len(), workers);
+            // All K+T+N points are pairwise distinct.
+            let mut all: Vec<u64> = points
+                .beta()
+                .iter()
+                .chain(points.alpha().iter())
+                .map(|p| p.value())
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(all.len(), blocks + workers);
+        }
     }
 }

@@ -259,7 +259,13 @@ mod tests {
     fn reverse_value_attack_is_also_rejected() {
         let (matrix, input, expected) = setup();
         let mut engine = engine(&matrix, 2, 1, 6);
-        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        // Slow every honest worker down: under wall-clock noise the Byzantine
+        // worker could otherwise finish among the slowest three, and a master
+        // that already has threshold verified results never examines (or
+        // detects) it.
+        let honest: Vec<usize> = (0..12).filter(|w| *w != 4).collect();
+        let profile = ClusterProfile::uniform(12).with_stragglers(&honest, 50.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([4], AttackModel::reverse());
         let mut rng = StdRng::seed_from_u64(7);
         let round = engine

@@ -194,7 +194,11 @@ mod tests {
         let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
-        let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
+        // Pin the dropped straggler to worker 11: under wall-clock noise any
+        // uniform worker can be the slowest, and if the Byzantine worker were
+        // dropped there would be nothing left to detect.
+        let profile = ClusterProfile::uniform(12).with_stragglers(&[11], 300.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
         let byzantine = ByzantineSpec::new([5], AttackModel::reverse());
         let round = engine
             .execute(&input, &executor, &byzantine, &mut rng)
@@ -204,14 +208,18 @@ mod tests {
     }
 
     #[test]
-    fn two_byzantine_workers_exceed_the_design_and_corrupt_the_output() {
+    fn byzantine_workers_beyond_the_design_corrupt_the_output() {
         let (matrix, input, expected) = setup();
-        // Designed for M = 1 only.
+        // Designed for M = 1 only; corrupt four workers. Which workers the
+        // engine excludes depends on wall-clock noise (one observed straggler
+        // plus the two slowest of the fallback erasure subset), so corrupting
+        // more workers than can ever be excluded keeps at least one corrupted
+        // result in every decode regardless of timing.
         let config = SchemeConfig::linear(12, 9, 1, 1).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let mut engine = LccMatVec::<P25>::new(&matrix, config, &mut rng);
         let executor = VirtualExecutor::new(ClusterProfile::uniform(12)).with_time_scale(1.0);
-        let byzantine = ByzantineSpec::new([2, 7], AttackModel::constant());
+        let byzantine = ByzantineSpec::new([2, 5, 7, 9], AttackModel::constant());
         let round = engine
             .execute(&input, &executor, &byzantine, &mut rng)
             .unwrap();

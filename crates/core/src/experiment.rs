@@ -264,7 +264,7 @@ pub fn run_dynamic_coding_scenario<M: PrimeModulus>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use avcc_field::P25;
+    use avcc_field::{P25, P64};
 
     fn quick(mut config: ExperimentConfig) -> ExperimentConfig {
         config.iterations = 5;
@@ -315,6 +315,32 @@ mod tests {
         let report = run_experiment::<P25>(&config).unwrap();
         assert_eq!(report.len(), 5);
         assert_eq!(report.scheme, "avcc");
+        assert!(report.total_detections() > 0);
+    }
+
+    #[test]
+    fn avcc_experiment_runs_on_the_goldilocks_field() {
+        // The pipeline is generic over the modulus: the same experiment must
+        // run end-to-end on the 64-bit NTT-friendly field (with K = 9 the
+        // coding falls back to Lagrange points — the point is that nothing in
+        // quantization, encoding, verification or decoding assumes a small
+        // modulus).
+        let scenario = FaultScenario::paper(1, 1, AttackModel::constant());
+        let config = quick(ExperimentConfig::paper_avcc(2, 1, scenario));
+        let report = run_experiment::<P64>(&config).unwrap();
+        assert_eq!(report.len(), 5);
+        assert!(report.total_detections() > 0);
+    }
+
+    #[test]
+    fn avcc_experiment_runs_on_subgroup_points() {
+        // K = 8 with 12 workers on F64: the encoder takes the NTT fast path
+        // (power-of-two K), training must converge identically through it.
+        let scenario = FaultScenario::paper(1, 1, AttackModel::reverse());
+        let mut config = quick(ExperimentConfig::paper_avcc(2, 1, scenario));
+        config.partitions = 8;
+        let report = run_experiment::<P64>(&config).unwrap();
+        assert_eq!(report.len(), 5);
         assert!(report.total_detections() > 0);
     }
 

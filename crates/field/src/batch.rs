@@ -234,6 +234,29 @@ mod tests {
         // P61 products are ~2^122: roughly 63 fit.
         assert!((32..256).contains(&P61::WIDE_BATCH), "{}", P61::WIDE_BATCH);
         assert!(P251::WIDE_BATCH > 1 << 40);
+        // The 64-bit Goldilocks modulus degenerates to one product per
+        // reduction — the minimum the compile-time guard admits.
+        assert_eq!(crate::fp::P64::WIDE_BATCH, 1);
+    }
+
+    #[test]
+    fn goldilocks_kernels_survive_batch_of_one() {
+        // WIDE_BATCH = 1 forces a collapse on every accumulation; the lazy
+        // kernels must still match the element-wise reference at the extremes.
+        type H = Fp<crate::fp::P64>;
+        const Q: u64 = crate::fp::P64::MODULUS;
+        let a: Vec<H> = (0..100u64).map(|i| H::from_u64(Q - 1 - i)).collect();
+        let b: Vec<H> = (0..100u64).map(|i| H::from_u64(Q - 7 - i)).collect();
+        let reference: H = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+        assert_eq!(dot(&a, &b), reference);
+        let near = H::from_u64(Q - 1);
+        let mut accumulator = WideAccumulator::<crate::fp::P64>::new(4);
+        let lane = vec![near; 4];
+        for _ in 0..10 {
+            accumulator.axpy(near, &lane);
+        }
+        // (q−1)^2 ≡ 1, so ten accumulations of it sum to 10.
+        assert_eq!(accumulator.finish(), vec![H::from_u64(10); 4]);
     }
 
     #[test]
@@ -408,6 +431,7 @@ mod tests {
             check::<P25>(&raw_a, &raw_b, n);
             check::<P61>(&raw_a, &raw_b, n);
             check::<P251>(&raw_a, &raw_b, n);
+            check::<crate::fp::P64>(&raw_a, &raw_b, n);
         }
 
         #[test]

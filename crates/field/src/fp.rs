@@ -17,12 +17,14 @@ use serde::{Deserialize, Deserializer, Serialize, Serializer};
 /// A zero-sized marker supplying the prime modulus of a field together with
 /// its specialized reduction backend.
 ///
-/// Implementations must guarantee that [`PrimeModulus::MODULUS`] is prime and
-/// fits in 63 bits (so that `a + b` never overflows a `u64` for canonical
-/// representatives). The default [`PrimeModulus::reduce_wide`] is Barrett
-/// reduction — division-free and correct for any conforming modulus; moduli
-/// with special structure (Mersenne, pseudo-Mersenne) override it with a
-/// cheaper fold (see [`crate::reduce`]).
+/// Implementations must guarantee that [`PrimeModulus::MODULUS`] is prime;
+/// any prime below `2^64` is admissible (addition and subtraction use
+/// carry-aware arithmetic, and [`PrimeModulus::WIDE_BATCH`] shrinks to 1 for
+/// 64-bit moduli, so lazy accumulation stays sound). The default
+/// [`PrimeModulus::reduce_wide`] is Barrett reduction — division-free and
+/// correct for any conforming modulus; moduli with special structure
+/// (Mersenne, pseudo-Mersenne, Goldilocks) override it with a cheaper fold
+/// (see [`crate::reduce`]).
 pub trait PrimeModulus:
     'static + Copy + Clone + fmt::Debug + Default + PartialEq + Eq + Send + Sync
 {
@@ -30,6 +32,17 @@ pub trait PrimeModulus:
     const MODULUS: u64;
     /// A short human-readable name used in `Debug`/display output.
     const NAME: &'static str;
+    /// The 2-adicity `v` of the multiplicative group: `2^v` divides `q − 1`
+    /// and the field supports radix-2 NTTs up to size `2^v`. The default of 0
+    /// declares the modulus *not* NTT-friendly; moduli implementing
+    /// [`NttModulus`] override it together with the generators below.
+    const TWO_ADICITY: u32 = 0;
+    /// A primitive `2^TWO_ADICITY`-th root of unity (meaningless, and never
+    /// read, while `TWO_ADICITY = 0`).
+    const TWO_ADIC_GENERATOR: u64 = 0;
+    /// A generator of the full multiplicative group `F_q^*`, used as the coset
+    /// shift for NTT evaluation points (meaningless while `TWO_ADICITY = 0`).
+    const GROUP_GENERATOR: u64 = 0;
     /// The Barrett constant `⌊2^128 / q⌋` used by the default
     /// [`PrimeModulus::reduce_wide`].
     const BARRETT_MU: u128 = crate::reduce::barrett_mu(Self::MODULUS);
@@ -97,6 +110,46 @@ impl PrimeModulus for P251 {
     const NAME: &'static str = "F_251";
 }
 
+/// The NTT-friendly Goldilocks prime `q = 2^64 − 2^32 + 1`.
+///
+/// `q − 1 = 2^32 · 3 · 5 · 17 · 257 · 65537`, so the multiplicative group
+/// contains a cyclic subgroup of every power-of-two order up to `2^32` —
+/// large enough to place Lagrange evaluation points in a subgroup and run
+/// encoding/decoding as `O(N log N)` NTTs for any realistic partition count.
+/// Reduction uses the `ε = 2^32 − 1` fold ([`crate::reduce::reduce_goldilocks64`]);
+/// the price of the 64-bit modulus is `WIDE_BATCH = 1` (one reduction per
+/// accumulated product — products of canonical representatives already
+/// saturate a `u128`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct P64;
+
+impl PrimeModulus for P64 {
+    const MODULUS: u64 = crate::reduce::GOLDILOCKS;
+    const NAME: &'static str = "F_{2^64-2^32+1}";
+    const TWO_ADICITY: u32 = 32;
+    // 7^((q−1)/2^32), evaluated at compile time = 1753635133440165772.
+    const TWO_ADIC_GENERATOR: u64 =
+        crate::reduce::pow_goldilocks64(7, (Self::MODULUS - 1) >> Self::TWO_ADICITY);
+    const GROUP_GENERATOR: u64 = 7;
+
+    #[inline]
+    fn reduce_wide(value: u128) -> u64 {
+        crate::reduce::reduce_goldilocks64(value)
+    }
+}
+
+/// Marker for moduli whose metadata supports radix-2 NTTs: a nonzero
+/// [`PrimeModulus::TWO_ADICITY`] with matching [`PrimeModulus::TWO_ADIC_GENERATOR`]
+/// and [`PrimeModulus::GROUP_GENERATOR`] constants.
+///
+/// The subgroup evaluation-point constructors of the coding layer are gated
+/// on this trait, so only fields that *declare* NTT support can opt into the
+/// `O(N log N)` encode/decode paths; generic code bound by [`PrimeModulus`]
+/// reads the (const-folded) metadata at run time instead.
+pub trait NttModulus: PrimeModulus {}
+
+impl NttModulus for P64 {}
+
 /// Operations every prime-field element type supports.
 ///
 /// The trait exists so that the coding, verification and ML layers can be
@@ -153,6 +206,22 @@ pub trait PrimeField:
     fn try_inverse(self) -> Option<Self>;
     /// `true` iff the element is zero.
     fn is_zero(self) -> bool;
+
+    /// Inner product `Σ a[i]·b[i]`.
+    ///
+    /// The default folds element-wise (one reduction per product); [`Fp`]
+    /// overrides it with the lazy-reduction kernel [`crate::batch::dot`],
+    /// which reduces once per [`PrimeModulus::WIDE_BATCH`] products. Generic
+    /// product chains (polynomial convolution, Berlekamp–Welch) route their
+    /// sums-of-products through this hook so they inherit lazy reduction
+    /// without naming a concrete modulus.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    fn dot_product(a: &[Self], b: &[Self]) -> Self {
+        assert_eq!(a.len(), b.len(), "dot product length mismatch");
+        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    }
 
     /// Montgomery batch inversion: inverts every element using a single field
     /// inversion plus `3(n−1)` multiplications. Hot on the decoder's
@@ -280,16 +349,23 @@ impl<M: PrimeModulus> PrimeField for Fp<M> {
     }
 
     fn pow(self, mut exponent: u64) -> Self {
+        if exponent == 0 {
+            return Self::ONE;
+        }
         let mut base = self;
         let mut accumulator = Self::ONE;
-        while exponent > 0 {
+        // Stop squaring at the top bit: the final `base *= base` of the naive
+        // loop is a wasted multiply-reduce (its result is never consumed),
+        // which adds up on inversion-heavy paths (Fermat inverses are
+        // 64-squaring chains for the 64-bit modulus).
+        while exponent > 1 {
             if exponent & 1 == 1 {
                 accumulator *= base;
             }
             base *= base;
             exponent >>= 1;
         }
-        accumulator
+        accumulator * base
     }
 
     #[inline]
@@ -310,6 +386,11 @@ impl<M: PrimeModulus> PrimeField for Fp<M> {
     #[inline]
     fn is_zero(self) -> bool {
         self.0 == 0
+    }
+
+    #[inline]
+    fn dot_product(a: &[Self], b: &[Self]) -> Self {
+        crate::batch::dot(a, b)
     }
 }
 
@@ -335,9 +416,12 @@ impl<M: PrimeModulus> Add for Fp<M> {
     type Output = Self;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        let mut sum = self.0 + rhs.0;
-        if sum >= M::MODULUS {
-            sum -= M::MODULUS;
+        // Carry-aware: for 64-bit moduli (Goldilocks) `a + b` can exceed
+        // `u64::MAX`; the wrapped value plus the carry flag identifies the
+        // (unique, since `a + b < 2q`) subtraction case exactly.
+        let (mut sum, carry) = self.0.overflowing_add(rhs.0);
+        if carry || sum >= M::MODULUS {
+            sum = sum.wrapping_sub(M::MODULUS);
         }
         Fp(sum, PhantomData)
     }
@@ -354,10 +438,14 @@ impl<M: PrimeModulus> Sub for Fp<M> {
     type Output = Self;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        let difference = if self.0 >= rhs.0 {
-            self.0 - rhs.0
+        // Borrow-aware twin of `add`: `a − b + q` can exceed `u64::MAX` for
+        // 64-bit moduli, but the wrapped difference plus `q` lands back in
+        // `[0, q)` under wrapping arithmetic.
+        let (difference, borrow) = self.0.overflowing_sub(rhs.0);
+        let difference = if borrow {
+            difference.wrapping_add(M::MODULUS)
         } else {
-            self.0 + M::MODULUS - rhs.0
+            difference
         };
         Fp(difference, PhantomData)
     }
@@ -465,11 +553,73 @@ mod tests {
     type F = Fp<P25>;
     type G = Fp<P61>;
 
+    type H = Fp<P64>;
+
     #[test]
     fn modulus_constants_are_prime_sized() {
         assert_eq!(P25::MODULUS, 33_554_393);
         assert_eq!(P61::MODULUS, 2_305_843_009_213_693_951);
         assert_eq!(P251::MODULUS, 251);
+        assert_eq!(P64::MODULUS, 18_446_744_069_414_584_321);
+    }
+
+    #[test]
+    fn goldilocks_ntt_metadata_is_consistent() {
+        // q − 1 = 2^32 · (odd), and the declared generator has order exactly
+        // 2^32: its 2^31-th power is −1, not 1.
+        assert_eq!((P64::MODULUS - 1) % (1u64 << P64::TWO_ADICITY), 0);
+        assert_eq!((P64::MODULUS - 1) >> P64::TWO_ADICITY, 4_294_967_295);
+        let root = H::from_u64(P64::TWO_ADIC_GENERATOR);
+        assert_eq!(root.pow(1 << 31), -H::ONE);
+        assert_eq!(root.pow(1 << 31) * root.pow(1 << 31), H::ONE);
+        // 7 generates the full group: 7^((q−1)/f) ≠ 1 for every prime factor
+        // f of q − 1 (2, 3, 5, 17, 257, 65537).
+        let g = H::from_u64(P64::GROUP_GENERATOR);
+        for factor in [2u64, 3, 5, 17, 257, 65537] {
+            assert_ne!(g.pow((P64::MODULUS - 1) / factor), H::ONE, "{factor}");
+        }
+        // Non-NTT moduli keep the inert defaults.
+        assert_eq!(P25::TWO_ADICITY, 0);
+        assert_eq!(P61::TWO_ADICITY, 0);
+    }
+
+    #[test]
+    fn goldilocks_add_sub_survive_u64_overflow() {
+        // a + b > u64::MAX for canonical Goldilocks representatives: the
+        // carry-aware path must wrap through the modulus, not the register.
+        let a = H::from_u64(P64::MODULUS - 1);
+        let b = H::from_u64(P64::MODULUS - 2);
+        assert_eq!((a + b).to_u64(), P64::MODULUS - 3);
+        assert_eq!(a + H::ONE, H::ZERO);
+        // a − b with a < b borrows through the modulus.
+        assert_eq!((H::ONE - a).to_u64(), 2);
+        assert_eq!((b - a) + (a - b), H::ZERO);
+        // Multiplication near the modulus: (q−2)(q−3) ≡ 6.
+        assert_eq!((b * H::from_u64(P64::MODULUS - 3)).to_u64(), 6);
+        // Fermat inversion round-trips at the extremes.
+        for raw in [1u64, 2, 7, P64::MODULUS - 1, 1 << 63] {
+            let x = H::from_u64(raw);
+            assert_eq!(x * x.inverse(), H::ONE);
+        }
+    }
+
+    #[test]
+    fn goldilocks_signed_embedding_round_trips() {
+        // Round-tripping holds for |v| ≤ (q−1)/2 ≈ 9.22e18 (slightly below
+        // i64::MAX for this near-2^64 modulus).
+        let half = (P64::MODULUS - 1) / 2;
+        for v in [
+            -(half as i64),
+            -9_000_000_000_000_000_000,
+            -1,
+            0,
+            1,
+            9_000_000_000_000_000_000,
+            half as i64,
+        ] {
+            assert_eq!(H::from_i64(v).to_i64(), v);
+            assert_eq!(H::from_i64(v) + H::from_i64(-v), H::ZERO);
+        }
     }
 
     #[test]
@@ -563,6 +713,7 @@ mod tests {
         check::<P25>();
         check::<P61>();
         check::<P251>();
+        check::<P64>();
     }
 
     #[test]

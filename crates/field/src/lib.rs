@@ -38,6 +38,7 @@
 //! |---------|---------|--------------------|
 //! | `2^61 − 1` ([`P61`]) | Mersenne fold (`2^61 ≡ 1`) | 3 shift-add folds + 1 conditional subtract |
 //! | `2^25 − 39` ([`P25`]) | pseudo-Mersenne fold (`2^25 ≡ 39`) | 3 folds + 1 conditional subtract for inputs `< 2^64` (any product of canonical values); a loop sheds ≈19.7 bits/fold above that |
+//! | `2^64 − 2^32 + 1` ([`P64`], Goldilocks) | `ε = 2^32 − 1` fold (`2^64 ≡ ε`, `2^96 ≡ −1`) | 1 borrow-corrected subtract + 1 32×32 multiply + 1 carry-corrected add + 1 conditional subtract; `WIDE_BATCH = 1`, so every product reduces — the field's payoff is the `2^32` two-adicity that unlocks the NTT encode/decode paths |
 //! | `251` ([`P251`]) and any other | Barrett with `μ = ⌊2^128/q⌋` | 1 high-128 multiply + ≤ 2 conditional subtracts |
 //!
 //! # Overflow bounds (lazy reduction)
@@ -84,7 +85,7 @@ pub use batch::{
     batch_inverse, dot, slice_add, slice_add_assign, slice_axpy, slice_scale, slice_sub,
     WideAccumulator,
 };
-pub use fp::{Fp, PrimeField, PrimeModulus, P25, P251, P61};
+pub use fp::{Fp, NttModulus, PrimeField, PrimeModulus, P25, P251, P61, P64};
 pub use quantize::{QuantError, Quantizer, SignedEmbedding};
 pub use rng::{random_element, random_matrix, random_vector};
 
@@ -97,6 +98,11 @@ pub type F25 = Fp<P25>;
 /// A larger field, `q = 2^61 − 1` (a Mersenne prime), for workloads whose
 /// quantized dynamic range does not fit in the 25-bit field.
 pub type F61 = Fp<P61>;
+
+/// The NTT-friendly Goldilocks field, `q = 2^64 − 2^32 + 1`, whose `2^32`
+/// two-adicity lets the coding layer place evaluation points in a
+/// multiplicative subgroup and encode/decode in `O(N log N)` per coordinate.
+pub type F64 = Fp<P64>;
 
 /// A tiny field (`q = 251`) used by exhaustive unit tests and to demonstrate
 /// the `1/q` soundness error of Freivalds verification empirically.

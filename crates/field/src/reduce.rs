@@ -16,6 +16,12 @@
 //!   so a value folds as `(x & (2^25−1)) + 39·(x >> 25)`, shedding ≈19.7 bits
 //!   per fold. Products of canonical representatives are below `2^50`, so the
 //!   hot path is three folds plus one conditional subtraction.
+//! * [`reduce_goldilocks64`] — for the NTT-friendly Goldilocks prime
+//!   `q = 2^64 − 2^32 + 1`: with `ε = 2^32 − 1` the identities `2^64 ≡ ε` and
+//!   `2^96 ≡ −1 (mod q)` collapse a 128-bit value
+//!   `x = lo + 2^64·hi_lo + 2^96·hi_hi` (where `hi_lo`, `hi_hi` are the two
+//!   32-bit halves of the high word) into `lo + ε·hi_lo − hi_hi` using only
+//!   64-bit adds, one 32×32→64 multiply and two carry corrections.
 //! * [`reduce_barrett`] — the generic fallback (used by `F_251` and any future
 //!   modulus without a special form): one 128×128→256-bit high multiply by the
 //!   precomputed `μ = ⌊2^128 / q⌋` estimates the quotient to within 2, then at
@@ -49,7 +55,7 @@ pub const fn barrett_mu(modulus: u64) -> u128 {
     u128::MAX / modulus as u128
 }
 
-/// Barrett reduction of a full-range `u128` by a modulus below `2^63`.
+/// Barrett reduction of a full-range `u128` by a modulus below `2^64`.
 ///
 /// With `q̂ = mulhi(x, μ)` the true quotient satisfies
 /// `q̂ ≤ ⌊x/q⌋ ≤ q̂ + 2`, so after subtracting `q̂·q` at most two conditional
@@ -103,6 +109,67 @@ pub const fn reduce_pseudo_mersenne25(value: u128) -> u64 {
     } else {
         x
     }
+}
+
+/// The Goldilocks prime `q = 2^64 − 2^32 + 1`.
+pub const GOLDILOCKS: u64 = 0xFFFF_FFFF_0000_0001;
+
+/// `ε = 2^32 − 1 = 2^64 mod q` for the Goldilocks prime.
+const GOLDILOCKS_EPSILON: u64 = 0xFFFF_FFFF;
+
+/// Goldilocks reduction of a full-range `u128` modulo `q = 2^64 − 2^32 + 1`.
+///
+/// Splitting `x = lo + 2^64·hi_lo + 2^96·hi_hi` (with `hi_lo`, `hi_hi` the
+/// 32-bit halves of the high word) and using `2^64 ≡ ε = 2^32 − 1`,
+/// `2^96 ≡ −1 (mod q)` gives `x ≡ lo − hi_hi + ε·hi_lo`. Both carry cases are
+/// folded back through the same identities, so the whole reduction is
+/// branch-light 64-bit arithmetic — cheaper than Barrett's 128×128 high
+/// multiply, which matters because `WIDE_BATCH = 1` for this modulus (the
+/// batch kernels reduce after every product).
+#[inline]
+pub const fn reduce_goldilocks64(value: u128) -> u64 {
+    let lo = value as u64;
+    let hi = (value >> 64) as u64;
+    let hi_hi = hi >> 32;
+    let hi_lo = hi & GOLDILOCKS_EPSILON;
+    // t0 = lo − hi_hi (mod q). On borrow the wrapped value is `true + 2^64`,
+    // and `2^64 ≡ ε`, so subtract ε again — this cannot re-borrow because a
+    // borrow implies the wrapped value is at least `2^64 − 2^32 + 1`.
+    let (mut t0, borrow) = lo.overflowing_sub(hi_hi);
+    if borrow {
+        t0 = t0.wrapping_sub(GOLDILOCKS_EPSILON);
+    }
+    // t1 = ε·hi_lo ≤ (2^32 − 1)^2 < 2^64.
+    let t1 = GOLDILOCKS_EPSILON * hi_lo;
+    // t2 = t0 + t1 (mod q). On carry the wrapped value is `true − 2^64`, so
+    // add ε back — this cannot re-carry because `t1 ≤ (2^32 − 1)^2` keeps the
+    // wrapped value below `2^64 − 2^33`.
+    let (mut t2, carry) = t0.overflowing_add(t1);
+    if carry {
+        t2 = t2.wrapping_add(GOLDILOCKS_EPSILON);
+    }
+    if t2 >= GOLDILOCKS {
+        t2 - GOLDILOCKS
+    } else {
+        t2
+    }
+}
+
+/// Modular exponentiation by squaring in the Goldilocks field, usable in
+/// `const` contexts (it computes the 2-adic root-of-unity constant of
+/// [`crate::fp::P64`] at compile time).
+#[inline]
+pub const fn pow_goldilocks64(base: u64, mut exponent: u64) -> u64 {
+    let mut base = reduce_goldilocks64(base as u128);
+    let mut accumulator: u64 = 1;
+    while exponent > 0 {
+        if exponent & 1 == 1 {
+            accumulator = reduce_goldilocks64(accumulator as u128 * base as u128);
+        }
+        base = reduce_goldilocks64(base as u128 * base as u128);
+        exponent >>= 1;
+    }
+    accumulator
 }
 
 #[cfg(test)]
@@ -164,6 +231,46 @@ mod tests {
     }
 
     #[test]
+    fn goldilocks_matches_naive_on_boundaries() {
+        for input in boundary_inputs(GOLDILOCKS) {
+            assert_eq!(
+                reduce_goldilocks64(input),
+                naive(input, GOLDILOCKS),
+                "input {input}"
+            );
+        }
+        // The carry/borrow corner cases: high word maximizing each half.
+        for hi in [
+            0u64,
+            1,
+            GOLDILOCKS_EPSILON,
+            GOLDILOCKS_EPSILON + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            for lo in [0u64, 1, GOLDILOCKS - 1, GOLDILOCKS, u64::MAX] {
+                let input = (hi as u128) << 64 | lo as u128;
+                assert_eq!(
+                    reduce_goldilocks64(input),
+                    naive(input, GOLDILOCKS),
+                    "hi {hi}, lo {lo}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn goldilocks_pow_matches_naive_references() {
+        // 7 generates the multiplicative group; the 2-adic subgroup generator
+        // 7^((q−1)/2^32) has order exactly 2^32.
+        let root = pow_goldilocks64(7, (GOLDILOCKS - 1) >> 32);
+        assert_eq!(root, 1_753_635_133_440_165_772);
+        assert_eq!(pow_goldilocks64(root, 1 << 31), GOLDILOCKS - 1);
+        assert_eq!(pow_goldilocks64(5, 0), 1);
+        assert_eq!(pow_goldilocks64(GOLDILOCKS + 3, 2), 9);
+    }
+
+    #[test]
     fn barrett_matches_naive_on_boundaries_for_all_moduli() {
         for modulus in [P25, P61, P251] {
             let mu = barrett_mu(modulus);
@@ -191,9 +298,15 @@ mod tests {
         }
 
         #[test]
+        fn prop_goldilocks_matches_naive(hi in any::<u64>(), lo in any::<u64>()) {
+            let input = (hi as u128) << 64 | lo as u128;
+            prop_assert_eq!(reduce_goldilocks64(input), naive(input, GOLDILOCKS));
+        }
+
+        #[test]
         fn prop_barrett_matches_naive_all_moduli(hi in any::<u64>(), lo in any::<u64>()) {
             let input = (hi as u128) << 64 | lo as u128;
-            for modulus in [P25, P61, P251] {
+            for modulus in [P25, P61, P251, GOLDILOCKS] {
                 let mu = barrett_mu(modulus);
                 prop_assert_eq!(reduce_barrett(input, modulus, mu), naive(input, modulus));
             }

@@ -105,21 +105,29 @@ impl<F: PrimeField> Polynomial<F> {
 
     /// Schoolbook polynomial multiplication (the degrees involved in AVCC are
     /// tiny — at most `(K+T−1)·deg f` ≈ tens — so FFT multiplication is not
-    /// warranted).
+    /// warranted). Each output coefficient is one convolution window,
+    /// computed as a dot product against a reversed copy of `other` so the
+    /// sum-of-products runs through [`PrimeField::dot_product`] and inherits
+    /// lazy reduction — this sits under the Berlekamp–Welch `Q/E` chains.
     pub fn mul(&self, other: &Self) -> Self {
         if self.is_zero() || other.is_zero() {
             return Self::zero();
         }
-        let mut coefficients =
-            vec![F::ZERO; self.coefficients.len() + other.coefficients.len() - 1];
-        for (i, &a) in self.coefficients.iter().enumerate() {
-            if a.is_zero() {
-                continue;
-            }
-            for (j, &b) in other.coefficients.iter().enumerate() {
-                coefficients[i + j] += a * b;
-            }
-        }
+        let (a, b) = (&self.coefficients, &other.coefficients);
+        let (n, m) = (a.len(), b.len());
+        let reversed_b: Vec<F> = b.iter().rev().copied().collect();
+        let coefficients = (0..n + m - 1)
+            .map(|k| {
+                // coefficient k = Σ_i a[i]·b[k−i] over the valid i-window;
+                // with b reversed both operand windows are contiguous and
+                // ascending.
+                let lo = (k + 1).saturating_sub(m);
+                let hi = (k + 1).min(n);
+                // lo ≥ k+1−m keeps this index non-negative.
+                let offset = m - 1 + lo - k;
+                F::dot_product(&a[lo..hi], &reversed_b[offset..offset + (hi - lo)])
+            })
+            .collect();
         Self::from_coefficients(coefficients)
     }
 

@@ -156,11 +156,7 @@ pub fn interpolate_eval<F: PrimeField>(points: &[F], values: &[F], target: F) ->
         "interpolate_eval length mismatch"
     );
     let basis_at_target = evaluate_basis_at(points, target);
-    values
-        .iter()
-        .zip(basis_at_target.iter())
-        .map(|(&v, &b)| v * b)
-        .sum()
+    F::dot_product(values, &basis_at_target)
 }
 
 #[cfg(test)]

@@ -13,6 +13,10 @@
 //!   tolerance needs *error-correcting* decoding, implemented here as the
 //!   Berlekamp–Welch algorithm ([`reed_solomon::BerlekampWelch`]) on top of a
 //!   dense Gaussian-elimination solver ([`linear::solve`]).
+//! * When the field is NTT-friendly and the evaluation points sit in a
+//!   power-of-two multiplicative subgroup, both directions collapse to
+//!   `O(n log n)` number-theoretic transforms ([`ntt::NttPlan`]) — the fast
+//!   paths of the coding layer.
 //!
 //! All algorithms are written generically over [`avcc_field::PrimeField`].
 
@@ -22,9 +26,11 @@
 pub mod dense;
 pub mod lagrange;
 pub mod linear;
+pub mod ntt;
 pub mod reed_solomon;
 
 pub use dense::Polynomial;
 pub use lagrange::{evaluate_basis_at, interpolate, interpolate_eval, LagrangeBasis};
 pub use linear::{invert_matrix, mat_vec, rank, solve, LinearSolveError};
+pub use ntt::{root_of_unity, NttPlan};
 pub use reed_solomon::{BerlekampWelch, RsDecodeError, RsDecoded};

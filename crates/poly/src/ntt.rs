@@ -1,0 +1,414 @@
+//! Number-theoretic transforms over NTT-friendly prime fields.
+//!
+//! When the Lagrange evaluation points sit in a multiplicative subgroup of
+//! order `n = 2^k` (possible whenever `2^k` divides `q − 1`, i.e. `k` is at
+//! most the field's two-adicity), evaluating a polynomial at all subgroup
+//! points *is* a forward NTT and interpolating values on the subgroup back to
+//! coefficients *is* an inverse NTT — `O(n log n)` instead of the `O(n²)`
+//! Lagrange matrix. This module supplies the machinery the coding layer's
+//! fast paths are built on:
+//!
+//! * [`NttPlan`] — a cached transform plan for one power-of-two size:
+//!   bit-reversal-ready twiddle tables for the forward and inverse transforms
+//!   and the precomputed `n^{-1}` scaling.
+//! * Scalar transforms ([`NttPlan::forward`] / [`NttPlan::inverse`]) for
+//!   per-coordinate work (tests, fingerprints).
+//! * Vector-lane transforms ([`NttPlan::forward_vectors`] /
+//!   [`NttPlan::inverse_vectors`]) in which every "element" is a whole data
+//!   block: the butterflies stream contiguously over block slices, which is
+//!   how the encoder transforms `K+T` matrices at once without a strided
+//!   per-coordinate gather.
+//! * Coset helpers ([`NttPlan::coset_scale`] / [`NttPlan::coset_scale_vectors`])
+//!   implementing the substitution `u(z) → u(c·z)`: scaling coefficient `k`
+//!   by `c^k` turns a subgroup transform into an evaluation on the coset
+//!   `c·H` (the worker points live on a coset so they never collide with the
+//!   interpolation subgroup).
+//!
+//! The plan is generic over [`PrimeModulus`] and checks the field's declared
+//! [`PrimeModulus::TWO_ADICITY`] at construction; fields that do not declare
+//! NTT metadata (the default) simply cannot build a plan.
+
+use avcc_field::{Fp, PrimeField, PrimeModulus};
+
+/// A primitive `2^log_n`-th root of unity of the field `M`.
+///
+/// # Panics
+/// Panics if `log_n` exceeds the field's declared two-adicity (in particular
+/// for any field that leaves the default `TWO_ADICITY = 0`).
+pub fn root_of_unity<M: PrimeModulus>(log_n: u32) -> Fp<M> {
+    assert!(
+        log_n <= M::TWO_ADICITY,
+        "{} supports NTT sizes up to 2^{}, requested 2^{log_n}",
+        M::NAME,
+        M::TWO_ADICITY,
+    );
+    if log_n == 0 {
+        // The primitive 1st root of unity in any field — returned explicitly
+        // so fields with the inert default metadata (TWO_ADICITY = 0, bogus
+        // generator) still give the right answer for the trivial size.
+        return Fp::<M>::ONE;
+    }
+    // The declared generator has order 2^TWO_ADICITY; squaring it
+    // (TWO_ADICITY − log_n) times yields order exactly 2^log_n.
+    let mut root = Fp::<M>::new(M::TWO_ADIC_GENERATOR);
+    for _ in log_n..M::TWO_ADICITY {
+        root *= root;
+    }
+    root
+}
+
+/// Bit-reversal permutation of a power-of-two-length slice (the input
+/// reordering of the iterative decimation-in-time butterfly network).
+fn bit_reverse_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    if n <= 2 {
+        // 0- and 1-bit indices are their own reversals (and the full 64-bit
+        // shift below would overflow for n = 1).
+        return;
+    }
+    let shift = usize::BITS - n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> shift;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// A cached radix-2 NTT plan for one power-of-two size.
+#[derive(Debug, Clone)]
+pub struct NttPlan<M: PrimeModulus> {
+    log_n: u32,
+    /// `forward_twiddles[j] = ω^j` for `j < n/2`.
+    forward_twiddles: Vec<Fp<M>>,
+    /// `inverse_twiddles[j] = ω^{−j}` for `j < n/2`.
+    inverse_twiddles: Vec<Fp<M>>,
+    /// `n^{-1}`, applied after the inverse butterfly network.
+    n_inverse: Fp<M>,
+}
+
+impl<M: PrimeModulus> NttPlan<M> {
+    /// Builds the plan for transforms of size `n = 2^log_n`.
+    ///
+    /// # Panics
+    /// Panics if `log_n` exceeds the field's declared two-adicity.
+    pub fn new(log_n: u32) -> Self {
+        let n = 1usize << log_n;
+        let omega = root_of_unity::<M>(log_n);
+        let omega_inverse = omega.inverse();
+        let mut forward_twiddles = Vec::with_capacity(n / 2);
+        let mut inverse_twiddles = Vec::with_capacity(n / 2);
+        let (mut forward, mut inverse) = (Fp::<M>::ONE, Fp::<M>::ONE);
+        for _ in 0..n.max(2) / 2 {
+            forward_twiddles.push(forward);
+            inverse_twiddles.push(inverse);
+            forward *= omega;
+            inverse *= omega_inverse;
+        }
+        NttPlan {
+            log_n,
+            forward_twiddles,
+            inverse_twiddles,
+            n_inverse: Fp::<M>::new(n as u64).inverse(),
+        }
+    }
+
+    /// The transform size `n`.
+    pub fn len(&self) -> usize {
+        1usize << self.log_n
+    }
+
+    /// Always `false`: a plan transforms at least one element. Provided for
+    /// API symmetry with [`NttPlan::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `log2` of the transform size.
+    pub fn log_len(&self) -> u32 {
+        self.log_n
+    }
+
+    /// In-place forward transform: `data[i] ← Σ_k data[k]·ω^{ik}`
+    /// (coefficients → values on the subgroup).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn forward(&self, data: &mut [Fp<M>]) {
+        assert_eq!(data.len(), self.len(), "NTT size mismatch");
+        bit_reverse_permute(data);
+        self.butterflies(data, &self.forward_twiddles);
+    }
+
+    /// In-place inverse transform: values on the subgroup → coefficients.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan size.
+    pub fn inverse(&self, data: &mut [Fp<M>]) {
+        assert_eq!(data.len(), self.len(), "NTT size mismatch");
+        bit_reverse_permute(data);
+        self.butterflies(data, &self.inverse_twiddles);
+        for value in data.iter_mut() {
+            *value *= self.n_inverse;
+        }
+    }
+
+    /// The iterative butterfly network shared by both directions.
+    fn butterflies(&self, data: &mut [Fp<M>], twiddles: &[Fp<M>]) {
+        let n = data.len();
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let twiddle = twiddles[k * step];
+                    let a = data[start + k];
+                    let t = twiddle * data[start + k + len / 2];
+                    data[start + k] = a + t;
+                    data[start + k + len / 2] = a - t;
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Forward transform over vector lanes: `lanes` is a slice of `n`
+    /// equal-length blocks, and the butterflies operate element-wise on whole
+    /// blocks. One call transforms every coordinate of the blocks at once,
+    /// with contiguous streaming access — this is the encoder's workhorse.
+    ///
+    /// # Panics
+    /// Panics if `lanes.len()` differs from the plan size or the blocks
+    /// disagree in length.
+    pub fn forward_vectors(&self, lanes: &mut [Vec<Fp<M>>]) {
+        assert_eq!(lanes.len(), self.len(), "NTT size mismatch");
+        bit_reverse_permute(lanes);
+        self.vector_butterflies(lanes, &self.forward_twiddles);
+    }
+
+    /// Inverse transform over vector lanes (values → coefficients, scaled by
+    /// `n^{-1}`).
+    ///
+    /// # Panics
+    /// Panics if `lanes.len()` differs from the plan size or the blocks
+    /// disagree in length.
+    pub fn inverse_vectors(&self, lanes: &mut [Vec<Fp<M>>]) {
+        assert_eq!(lanes.len(), self.len(), "NTT size mismatch");
+        bit_reverse_permute(lanes);
+        self.vector_butterflies(lanes, &self.inverse_twiddles);
+        for lane in lanes.iter_mut() {
+            for value in lane.iter_mut() {
+                *value *= self.n_inverse;
+            }
+        }
+    }
+
+    fn vector_butterflies(&self, lanes: &mut [Vec<Fp<M>>], twiddles: &[Fp<M>]) {
+        let n = lanes.len();
+        let width = lanes.first().map_or(0, Vec::len);
+        let mut len = 2;
+        while len <= n {
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..len / 2 {
+                    let twiddle = twiddles[k * step];
+                    // Split-borrow the (a, b) pair of lanes.
+                    let (head, tail) = lanes.split_at_mut(start + k + len / 2);
+                    let a = &mut head[start + k];
+                    let b = &mut tail[0];
+                    assert_eq!(a.len(), width, "NTT lanes must share a width");
+                    assert_eq!(b.len(), width, "NTT lanes must share a width");
+                    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                        let t = twiddle * *y;
+                        let sum = *x + t;
+                        *y = *x - t;
+                        *x = sum;
+                    }
+                }
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Scales coefficient `k` by `shift^k`, turning a subsequent subgroup
+    /// transform into an evaluation on the coset `shift·H` (and, with
+    /// `shift^{-1}`, undoing it after an inverse transform).
+    pub fn coset_scale(&self, coefficients: &mut [Fp<M>], shift: Fp<M>) {
+        let mut power = Fp::<M>::ONE;
+        for coefficient in coefficients.iter_mut() {
+            *coefficient *= power;
+            power *= shift;
+        }
+    }
+
+    /// Vector-lane form of [`NttPlan::coset_scale`].
+    pub fn coset_scale_vectors(&self, lanes: &mut [Vec<Fp<M>>], shift: Fp<M>) {
+        let mut power = Fp::<M>::ONE;
+        for lane in lanes.iter_mut() {
+            for value in lane.iter_mut() {
+                *value *= power;
+            }
+            power *= shift;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F64, P64};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_data(len: usize, seed: u64) -> Vec<F64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        avcc_field::random_vector(&mut rng, len)
+    }
+
+    /// Naive `O(n²)` DFT reference: `out[i] = Σ_k data[k]·ω^{ik}`.
+    fn naive_dft(data: &[F64], omega: F64) -> Vec<F64> {
+        (0..data.len())
+            .map(|i| {
+                let mut acc = F64::ZERO;
+                let mut power = F64::ONE;
+                let point = omega.pow(i as u64);
+                for &value in data {
+                    acc += value * power;
+                    power *= point;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_naive_dft() {
+        for log_n in 0..=6 {
+            let plan = NttPlan::<P64>::new(log_n);
+            let omega = root_of_unity::<P64>(log_n);
+            let data = random_data(1 << log_n, log_n as u64);
+            let expected = naive_dft(&data, omega);
+            let mut transformed = data.clone();
+            plan.forward(&mut transformed);
+            assert_eq!(transformed, expected, "size 2^{log_n}");
+        }
+    }
+
+    #[test]
+    fn forward_is_evaluation_at_subgroup_points() {
+        // NTT output i must equal Horner evaluation of the coefficient
+        // polynomial at ω^i.
+        let plan = NttPlan::<P64>::new(4);
+        let omega = root_of_unity::<P64>(4);
+        let coefficients = random_data(16, 99);
+        let polynomial = crate::Polynomial::from_coefficients(coefficients.clone());
+        let mut values = coefficients;
+        plan.forward(&mut values);
+        for (i, &value) in values.iter().enumerate() {
+            assert_eq!(value, polynomial.evaluate(omega.pow(i as u64)), "point {i}");
+        }
+    }
+
+    #[test]
+    fn coset_scale_evaluates_on_shifted_coset() {
+        let plan = NttPlan::<P64>::new(3);
+        let omega = root_of_unity::<P64>(3);
+        let shift = F64::from_u64(P64::GROUP_GENERATOR);
+        let coefficients = random_data(8, 7);
+        let polynomial = crate::Polynomial::from_coefficients(coefficients.clone());
+        let mut values = coefficients;
+        plan.coset_scale(&mut values, shift);
+        plan.forward(&mut values);
+        for (i, &value) in values.iter().enumerate() {
+            let point = shift * omega.pow(i as u64);
+            assert_eq!(value, polynomial.evaluate(point), "coset point {i}");
+        }
+    }
+
+    #[test]
+    fn vector_transforms_match_scalar_per_coordinate() {
+        let plan = NttPlan::<P64>::new(4);
+        let width = 5;
+        let mut lanes: Vec<Vec<F64>> = (0..16).map(|i| random_data(width, 1000 + i)).collect();
+        let original = lanes.clone();
+        plan.forward_vectors(&mut lanes);
+        for coordinate in 0..width {
+            let mut scalar: Vec<F64> = original.iter().map(|lane| lane[coordinate]).collect();
+            plan.forward(&mut scalar);
+            let transformed: Vec<F64> = lanes.iter().map(|lane| lane[coordinate]).collect();
+            assert_eq!(transformed, scalar, "coordinate {coordinate}");
+        }
+        plan.inverse_vectors(&mut lanes);
+        assert_eq!(lanes, original);
+    }
+
+    #[test]
+    fn size_one_plan_is_identity() {
+        let plan = NttPlan::<P64>::new(0);
+        let mut data = vec![F64::from_u64(42)];
+        plan.forward(&mut data);
+        assert_eq!(data, vec![F64::from_u64(42)]);
+        plan.inverse(&mut data);
+        assert_eq!(data, vec![F64::from_u64(42)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports NTT sizes up to")]
+    fn oversized_plan_panics() {
+        let _ = NttPlan::<P64>::new(33);
+    }
+
+    #[test]
+    #[should_panic(expected = "supports NTT sizes up to")]
+    fn non_ntt_field_cannot_build_a_plan() {
+        let _ = NttPlan::<avcc_field::P61>::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NTT size mismatch")]
+    fn wrong_length_panics() {
+        let plan = NttPlan::<P64>::new(3);
+        let mut data = vec![F64::ZERO; 4];
+        plan.forward(&mut data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_forward_inverse_is_identity(seed in any::<u64>(), log_n in 0u32..8) {
+            let plan = NttPlan::<P64>::new(log_n);
+            let data = random_data(1 << log_n, seed);
+            let mut round_tripped = data.clone();
+            plan.forward(&mut round_tripped);
+            plan.inverse(&mut round_tripped);
+            prop_assert_eq!(round_tripped, data);
+        }
+
+        #[test]
+        fn prop_inverse_forward_is_identity(seed in any::<u64>(), log_n in 0u32..8) {
+            let plan = NttPlan::<P64>::new(log_n);
+            let data = random_data(1 << log_n, seed);
+            let mut round_tripped = data.clone();
+            plan.inverse(&mut round_tripped);
+            plan.forward(&mut round_tripped);
+            prop_assert_eq!(round_tripped, data);
+        }
+
+        #[test]
+        fn prop_ntt_is_linear(seed in any::<u64>(), scale in 1u64..u64::MAX) {
+            let plan = NttPlan::<P64>::new(5);
+            let scale = F64::from_u64(scale);
+            let data = random_data(32, seed);
+            let mut scaled_then_transformed: Vec<F64> =
+                data.iter().map(|&x| x * scale).collect();
+            plan.forward(&mut scaled_then_transformed);
+            let mut transformed = data;
+            plan.forward(&mut transformed);
+            let transformed_then_scaled: Vec<F64> =
+                transformed.iter().map(|&x| x * scale).collect();
+            prop_assert_eq!(scaled_then_transformed, transformed_then_scaled);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Parse the criterion-shim bench output into a JSON summary and gate the
+NTT perf win.
+
+The bench harness (crates/shims/criterion) prints one line per benchmark:
+
+    bench: <id> ... median <ns> ns/iter (<iters> iters)
+
+This script collects those lines into ``{"results_ns_per_iter": {id: ns}}``
+and enforces the PR2 regression gate: for every ``encode_f64`` /
+``decode_f64`` pair at ``K >= 64`` the ``ntt`` path must be strictly faster
+than the ``matrix`` path. CI uploads the JSON as an artifact so perf history
+is inspectable per run.
+
+Usage:
+    cargo bench ... | tee bench.log
+    python3 scripts/bench_regression.py bench.log --out bench_summary.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+BENCH_LINE = re.compile(
+    r"^bench: (?P<id>\S+) \.\.\. median (?P<ns>[0-9.]+) ns/iter \((?P<iters>\d+) iters\)"
+)
+PAIR = re.compile(r"^(?P<group>(?:encode|decode)_f64)/k(?P<k>\d+)/(?P<path>matrix|ntt)$")
+MIN_GATED_K = 64
+
+
+def parse(lines):
+    results = {}
+    for line in lines:
+        match = BENCH_LINE.match(line.strip())
+        if match:
+            results[match.group("id")] = float(match.group("ns"))
+    return results
+
+
+def gate(results):
+    """Returns (checks, failures) for the matrix-vs-NTT pairs at K >= 64."""
+    pairs = {}
+    for bench_id in results:
+        match = PAIR.match(bench_id)
+        if match and int(match.group("k")) >= MIN_GATED_K:
+            key = (match.group("group"), int(match.group("k")))
+            pairs.setdefault(key, {})[match.group("path")] = results[bench_id]
+    checks, failures = [], []
+    for (group, k), paths in sorted(pairs.items()):
+        if "matrix" not in paths or "ntt" not in paths:
+            failures.append(f"{group}/k{k}: missing one side of the matrix/ntt pair")
+            continue
+        speedup = paths["matrix"] / paths["ntt"]
+        check = {
+            "pair": f"{group}/k{k}",
+            "matrix_ns": paths["matrix"],
+            "ntt_ns": paths["ntt"],
+            "speedup": round(speedup, 2),
+            "ok": paths["ntt"] < paths["matrix"],
+        }
+        checks.append(check)
+        if not check["ok"]:
+            failures.append(
+                f"{group}/k{k}: ntt path ({paths['ntt']:.0f} ns) is not faster "
+                f"than the matrix path ({paths['matrix']:.0f} ns)"
+            )
+    if not checks:
+        failures.append("no encode_f64/decode_f64 matrix-vs-ntt pairs found in bench output")
+    return checks, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", nargs="?", help="bench output file (defaults to stdin)")
+    parser.add_argument("--out", help="write the JSON summary here")
+    args = parser.parse_args()
+
+    if args.log:
+        with open(args.log, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    results = parse(lines)
+    checks, failures = gate(results)
+    summary = {
+        "results_ns_per_iter": results,
+        "ntt_regression_checks": checks,
+        "ok": not failures,
+    }
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
