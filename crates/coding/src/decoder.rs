@@ -207,18 +207,37 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
         // weights) is shared by all K β-point evaluations below.
         let basis = LagrangeBasis::new(alphas);
 
+        // Systematic fast path per block: a selected worker sitting exactly
+        // on β_k already holds the output. Every *other* β-point goes
+        // through one shared `evaluate_at_many` call, so the whole fallback
+        // performs a single batch inversion (one Montgomery-routed chain of
+        // `3·threshold` multiplies per block) instead of one per block.
+        let systematic: Vec<Option<&Vec<Fp<M>>>> = (0..self.config.partitions)
+            .map(|k| {
+                let beta = self.points.beta()[k];
+                selected
+                    .iter()
+                    .find(|(worker, _)| self.points.alpha()[*worker] == beta)
+                    .map(|(_, vector)| vector)
+            })
+            .collect();
+        let interpolated_betas: Vec<Fp<M>> = systematic
+            .iter()
+            .enumerate()
+            .filter(|(_, hit)| hit.is_none())
+            .map(|(k, _)| self.points.beta()[k])
+            .collect();
+        let mut basis_rows = basis.evaluate_at_many(&interpolated_betas).into_iter();
+
         let mut outputs = Vec::with_capacity(self.config.partitions);
-        for k in 0..self.config.partitions {
-            let beta = self.points.beta()[k];
-            // Fast path: a systematic worker's result *is* the output block.
-            if let Some((_, vector)) = selected
-                .iter()
-                .find(|(worker, _)| self.points.alpha()[*worker] == beta)
-            {
+        for hit in systematic {
+            if let Some(vector) = hit {
                 outputs.push(vector.clone());
                 continue;
             }
-            let coefficients = basis.evaluate_at(beta);
+            let coefficients = basis_rows
+                .next()
+                .expect("one basis row per interpolated β-point");
             // One lazy-reduction pass over the selected workers: the u128
             // lanes absorb one product per worker and reduce once at the end.
             let mut block = avcc_field::WideAccumulator::<M>::new(width);

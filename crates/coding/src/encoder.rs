@@ -117,13 +117,15 @@ impl<M: PrimeModulus> LagrangeEncoder<M> {
     /// Builds the `(K+T) × N` matrix `U_{j,i} = ℓ_j(α_i)`.
     fn build_encoding_matrix(&self) -> Vec<Vec<Fp<M>>> {
         let basis = LagrangeBasis::new(self.points.beta().to_vec());
-        // Column i of the encoding matrix is the basis evaluated at α_i.
+        // Column i of the encoding matrix is the basis evaluated at α_i; one
+        // `evaluate_at_many` call shares a single batch inversion across all
+        // N columns.
         let mut matrix = vec![
             vec![Fp::<M>::ZERO; self.config.workers];
             self.config.partitions + self.config.colluding
         ];
-        for (i, &alpha) in self.points.alpha().iter().enumerate() {
-            let column = basis.evaluate_at(alpha);
+        let columns = basis.evaluate_at_many(self.points.alpha());
+        for (i, column) in columns.into_iter().enumerate() {
             for (j, value) in column.into_iter().enumerate() {
                 matrix[j][i] = value;
             }

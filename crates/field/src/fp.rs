@@ -60,6 +60,27 @@ pub trait PrimeModulus:
         }
     };
 
+    /// Whether the long-product-chain paths (`pow`, Fermat inversion,
+    /// Montgomery batch inversion, NTT twiddle multiplies, power series)
+    /// should switch into the Montgomery domain and multiply through
+    /// [`PrimeModulus::mul_redc`] instead of [`PrimeModulus::reduce_wide`].
+    ///
+    /// Defaults to `false`: the specialized folds (Mersenne, pseudo-Mersenne)
+    /// are already cheaper than REDC, so only moduli that implement the
+    /// [`MontgomeryModulus`] marker flip this on (and every implementor of
+    /// the marker **must** flip it on — the marker is the public, compile-time
+    /// face of this selection). The branch is on a `const`, so the unselected
+    /// path folds away entirely.
+    const MONTGOMERY_CHAINS: bool = false;
+    /// The REDC constant `−q⁻¹ mod 2^64` (valid for every odd modulus —
+    /// i.e. every prime but 2).
+    const MONT_NEG_QINV: u64 = crate::reduce::mont_neg_qinv(Self::MODULUS);
+    /// The Montgomery radix residue `R = 2^64 mod q` — the domain's
+    /// multiplicative identity (`to_montgomery(1)`).
+    const MONT_R: u64 = crate::reduce::mont_r(Self::MODULUS);
+    /// The conversion constant `R² = 2^128 mod q`.
+    const MONT_R2: u64 = crate::reduce::mont_r2(Self::MODULUS);
+
     /// Reduces a full-range `u128` to the canonical representative in
     /// `[0, q)` without hardware division.
     ///
@@ -69,6 +90,38 @@ pub trait PrimeModulus:
     #[inline]
     fn reduce_wide(value: u128) -> u64 {
         crate::reduce::reduce_barrett(value, Self::MODULUS, Self::BARRETT_MU)
+    }
+
+    /// Montgomery reduction `t ↦ t·2^{-64} mod q` for `t < q·2^64` (any
+    /// product of canonical representatives). See [`crate::reduce::redc`].
+    #[inline]
+    fn redc(t: u128) -> u64 {
+        crate::reduce::redc(t, Self::MODULUS, Self::MONT_NEG_QINV)
+    }
+
+    /// Fused Montgomery multiply-reduce: `a·b·2^{-64} mod q`.
+    ///
+    /// For two Montgomery residues this is multiplication *in* the domain;
+    /// for one Montgomery residue and one canonical value it is the hybrid
+    /// multiply whose result is canonical again (the NTT butterflies exploit
+    /// this with twiddles pre-converted once per plan).
+    #[inline]
+    fn mul_redc(a: u64, b: u64) -> u64 {
+        Self::redc(a as u128 * b as u128)
+    }
+
+    /// Lifts a canonical representative into the Montgomery domain:
+    /// `x ↦ x·R mod q`.
+    #[inline]
+    fn to_montgomery(value: u64) -> u64 {
+        Self::mul_redc(value, Self::MONT_R2)
+    }
+
+    /// Lowers a Montgomery residue back to the canonical representative:
+    /// `x̄ ↦ x̄·R⁻¹ mod q`.
+    #[inline]
+    fn from_montgomery(value: u64) -> u64 {
+        Self::redc(value as u128)
     }
 }
 
@@ -108,6 +161,10 @@ pub struct P251;
 impl PrimeModulus for P251 {
     const MODULUS: u64 = 251;
     const NAME: &'static str = "F_251";
+    // Barrett per-product reduction loses to REDC on any chain longer than
+    // the two domain conversions; route pow/inversion chains through
+    // Montgomery (see [`MontgomeryModulus`]).
+    const MONTGOMERY_CHAINS: bool = true;
 }
 
 /// The NTT-friendly Goldilocks prime `q = 2^64 − 2^32 + 1`.
@@ -131,6 +188,10 @@ impl PrimeModulus for P64 {
     const TWO_ADIC_GENERATOR: u64 =
         crate::reduce::pow_goldilocks64(7, (Self::MODULUS - 1) >> Self::TWO_ADICITY);
     const GROUP_GENERATOR: u64 = 7;
+    // WIDE_BATCH = 1 means every chained product pays a full reduction;
+    // Montgomery keeps those chains (Fermat inversions, NTT butterflies with
+    // pre-converted twiddles) in the REDC domain instead.
+    const MONTGOMERY_CHAINS: bool = true;
 
     #[inline]
     fn reduce_wide(value: u128) -> u64 {
@@ -149,6 +210,27 @@ impl PrimeModulus for P64 {
 pub trait NttModulus: PrimeModulus {}
 
 impl NttModulus for P64 {}
+
+/// Marker for moduli that route long product chains through the
+/// Montgomery-form backend ([`crate::montgomery`]).
+///
+/// Implementing this trait is a compile-time promise that
+/// [`PrimeModulus::MONTGOMERY_CHAINS`] is `true`; it publicly gates the
+/// [`crate::montgomery::MontFp`] chain type, while generic code bound only by
+/// [`PrimeModulus`] reads the (const-folded) flag instead — the same
+/// split-level pattern as [`NttModulus`] and the NTT metadata.
+///
+/// Which moduli opt in is an empirical choice, not a soundness one (REDC is
+/// correct for every odd modulus): Barrett-backed moduli ([`P251`] and any
+/// future structureless prime) always win on chains longer than the two
+/// domain conversions, and Goldilocks ([`P64`]) wins inside the NTT
+/// butterflies where `WIDE_BATCH = 1` forces a reduction per product. The
+/// Mersenne/pseudo-Mersenne folds of [`P61`] / [`P25`] are cheaper than REDC
+/// per multiply, so those moduli deliberately opt out.
+pub trait MontgomeryModulus: PrimeModulus {}
+
+impl MontgomeryModulus for P251 {}
+impl MontgomeryModulus for P64 {}
 
 /// Operations every prime-field element type supports.
 ///
@@ -230,29 +312,69 @@ pub trait PrimeField:
     /// # Panics
     /// Panics if any element is zero.
     fn batch_inverse(values: &[Self]) -> Vec<Self> {
-        if values.is_empty() {
-            return Vec::new();
-        }
-        // Prefix products: prefixes[i] = v0 * v1 * ... * vi.
-        let mut prefixes = Vec::with_capacity(values.len());
-        let mut running = Self::ONE;
-        for &v in values {
-            assert!(!v.is_zero(), "batch_inverse: zero element");
-            running *= v;
-            prefixes.push(running);
-        }
-        let mut inverse_of_running = running.inverse();
-        let mut result = vec![Self::ZERO; values.len()];
-        for i in (0..values.len()).rev() {
-            if i == 0 {
-                result[0] = inverse_of_running;
-            } else {
-                result[i] = inverse_of_running * prefixes[i - 1];
-                inverse_of_running *= values[i];
-            }
-        }
-        result
+        batch_inverse_generic(values)
     }
+}
+
+/// The generic (non-Montgomery) Montgomery-*trick* batch inversion shared by
+/// the [`PrimeField`] default and the opted-out moduli: prefix products, one
+/// inversion, suffix sweep.
+fn batch_inverse_generic<F: PrimeField>(values: &[F]) -> Vec<F> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    // Prefix products: prefixes[i] = v0 * v1 * ... * vi.
+    let mut prefixes = Vec::with_capacity(values.len());
+    let mut running = F::ONE;
+    for &v in values {
+        assert!(!v.is_zero(), "batch_inverse: zero element");
+        running *= v;
+        prefixes.push(running);
+    }
+    let mut inverse_of_running = running.inverse();
+    let mut result = vec![F::ZERO; values.len()];
+    for i in (0..values.len()).rev() {
+        if i == 0 {
+            result[0] = inverse_of_running;
+        } else {
+            result[i] = inverse_of_running * prefixes[i - 1];
+            inverse_of_running *= values[i];
+        }
+    }
+    result
+}
+
+/// The in-domain REDC square-and-multiply ladder: raises a Montgomery
+/// residue to `exponent`, staying in the domain.
+///
+/// Exposed crate-internally as the single ladder implementation shared by
+/// [`crate::montgomery::MontFp::pow`] (which stays in-domain) and
+/// [`pow_montgomery_raw`] (which wraps it in the boundary conversions).
+pub(crate) fn pow_redc_raw<M: PrimeModulus>(base_mont: u64, mut exponent: u64) -> u64 {
+    // `MONT_R` is the Montgomery representation of 1.
+    if exponent == 0 {
+        return M::MONT_R;
+    }
+    let mut base = base_mont;
+    let mut accumulator = M::MONT_R;
+    // Same top-bit trim as the generic `Fp::pow`: the final squaring of the
+    // naive loop is never consumed.
+    while exponent > 1 {
+        if exponent & 1 == 1 {
+            accumulator = M::mul_redc(accumulator, base);
+        }
+        base = M::mul_redc(base, base);
+        exponent >>= 1;
+    }
+    M::mul_redc(accumulator, base)
+}
+
+/// Modular exponentiation of a canonical representative through the
+/// Montgomery domain: one conversion in, the [`pow_redc_raw`] ladder, one
+/// conversion out.
+pub(crate) fn pow_montgomery_raw<M: PrimeModulus>(base: u64, exponent: u64) -> u64 {
+    debug_assert!(base < M::MODULUS, "non-canonical base {base}");
+    M::from_montgomery(pow_redc_raw::<M>(M::to_montgomery(base), exponent))
 }
 
 /// A prime-field element with modulus supplied by the marker type `M`.
@@ -352,6 +474,13 @@ impl<M: PrimeModulus> PrimeField for Fp<M> {
         if exponent == 0 {
             return Self::ONE;
         }
+        // Chain-routed moduli run the whole square-and-multiply ladder in the
+        // Montgomery domain: the value enters once, stays there across every
+        // squaring, and leaves once. The branch is on a `const`, so the
+        // unselected ladder compiles away.
+        if M::MONTGOMERY_CHAINS {
+            return Fp(pow_montgomery_raw::<M>(self.0, exponent), PhantomData);
+        }
         let mut base = self;
         let mut accumulator = Self::ONE;
         // Stop squaring at the top bit: the final `base *= base` of the naive
@@ -391,6 +520,45 @@ impl<M: PrimeModulus> PrimeField for Fp<M> {
     #[inline]
     fn dot_product(a: &[Self], b: &[Self]) -> Self {
         crate::batch::dot(a, b)
+    }
+
+    fn batch_inverse(values: &[Self]) -> Vec<Self> {
+        if !M::MONTGOMERY_CHAINS {
+            return batch_inverse_generic(values);
+        }
+        // Montgomery-domain prefix products with exact radix-power
+        // cancellation: every multiply below is a bare `mul_redc` and **no
+        // per-element domain conversion happens at all**. Writing
+        // `P_i = v_0⋯v_i`, the forward sweep stores `p̄_i = P_i·R^{-i}`; the
+        // Fermat inversion of `p̄_{n-1}` (itself a Montgomery-routed `pow`)
+        // yields `P_{n-1}^{-1}·R^{n-1}`, and the suffix sweep's invariant
+        // `inv = P_i^{-1}·R^i` makes every emitted
+        // `mul_redc(inv, p̄_{i-1}) = v_i^{-1}·R^0` land exactly canonical.
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let mut prefixes = Vec::with_capacity(values.len());
+        let mut running = {
+            assert!(!values[0].is_zero(), "batch_inverse: zero element");
+            values[0].0
+        };
+        prefixes.push(running);
+        for &v in &values[1..] {
+            assert!(!v.is_zero(), "batch_inverse: zero element");
+            running = M::mul_redc(running, v.0);
+            prefixes.push(running);
+        }
+        let mut inverse_of_running = pow_montgomery_raw::<M>(running, M::MODULUS - 2);
+        let mut result = vec![Self::ZERO; values.len()];
+        for i in (1..values.len()).rev() {
+            result[i] = Fp(
+                M::mul_redc(inverse_of_running, prefixes[i - 1]),
+                PhantomData,
+            );
+            inverse_of_running = M::mul_redc(inverse_of_running, values[i].0);
+        }
+        result[0] = Fp(inverse_of_running, PhantomData);
+        result
     }
 }
 
@@ -781,6 +949,89 @@ mod tests {
         x.to_u64()
     }
 
+    /// The pre-Montgomery `pow` ladder, kept as the reference the routed
+    /// implementation must agree with bit-for-bit.
+    fn pow_reference<M: PrimeModulus>(base: Fp<M>, exponent: u64) -> Fp<M> {
+        let mut result = Fp::<M>::ONE;
+        for _ in 0..exponent {
+            result *= base;
+        }
+        result
+    }
+
+    #[test]
+    fn montgomery_round_trip_at_boundaries_all_moduli() {
+        fn check<M: PrimeModulus>() {
+            for raw in [0u64, 1, 2, M::MODULUS / 2, M::MODULUS - 2, M::MODULUS - 1] {
+                assert_eq!(
+                    M::from_montgomery(M::to_montgomery(raw)),
+                    raw,
+                    "{} raw {raw}",
+                    M::NAME
+                );
+            }
+        }
+        check::<P25>();
+        check::<P61>();
+        check::<P251>();
+        check::<P64>();
+    }
+
+    #[test]
+    fn pow_and_inverse_agree_with_reference_near_the_modulus() {
+        fn check<M: PrimeModulus>() {
+            for raw in [1u64, 2, M::MODULUS - 2, M::MODULUS - 1] {
+                let x = Fp::<M>::from_u64(raw);
+                for exponent in [0u64, 1, 2, 3, 13, 64] {
+                    assert_eq!(
+                        x.pow(exponent),
+                        pow_reference(x, exponent),
+                        "{} raw {raw} exp {exponent}",
+                        M::NAME
+                    );
+                }
+                assert_eq!(x * x.inverse(), Fp::<M>::ONE, "{} raw {raw}", M::NAME);
+            }
+        }
+        check::<P25>();
+        check::<P61>();
+        check::<P251>();
+        check::<P64>();
+    }
+
+    #[test]
+    fn batch_inverse_routed_and_generic_agree_all_moduli() {
+        fn check<M: PrimeModulus>() {
+            // Boundary-heavy inputs: the extremes of the canonical range.
+            let values: Vec<Fp<M>> = [1u64, 2, M::MODULUS - 1, M::MODULUS - 2, 3, M::MODULUS / 2]
+                .iter()
+                .map(|&v| Fp::<M>::from_u64(v))
+                .filter(|v| !v.is_zero())
+                .collect();
+            let routed = <Fp<M> as PrimeField>::batch_inverse(&values);
+            let generic = batch_inverse_generic(&values);
+            assert_eq!(routed, generic, "{}", M::NAME);
+            for (v, inv) in values.iter().zip(routed.iter()) {
+                assert_eq!(*v * *inv, Fp::<M>::ONE, "{}", M::NAME);
+            }
+            assert!(<Fp<M> as PrimeField>::batch_inverse(&[]).is_empty());
+            assert_eq!(
+                <Fp<M> as PrimeField>::batch_inverse(&[Fp::<M>::ONE]),
+                vec![Fp::<M>::ONE]
+            );
+        }
+        check::<P25>();
+        check::<P61>();
+        check::<P251>();
+        check::<P64>();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero element")]
+    fn montgomery_batch_inverse_rejects_zero() {
+        let _ = <Fp<P251> as PrimeField>::batch_inverse(&[Fp::<P251>::ONE, Fp::<P251>::ZERO]);
+    }
+
     fn arbitrary_f25() -> impl Strategy<Value = F> {
         (0..P25::MODULUS).prop_map(F::from_u64)
     }
@@ -829,6 +1080,69 @@ mod tests {
         #[test]
         fn prop_canonical_representative_in_range(raw in any::<u64>()) {
             prop_assert!(F::from_u64(raw).to_u64() < P25::MODULUS);
+        }
+
+        #[test]
+        fn prop_montgomery_round_trip_all_moduli(raw in any::<u64>()) {
+            fn check<M: PrimeModulus>(raw: u64) {
+                let canonical = raw % M::MODULUS;
+                assert_eq!(M::from_montgomery(M::to_montgomery(canonical)), canonical);
+            }
+            check::<P25>(raw);
+            check::<P61>(raw);
+            check::<P251>(raw);
+            check::<P64>(raw);
+        }
+
+        #[test]
+        fn prop_pow_matches_reference_all_moduli(raw in any::<u64>(), exponent in 0u64..96) {
+            fn check<M: PrimeModulus>(raw: u64, exponent: u64) {
+                let x = Fp::<M>::from_u64(raw);
+                assert_eq!(x.pow(exponent), pow_reference(x, exponent), "{}", M::NAME);
+            }
+            check::<P25>(raw, exponent);
+            check::<P61>(raw, exponent);
+            check::<P251>(raw, exponent);
+            check::<P64>(raw, exponent);
+        }
+
+        #[test]
+        fn prop_inverse_round_trips_all_moduli(raw in any::<u64>()) {
+            fn check<M: PrimeModulus>(raw: u64) {
+                let x = Fp::<M>::from_u64(raw);
+                if let Some(inverse) = x.try_inverse() {
+                    assert_eq!(x * inverse, Fp::<M>::ONE, "{}", M::NAME);
+                } else {
+                    assert!(x.is_zero());
+                }
+            }
+            check::<P25>(raw);
+            check::<P61>(raw);
+            check::<P251>(raw);
+            check::<P64>(raw);
+        }
+
+        #[test]
+        fn prop_batch_inverse_matches_generic_all_moduli(
+            raws in proptest::collection::vec(any::<u64>(), 1..24)
+        ) {
+            fn check<M: PrimeModulus>(raws: &[u64]) {
+                let values: Vec<Fp<M>> = raws
+                    .iter()
+                    .map(|&v| Fp::<M>::from_u64(v))
+                    .filter(|v| !v.is_zero())
+                    .collect();
+                assert_eq!(
+                    <Fp<M> as PrimeField>::batch_inverse(&values),
+                    batch_inverse_generic(&values),
+                    "{}",
+                    M::NAME
+                );
+            }
+            check::<P25>(&raws);
+            check::<P61>(&raws);
+            check::<P251>(&raws);
+            check::<P64>(&raws);
         }
     }
 }

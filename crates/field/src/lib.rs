@@ -17,6 +17,12 @@
 //!   [`F251`] is provided for exhaustive tests.
 //! * [`reduce`] — the specialized wide-reduction backends behind every
 //!   multiply (see *Reduction strategy* below).
+//! * [`montgomery`] — the Montgomery-form chain backend: [`MontFp`] holds a
+//!   residue `x·R mod q` so long product chains (`pow`, Fermat inversions,
+//!   batch-inversion sweeps, NTT twiddle products) multiply via the
+//!   three-multiply REDC step instead of paying a full reduction per
+//!   product. Selection is compile-time via the [`MontgomeryModulus`]
+//!   marker / [`PrimeModulus::MONTGOMERY_CHAINS`] flag.
 //! * [`batch`] — slice-level kernels: element-wise operations, dot products
 //!   with lazy reduction, the [`WideAccumulator`] engine of the encoder and
 //!   decoder, Montgomery batch inversion.
@@ -30,9 +36,9 @@
 //!
 //! # Reduction strategy
 //!
-//! Every multiply funnels through [`PrimeModulus::reduce_wide`], which maps a
-//! full-range `u128` to the canonical representative without hardware
-//! division:
+//! Every *one-shot* multiply funnels through [`PrimeModulus::reduce_wide`],
+//! which maps a full-range `u128` to the canonical representative without
+//! hardware division:
 //!
 //! | Modulus | Backend | Cost per reduction |
 //! |---------|---------|--------------------|
@@ -40,6 +46,26 @@
 //! | `2^25 − 39` ([`P25`]) | pseudo-Mersenne fold (`2^25 ≡ 39`) | 3 folds + 1 conditional subtract for inputs `< 2^64` (any product of canonical values); a loop sheds ≈19.7 bits/fold above that |
 //! | `2^64 − 2^32 + 1` ([`P64`], Goldilocks) | `ε = 2^32 − 1` fold (`2^64 ≡ ε`, `2^96 ≡ −1`) | 1 borrow-corrected subtract + 1 32×32 multiply + 1 carry-corrected add + 1 conditional subtract; `WIDE_BATCH = 1`, so every product reduces — the field's payoff is the `2^32` two-adicity that unlocks the NTT encode/decode paths |
 //! | `251` ([`P251`]) and any other | Barrett with `μ = ⌊2^128/q⌋` | 1 high-128 multiply + ≤ 2 conditional subtracts |
+//!
+//! # Backend selection per workload shape
+//!
+//! *Chains* — sequences of dependent multiplies (`pow` ladders, Fermat
+//! inversions, batch-inversion sweeps, NTT twiddle products, power series) —
+//! additionally choose between the canonical backend above and the
+//! Montgomery domain ([`montgomery`]), selected at compile time by the
+//! [`MontgomeryModulus`] marker / [`PrimeModulus::MONTGOMERY_CHAINS`] flag:
+//!
+//! | Modulus | One-shot products / lazy sums | Long chains | Why |
+//! |---------|-------------------------------|-------------|-----|
+//! | [`P25`] | pseudo-Mersenne fold | fold (opted out) | the 3-fold reduction is cheaper than the 3-multiply REDC step, and `WIDE_BATCH ≈ 2^78` makes lazy accumulation nearly free |
+//! | [`P61`] | Mersenne fold | fold (opted out) | same: shift-add folds beat REDC per multiply |
+//! | [`P64`] | Goldilocks ε-fold | **Montgomery** | `WIDE_BATCH = 1` forces a reduction per chained product; REDC keeps Fermat's 64-squaring ladder and the NTT butterflies (twiddles pre-converted once per plan) in-domain |
+//! | [`P251`] (and any structureless prime) | Barrett | **Montgomery** | Barrett's 128×128 high multiply per product loses to REDC on any chain longer than the two domain conversions — gated in CI at chain length ≥ 64 |
+//!
+//! Opting in is an empirical decision, not a soundness one: REDC is correct
+//! for every odd modulus, and the CI bench gate
+//! (`scripts/bench_regression.py`) enforces that the Montgomery path
+//! actually wins where it is enabled.
 //!
 //! # Overflow bounds (lazy reduction)
 //!
@@ -77,6 +103,7 @@
 
 pub mod batch;
 pub mod fp;
+pub mod montgomery;
 pub mod quantize;
 pub mod reduce;
 pub mod rng;
@@ -85,7 +112,8 @@ pub use batch::{
     batch_inverse, dot, slice_add, slice_add_assign, slice_axpy, slice_scale, slice_sub,
     WideAccumulator,
 };
-pub use fp::{Fp, NttModulus, PrimeField, PrimeModulus, P25, P251, P61, P64};
+pub use fp::{Fp, MontgomeryModulus, NttModulus, PrimeField, PrimeModulus, P25, P251, P61, P64};
+pub use montgomery::{from_montgomery_vec, power_series, to_montgomery_vec, MontFp};
 pub use quantize::{QuantError, Quantizer, SignedEmbedding};
 pub use rng::{random_element, random_matrix, random_vector};
 

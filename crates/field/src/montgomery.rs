@@ -1,0 +1,349 @@
+//! The Montgomery-form chain type [`MontFp`] for long product chains.
+//!
+//! Every multiply of a canonical [`Fp`] pays one full reduction through the
+//! modulus backend. On a *chain* — Fermat inversions, `pow` ladders, the
+//! prefix/suffix sweeps of batch inversion, NTT twiddle products — that
+//! per-product reduction dominates, and for moduli without a cheap fold
+//! (Barrett-backed primes like `F_251`) or with a degenerate lazy budget
+//! (Goldilocks, `WIDE_BATCH = 1`) the classic fix is Montgomery form: lift
+//! the value to `x̄ = x·R mod q` (with `R = 2^64`) **once**, multiply inside
+//! the domain with the three-multiply REDC step
+//! ([`crate::fp::PrimeModulus::mul_redc`]), and lower the result **once** at the end of
+//! the chain.
+//!
+//! [`MontFp<M>`] is that domain made explicit in the type system: a residue
+//! that is statically known to be in Montgomery form. Conversions are the
+//! `From` impls at the boundary; everything in between (`*`, [`MontFp::pow`],
+//! [`MontFp::inverse`]) stays in the domain. The type is gated on the
+//! [`MontgomeryModulus`] marker, so only moduli that opted into chain
+//! routing expose it — for the fold-backed moduli (`P25`, `P61`) the
+//! canonical representation is already the fastest one and the type simply
+//! does not exist.
+//!
+//! Addition and subtraction are the ordinary modular ones: Montgomery form
+//! is linear (`x̄ + ȳ = (x+y)·R`), so the carry-aware `Fp` algorithms apply
+//! unchanged.
+//!
+//! The generic layers do not name this type: code bound on [`crate::fp::PrimeModulus`]
+//! (e.g. `Fp::pow`, `Fp::batch_inverse`, the NTT plans) branches on the
+//! const [`crate::fp::PrimeModulus::MONTGOMERY_CHAINS`] flag and calls the raw `u64`
+//! hooks directly, which lets the routing compile away for opted-out moduli.
+//! `MontFp` is the ergonomic face of the same machinery for callers that
+//! hold a concrete Montgomery-capable modulus — the benches drive the chain
+//! comparisons through it.
+
+use core::fmt;
+use core::iter::Product;
+use core::marker::PhantomData;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::fp::{Fp, MontgomeryModulus};
+
+/// A field element held in Montgomery form (`x·R mod q`, `R = 2^64`).
+///
+/// Enter the domain with `MontFp::from(fp)`, chain multiplies inside it, and
+/// leave with `Fp::from(mont)`; see the [module docs](self) for when this
+/// wins.
+#[derive(Copy, Clone, Default, PartialEq, Eq)]
+pub struct MontFp<M: MontgomeryModulus>(u64, PhantomData<M>);
+
+impl<M: MontgomeryModulus> MontFp<M> {
+    /// The additive identity (`0·R = 0`: the zero residue is shared between
+    /// the domains).
+    pub const ZERO: Self = MontFp(0, PhantomData);
+    /// The multiplicative identity `1·R mod q`.
+    pub const ONE: Self = MontFp(M::MONT_R, PhantomData);
+
+    /// The raw Montgomery residue in `[0, q)`.
+    ///
+    /// This is **not** the canonical representative — convert back through
+    /// `Fp::from` for that.
+    #[inline]
+    pub const fn residue(self) -> u64 {
+        self.0
+    }
+
+    /// Modular exponentiation by squaring, entirely inside the domain: the
+    /// result is `x^exponent` in Montgomery form.
+    pub fn pow(self, exponent: u64) -> Self {
+        MontFp(crate::fp::pow_redc_raw::<M>(self.0, exponent), PhantomData)
+    }
+
+    /// The multiplicative inverse, in Montgomery form.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    pub fn inverse(self) -> Self {
+        self.try_inverse()
+            .expect("attempted to invert the zero element of a prime field")
+    }
+
+    /// The multiplicative inverse, or `None` for zero.
+    pub fn try_inverse(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            // Fermat: x̄^(q-2) = x^(q-2)·R = x^(-1)·R — still in the domain.
+            Some(self.pow(M::MODULUS - 2))
+        }
+    }
+
+    /// `true` iff the element is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl<M: MontgomeryModulus> From<Fp<M>> for MontFp<M> {
+    /// Enters the Montgomery domain: one `mul_redc` by `R²`.
+    #[inline]
+    fn from(value: Fp<M>) -> Self {
+        MontFp(M::to_montgomery(value.value()), PhantomData)
+    }
+}
+
+impl<M: MontgomeryModulus> From<MontFp<M>> for Fp<M> {
+    /// Leaves the Montgomery domain: one bare REDC.
+    #[inline]
+    fn from(value: MontFp<M>) -> Self {
+        Fp::new(M::from_montgomery(value.0))
+    }
+}
+
+impl<M: MontgomeryModulus> Mul for MontFp<M> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        MontFp(M::mul_redc(self.0, rhs.0), PhantomData)
+    }
+}
+
+impl<M: MontgomeryModulus> MulAssign for MontFp<M> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<M: MontgomeryModulus> Add for MontFp<M> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        // Montgomery form is linear, so this is the carry-aware modular add
+        // of Fp verbatim.
+        let (mut sum, carry) = self.0.overflowing_add(rhs.0);
+        if carry || sum >= M::MODULUS {
+            sum = sum.wrapping_sub(M::MODULUS);
+        }
+        MontFp(sum, PhantomData)
+    }
+}
+
+impl<M: MontgomeryModulus> AddAssign for MontFp<M> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<M: MontgomeryModulus> Sub for MontFp<M> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (difference, borrow) = self.0.overflowing_sub(rhs.0);
+        let difference = if borrow {
+            difference.wrapping_add(M::MODULUS)
+        } else {
+            difference
+        };
+        MontFp(difference, PhantomData)
+    }
+}
+
+impl<M: MontgomeryModulus> SubAssign for MontFp<M> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<M: MontgomeryModulus> Neg for MontFp<M> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0 == 0 {
+            self
+        } else {
+            MontFp(M::MODULUS - self.0, PhantomData)
+        }
+    }
+}
+
+impl<M: MontgomeryModulus> Product for MontFp<M> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, |acc, x| acc * x)
+    }
+}
+
+impl<M: MontgomeryModulus> fmt::Debug for MontFp<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(mont {})", M::NAME, self.0)
+    }
+}
+
+/// Lifts a slice into the Montgomery domain (one `mul_redc` per element) —
+/// the "enter once" end of a chain over many values.
+pub fn to_montgomery_vec<M: MontgomeryModulus>(values: &[Fp<M>]) -> Vec<MontFp<M>> {
+    values.iter().map(|&v| MontFp::from(v)).collect()
+}
+
+/// Lowers a slice back to canonical form (one REDC per element).
+pub fn from_montgomery_vec<M: MontgomeryModulus>(values: &[MontFp<M>]) -> Vec<Fp<M>> {
+    values.iter().map(|&v| Fp::from(v)).collect()
+}
+
+/// The powers `[1, x, x², …, x^{len-1}]`, computed as a single dependent
+/// product chain.
+///
+/// For chain-routed moduli the hybrid-multiply trick applies: the base is
+/// lifted to Montgomery form once and every step is a bare
+/// [`crate::fp::PrimeModulus::mul_redc`] whose *output is already
+/// canonical* (`x^k · x̄ · R^{-1} = x^{k+1}`), so the series costs one
+/// conversion total — no per-element domain traffic. Freivalds
+/// power-structured keys and the NTT coset scalings are built on this.
+pub fn power_series<M: crate::fp::PrimeModulus>(base: Fp<M>, len: usize) -> Vec<Fp<M>> {
+    let mut powers = Vec::with_capacity(len);
+    if M::MONTGOMERY_CHAINS {
+        let lifted = M::to_montgomery(base.value());
+        let mut current = Fp::<M>::ONE;
+        for _ in 0..len {
+            powers.push(current);
+            current = Fp::new(M::mul_redc(current.value(), lifted));
+        }
+    } else {
+        let mut current = Fp::<M>::ONE;
+        for _ in 0..len {
+            powers.push(current);
+            current *= base;
+        }
+    }
+    powers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::{PrimeField, PrimeModulus, P25, P251, P61, P64};
+    use proptest::prelude::*;
+
+    type F = Fp<P251>;
+    type MF = MontFp<P251>;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn chain_flag_matches_marker_expectations() {
+        // The marker contract: implementors of MontgomeryModulus flip the
+        // const flag; opted-out moduli keep the default.
+        assert!(P251::MONTGOMERY_CHAINS);
+        assert!(P64::MONTGOMERY_CHAINS);
+        assert!(!P25::MONTGOMERY_CHAINS);
+        assert!(!P61::MONTGOMERY_CHAINS);
+    }
+
+    // The defining identities of the MONT_* constants are asserted once, in
+    // `crate::reduce::tests` — the tests here cover the `MontFp` layer only.
+
+    #[test]
+    fn round_trip_is_identity_at_boundaries() {
+        fn check<M: MontgomeryModulus>() {
+            for raw in [0u64, 1, 2, M::MODULUS / 2, M::MODULUS - 2, M::MODULUS - 1] {
+                let x = Fp::<M>::from_u64(raw);
+                assert_eq!(Fp::<M>::from(MontFp::from(x)), x, "{}", M::NAME);
+            }
+        }
+        check::<P251>();
+        check::<P64>();
+    }
+
+    #[test]
+    fn chain_product_matches_canonical_product() {
+        let values: Vec<F> = (1..=40u64).map(F::from_u64).collect();
+        let expected: F = values.iter().copied().product();
+        let chained: MF = to_montgomery_vec(&values).into_iter().product();
+        assert_eq!(Fp::from(chained), expected);
+        assert_eq!(from_montgomery_vec(&to_montgomery_vec(&values)), values);
+    }
+
+    #[test]
+    fn pow_and_inverse_stay_in_domain() {
+        for raw in [1u64, 2, 7, 250] {
+            let x = F::from_u64(raw);
+            let lifted = MF::from(x);
+            assert_eq!(Fp::from(lifted.pow(13)), x.pow(13));
+            assert_eq!(Fp::from(lifted.inverse()), x.inverse());
+            assert_eq!(lifted * lifted.inverse(), MF::ONE);
+        }
+        assert!(MF::ZERO.try_inverse().is_none());
+        assert_eq!(MF::from(F::from_u64(5)).pow(0), MF::ONE);
+    }
+
+    #[test]
+    fn additive_structure_is_preserved() {
+        let near = Fp::<P64>::from_u64(P64::MODULUS - 1);
+        let one = Fp::<P64>::ONE;
+        let (a, b) = (MontFp::from(near), MontFp::from(one));
+        // Carry-aware add/sub on 64-bit residues.
+        assert_eq!(Fp::from(a + b), near + one);
+        assert_eq!(Fp::from(b - a), one - near);
+        assert_eq!(Fp::from(-a), -near);
+        assert_eq!(a + (-a), MontFp::ZERO);
+    }
+
+    #[test]
+    fn power_series_matches_repeated_multiplication() {
+        fn check<M: PrimeModulus>(raw: u64) {
+            let base = Fp::<M>::from_u64(raw);
+            let series = power_series(base, 9);
+            let mut expected = Fp::<M>::ONE;
+            for (k, &power) in series.iter().enumerate() {
+                assert_eq!(power, expected, "{} power {k}", M::NAME);
+                expected *= base;
+            }
+        }
+        // Both the Montgomery-routed and the plain chain, incl. boundaries.
+        check::<P251>(250);
+        check::<P64>(P64::MODULUS - 1);
+        check::<P25>(123_456);
+        check::<P61>(P61::MODULUS - 2);
+        assert!(power_series(F::from_u64(3), 0).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_is_identity(raw in any::<u64>()) {
+            let x = Fp::<P251>::from_u64(raw);
+            prop_assert_eq!(Fp::from(MontFp::from(x)), x);
+            let y = Fp::<P64>::from_u64(raw);
+            prop_assert_eq!(Fp::from(MontFp::from(y)), y);
+        }
+
+        #[test]
+        fn prop_domain_multiplication_is_isomorphic(a in any::<u64>(), b in any::<u64>()) {
+            let (x, y) = (Fp::<P64>::from_u64(a), Fp::<P64>::from_u64(b));
+            prop_assert_eq!(Fp::from(MontFp::from(x) * MontFp::from(y)), x * y);
+            let (x, y) = (Fp::<P251>::from_u64(a), Fp::<P251>::from_u64(b));
+            prop_assert_eq!(Fp::from(MontFp::from(x) * MontFp::from(y)), x * y);
+        }
+
+        #[test]
+        fn prop_power_series_prefix_consistency(raw in any::<u64>(), len in 1usize..40) {
+            let base = Fp::<P64>::from_u64(raw);
+            let series = power_series(base, len);
+            prop_assert_eq!(series.len(), len);
+            for window in series.windows(2) {
+                prop_assert_eq!(window[1], window[0] * base);
+            }
+        }
+    }
+}

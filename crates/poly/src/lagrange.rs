@@ -81,21 +81,63 @@ impl<F: PrimeField> LagrangeBasis<F> {
     /// If `z` coincides with one of the interpolation points the result is the
     /// corresponding indicator vector (handled exactly, not via division).
     pub fn evaluate_at(&self, z: F) -> Vec<F> {
-        // If z is an interpolation point, return the indicator vector.
-        if let Some(index) = self.points.iter().position(|&p| p == z) {
-            let mut indicator = vec![F::ZERO; self.points.len()];
-            indicator[index] = F::ONE;
-            return indicator;
+        self.evaluate_at_many(core::slice::from_ref(&z))
+            .pop()
+            .expect("one basis row per target")
+    }
+
+    /// Evaluates every basis monomial at each of `targets`, returning one
+    /// `[ℓ_1(z), …, ℓ_n(z)]` row per target.
+    ///
+    /// All non-indicator targets share a **single** batch inversion over the
+    /// flattened difference vectors: one Fermat inversion and one
+    /// `3(n·m − 1)`-multiply chain for `m` targets over `n` points, instead
+    /// of `m` separate inversions — the shape the decoder's Lagrange
+    /// fallback hits once per output block. The chain itself is
+    /// Montgomery-routed for moduli that opted in (see
+    /// [`avcc_field::MontgomeryModulus`]).
+    pub fn evaluate_at_many(&self, targets: &[F]) -> Vec<Vec<F>> {
+        let n = self.points.len();
+        // Pass 1: resolve indicator targets (z equal to an interpolation
+        // point) exactly, and flatten every other target's differences into
+        // one batch-inversion input.
+        let mut indicator_slots: Vec<Option<usize>> = Vec::with_capacity(targets.len());
+        let mut flat_differences: Vec<F> = Vec::new();
+        for &z in targets {
+            if let Some(index) = self.points.iter().position(|&p| p == z) {
+                indicator_slots.push(Some(index));
+            } else {
+                indicator_slots.push(None);
+                flat_differences.extend(self.points.iter().map(|&p| z - p));
+            }
         }
-        // ℓ_j(z) = w_j · Π_k (z − β_k) / (z − β_j)
-        let differences: Vec<F> = self.points.iter().map(|&p| z - p).collect();
-        let full_product: F = differences.iter().copied().product();
-        let inverses = F::batch_inverse(&differences);
-        inverses
-            .into_iter()
-            .zip(self.weights.iter())
-            .map(|(inverse_j, &weight_j)| full_product * inverse_j * weight_j)
-            .collect()
+        let inverses = F::batch_inverse(&flat_differences);
+        // Pass 2: assemble ℓ_j(z) = w_j · Π_k (z − β_k) / (z − β_j) per
+        // target from its slice of the shared inversion.
+        let mut rows = Vec::with_capacity(targets.len());
+        let mut offset = 0;
+        for slot in indicator_slots {
+            match slot {
+                Some(index) => {
+                    let mut indicator = vec![F::ZERO; n];
+                    indicator[index] = F::ONE;
+                    rows.push(indicator);
+                }
+                None => {
+                    let differences = &flat_differences[offset..offset + n];
+                    let full_product: F = differences.iter().copied().product();
+                    rows.push(
+                        inverses[offset..offset + n]
+                            .iter()
+                            .zip(self.weights.iter())
+                            .map(|(&inverse_j, &weight_j)| full_product * inverse_j * weight_j)
+                            .collect(),
+                    );
+                    offset += n;
+                }
+            }
+        }
+        rows
     }
 
     /// Returns the `j`-th basis monomial as an explicit polynomial (degree
@@ -201,6 +243,20 @@ mod tests {
                 assert_eq!(poly.evaluate(z), basis.evaluate_at(z)[j]);
             }
         }
+    }
+
+    #[test]
+    fn evaluate_at_many_matches_per_target_evaluation() {
+        let basis = LagrangeBasis::new(pts(&[5, 9, 11, 200]));
+        // A mix of ordinary targets and indicator targets (9 and 200 are
+        // interpolation points), exercising the shared-inversion offsets.
+        let targets = pts(&[0, 9, 7, 200, 999_999]);
+        let rows = basis.evaluate_at_many(&targets);
+        assert_eq!(rows.len(), targets.len());
+        for (&z, row) in targets.iter().zip(rows.iter()) {
+            assert_eq!(row, &basis.evaluate_at(z), "target {z}");
+        }
+        assert!(basis.evaluate_at_many(&[]).is_empty());
     }
 
     #[test]

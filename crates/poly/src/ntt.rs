@@ -27,8 +27,58 @@
 //! The plan is generic over [`PrimeModulus`] and checks the field's declared
 //! [`PrimeModulus::TWO_ADICITY`] at construction; fields that do not declare
 //! NTT metadata (the default) simply cannot build a plan.
+//!
+//! # Montgomery-form twiddles
+//!
+//! For chain-routed moduli ([`PrimeModulus::MONTGOMERY_CHAINS`], e.g. the
+//! Goldilocks field where `WIDE_BATCH = 1` makes every butterfly product pay
+//! a full reduction) the plan stores its twiddle tables, the `n^{-1}`
+//! scaling and the running coset powers **pre-converted to Montgomery form,
+//! once per plan**. Each butterfly then multiplies via the hybrid REDC step
+//! `t̄·y·R^{-1} = t·y`, whose output is already canonical — the data vector
+//! never enters or leaves the domain, and the per-product cost drops from
+//! the modulus's wide fold to one REDC. The transforms are bit-for-bit
+//! identical either way; selection is a `const` branch that folds away.
 
-use avcc_field::{Fp, PrimeField, PrimeModulus};
+use avcc_field::{power_series, Fp, PrimeField, PrimeModulus};
+
+/// Multiplies a stored plan constant (a raw [`to_plan_form`] residue — kept
+/// as a bare `u64` precisely so a Montgomery residue can never be mistaken
+/// for a canonical [`Fp`]) by a data value: for chain-routed moduli one
+/// hybrid REDC lands the canonical product; otherwise it is a plain
+/// canonical multiply.
+#[inline]
+fn twiddle_mul<M: PrimeModulus>(twiddle: u64, value: Fp<M>) -> Fp<M> {
+    if M::MONTGOMERY_CHAINS {
+        Fp::new(M::mul_redc(twiddle, value.value()))
+    } else {
+        Fp::new(M::reduce_wide(twiddle as u128 * value.value() as u128))
+    }
+}
+
+/// Lifts a plan constant into the raw representation [`twiddle_mul`]
+/// expects: the Montgomery residue for chain-routed moduli, the canonical
+/// representative otherwise.
+#[inline]
+fn to_plan_form<M: PrimeModulus>(value: Fp<M>) -> u64 {
+    if M::MONTGOMERY_CHAINS {
+        M::to_montgomery(value.value())
+    } else {
+        value.value()
+    }
+}
+
+/// Multiplies two plan-form residues, staying in plan form — the step of
+/// the running coset-power chain (in the Montgomery domain the REDC product
+/// of two residues is again a residue).
+#[inline]
+fn plan_form_mul<M: PrimeModulus>(a: u64, b: u64) -> u64 {
+    if M::MONTGOMERY_CHAINS {
+        M::mul_redc(a, b)
+    } else {
+        M::reduce_wide(a as u128 * b as u128)
+    }
+}
 
 /// A primitive `2^log_n`-th root of unity of the field `M`.
 ///
@@ -80,12 +130,16 @@ fn bit_reverse_permute<T>(data: &mut [T]) {
 #[derive(Debug, Clone)]
 pub struct NttPlan<M: PrimeModulus> {
     log_n: u32,
-    /// `forward_twiddles[j] = ω^j` for `j < n/2`.
-    forward_twiddles: Vec<Fp<M>>,
-    /// `inverse_twiddles[j] = ω^{−j}` for `j < n/2`.
-    inverse_twiddles: Vec<Fp<M>>,
-    /// `n^{-1}`, applied after the inverse butterfly network.
-    n_inverse: Fp<M>,
+    /// `forward_twiddles[j] = ω^j` for `j < n/2`, as raw [`to_plan_form`]
+    /// residues (Montgomery form for chain-routed moduli, see
+    /// [`twiddle_mul`]).
+    forward_twiddles: Vec<u64>,
+    /// `inverse_twiddles[j] = ω^{−j}` for `j < n/2` (same representation).
+    inverse_twiddles: Vec<u64>,
+    /// `n^{-1}`, applied after the inverse butterfly network (same
+    /// representation).
+    n_inverse: u64,
+    _modulus: core::marker::PhantomData<M>,
 }
 
 impl<M: PrimeModulus> NttPlan<M> {
@@ -97,20 +151,24 @@ impl<M: PrimeModulus> NttPlan<M> {
         let n = 1usize << log_n;
         let omega = root_of_unity::<M>(log_n);
         let omega_inverse = omega.inverse();
-        let mut forward_twiddles = Vec::with_capacity(n / 2);
-        let mut inverse_twiddles = Vec::with_capacity(n / 2);
-        let (mut forward, mut inverse) = (Fp::<M>::ONE, Fp::<M>::ONE);
-        for _ in 0..n.max(2) / 2 {
-            forward_twiddles.push(forward);
-            inverse_twiddles.push(inverse);
-            forward *= omega;
-            inverse *= omega_inverse;
-        }
+        let half = n.max(2) / 2;
+        // The twiddle tables are power series (themselves dependent product
+        // chains, Montgomery-routed where the modulus opted in), converted
+        // into plan form once — the butterflies never convert again.
+        let forward_twiddles = power_series(omega, half)
+            .into_iter()
+            .map(to_plan_form)
+            .collect();
+        let inverse_twiddles = power_series(omega_inverse, half)
+            .into_iter()
+            .map(to_plan_form)
+            .collect();
         NttPlan {
             log_n,
             forward_twiddles,
             inverse_twiddles,
-            n_inverse: Fp::<M>::new(n as u64).inverse(),
+            n_inverse: to_plan_form(Fp::<M>::new(n as u64).inverse()),
+            _modulus: core::marker::PhantomData,
         }
     }
 
@@ -150,12 +208,12 @@ impl<M: PrimeModulus> NttPlan<M> {
         bit_reverse_permute(data);
         self.butterflies(data, &self.inverse_twiddles);
         for value in data.iter_mut() {
-            *value *= self.n_inverse;
+            *value = twiddle_mul(self.n_inverse, *value);
         }
     }
 
     /// The iterative butterfly network shared by both directions.
-    fn butterflies(&self, data: &mut [Fp<M>], twiddles: &[Fp<M>]) {
+    fn butterflies(&self, data: &mut [Fp<M>], twiddles: &[u64]) {
         let n = data.len();
         let mut len = 2;
         while len <= n {
@@ -164,7 +222,7 @@ impl<M: PrimeModulus> NttPlan<M> {
                 for k in 0..len / 2 {
                     let twiddle = twiddles[k * step];
                     let a = data[start + k];
-                    let t = twiddle * data[start + k + len / 2];
+                    let t = twiddle_mul(twiddle, data[start + k + len / 2]);
                     data[start + k] = a + t;
                     data[start + k + len / 2] = a - t;
                 }
@@ -199,12 +257,12 @@ impl<M: PrimeModulus> NttPlan<M> {
         self.vector_butterflies(lanes, &self.inverse_twiddles);
         for lane in lanes.iter_mut() {
             for value in lane.iter_mut() {
-                *value *= self.n_inverse;
+                *value = twiddle_mul(self.n_inverse, *value);
             }
         }
     }
 
-    fn vector_butterflies(&self, lanes: &mut [Vec<Fp<M>>], twiddles: &[Fp<M>]) {
+    fn vector_butterflies(&self, lanes: &mut [Vec<Fp<M>>], twiddles: &[u64]) {
         let n = lanes.len();
         let width = lanes.first().map_or(0, Vec::len);
         let mut len = 2;
@@ -220,7 +278,7 @@ impl<M: PrimeModulus> NttPlan<M> {
                     assert_eq!(a.len(), width, "NTT lanes must share a width");
                     assert_eq!(b.len(), width, "NTT lanes must share a width");
                     for (x, y) in a.iter_mut().zip(b.iter_mut()) {
-                        let t = twiddle * *y;
+                        let t = twiddle_mul(twiddle, *y);
                         let sum = *x + t;
                         *y = *x - t;
                         *x = sum;
@@ -234,22 +292,29 @@ impl<M: PrimeModulus> NttPlan<M> {
     /// Scales coefficient `k` by `shift^k`, turning a subsequent subgroup
     /// transform into an evaluation on the coset `shift·H` (and, with
     /// `shift^{-1}`, undoing it after an inverse transform).
+    ///
+    /// The running power is a dependent product chain; for chain-routed
+    /// moduli it is held in Montgomery form (shift converted once per call),
+    /// so both the chain step and the per-coefficient scale are single REDC
+    /// multiplies with canonical output.
     pub fn coset_scale(&self, coefficients: &mut [Fp<M>], shift: Fp<M>) {
-        let mut power = Fp::<M>::ONE;
+        let shift = to_plan_form(shift);
+        let mut power = to_plan_form(Fp::<M>::ONE);
         for coefficient in coefficients.iter_mut() {
-            *coefficient *= power;
-            power *= shift;
+            *coefficient = twiddle_mul(power, *coefficient);
+            power = plan_form_mul::<M>(power, shift);
         }
     }
 
     /// Vector-lane form of [`NttPlan::coset_scale`].
     pub fn coset_scale_vectors(&self, lanes: &mut [Vec<Fp<M>>], shift: Fp<M>) {
-        let mut power = Fp::<M>::ONE;
+        let shift = to_plan_form(shift);
+        let mut power = to_plan_form(Fp::<M>::ONE);
         for lane in lanes.iter_mut() {
             for value in lane.iter_mut() {
-                *value *= power;
+                *value = twiddle_mul(power, *value);
             }
-            power *= shift;
+            power = plan_form_mul::<M>(power, shift);
         }
     }
 }

@@ -130,7 +130,7 @@ pub mod collection {
     use core::ops::Range;
     use rand::Rng;
 
-    /// A length specification for [`vec`]: a fixed size or a half-open range.
+    /// A length specification for [`vec()`]: a fixed size or a half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,
@@ -155,7 +155,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

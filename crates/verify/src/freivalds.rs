@@ -7,8 +7,17 @@
 //! anything else passes with probability at most `1/q` per key repetition
 //! (eq. 10/11), because the difference vector is nonzero and a uniformly
 //! random `r` is orthogonal to a fixed nonzero vector with probability `1/q`.
+//!
+//! A *power-structured* variant is also provided
+//! ([`check_with_power_key`]): the secret vector is the power series
+//! `r = (1, ρ, ρ², …)` of a single field element, cutting per-repetition key
+//! storage from `rows(A)` elements to one. Expanding the series is a long
+//! dependent product chain — exactly the shape the Montgomery backend
+//! ([`avcc_field::MontgomeryModulus`]) accelerates — and the soundness error
+//! grows only to `(rows − 1)/q` (Schwartz–Zippel on the degree-`< rows`
+//! difference polynomial `Σ_i Δ_i ρ^i`).
 
-use avcc_field::{dot, Fp, PrimeModulus};
+use avcc_field::{dot, power_series, Fp, PrimeModulus};
 
 use crate::keys::MatVecKey;
 
@@ -51,6 +60,40 @@ pub fn check_with_key_pair<M: PrimeModulus>(
 /// `q^{-repetitions}` (eq. 10/11 generalized to repeated keys).
 pub fn soundness_error(modulus: u64, repetitions: u32) -> f64 {
     (1.0 / modulus as f64).powi(repetitions as i32)
+}
+
+/// Expands the power-structured secret `ρ` into the verification vector
+/// `r = (1, ρ, ρ², …, ρ^{length−1})`.
+///
+/// This is one dependent product chain of `length − 1` multiplies; on
+/// chain-routed moduli it runs through the Montgomery hybrid multiply (the
+/// base is lifted once, every step's output is already canonical).
+pub fn expand_power_key<M: PrimeModulus>(rho: Fp<M>, length: usize) -> Vec<Fp<M>> {
+    power_series(rho, length)
+}
+
+/// Verifies a claimed product with a power-structured key: accepts iff
+/// `s·input = r·claimed` for `r = (1, ρ, …)` expanded on the fly, where
+/// `s = rᵀ·A` was precomputed at key-generation time from the same `ρ`.
+///
+/// Completeness is exact; the soundness error per repetition is at most
+/// `(claimed.len() − 1)/q` (see [`power_key_soundness_error`]).
+pub fn check_with_power_key<M: PrimeModulus>(
+    rho: Fp<M>,
+    s: &[Fp<M>],
+    input: &[Fp<M>],
+    claimed: &[Fp<M>],
+) -> bool {
+    let r = expand_power_key(rho, claimed.len());
+    dot(s, input) == dot(&r, claimed)
+}
+
+/// Upper bound on the probability that a *wrong* result passes the
+/// power-structured check: `((length − 1)/q)^repetitions` — the Schwartz–
+/// Zippel bound for a nonzero polynomial of degree below `length` evaluated
+/// at a uniformly random point.
+pub fn power_key_soundness_error(modulus: u64, length: usize, repetitions: u32) -> f64 {
+    ((length.saturating_sub(1)) as f64 / modulus as f64).powi(repetitions as i32)
 }
 
 /// The paper's comparison of verification cost against recomputation: a
@@ -104,6 +147,78 @@ mod tests {
         let double = soundness_error(33_554_393, 2);
         assert!(double < 1e-15);
         assert_eq!(soundness_error(251, 1), 1.0 / 251.0);
+    }
+
+    #[test]
+    fn power_key_accepts_correct_and_rejects_corrupted_results() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let block = Matrix::from_vec(9, 5, avcc_field::random_matrix(&mut rng, 9, 5));
+        let rho: F25 = avcc_field::random_element(&mut rng);
+        // s = rᵀA for r = (1, ρ, ρ², …, ρ^{rows−1}).
+        let r = expand_power_key(rho, block.rows());
+        let s = avcc_linalg::matt_vec(&block, &r);
+        for _ in 0..10 {
+            let w: Vec<F25> = avcc_field::random_vector(&mut rng, 5);
+            let z = mat_vec(&block, &w);
+            assert!(check_with_power_key(rho, &s, &w, &z));
+            let mut corrupted = z;
+            corrupted[4] += F25::ONE;
+            assert!(!check_with_power_key(rho, &s, &w, &corrupted));
+        }
+    }
+
+    #[test]
+    fn power_key_expansion_is_the_power_series() {
+        let rho = F25::from_u64(7);
+        let r = expand_power_key(rho, 5);
+        assert_eq!(
+            r,
+            vec![
+                F25::ONE,
+                rho,
+                rho * rho,
+                rho * rho * rho,
+                rho * rho * rho * rho
+            ]
+        );
+    }
+
+    #[test]
+    fn power_key_soundness_error_is_schwartz_zippel() {
+        assert_eq!(power_key_soundness_error(251, 1, 1), 0.0);
+        assert_eq!(power_key_soundness_error(251, 252, 1), 1.0);
+        let single = power_key_soundness_error(33_554_393, 667, 1);
+        assert!((single - 666.0 / 33_554_393.0).abs() < 1e-12);
+        assert!(power_key_soundness_error(33_554_393, 667, 2) < single * single * 1.01);
+    }
+
+    /// Wrong answers against a power-structured key in the tiny field pass at
+    /// a rate bounded by (rows−1)/q — the degraded but still negligible
+    /// Schwartz–Zippel bound.
+    #[test]
+    fn empirical_power_key_soundness_in_tiny_field() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let block = Matrix::from_vec(4, 4, avcc_field::random_matrix(&mut rng, 4, 4));
+        let trials = 20_000;
+        let mut accepted_wrong = 0u32;
+        for _ in 0..trials {
+            let rho: F251 = avcc_field::random_element(&mut rng);
+            let r = expand_power_key(rho, 4);
+            let s = avcc_linalg::matt_vec(&block, &r);
+            let w: Vec<F251> = avcc_field::random_vector(&mut rng, 4);
+            let mut z = mat_vec(&block, &w);
+            let index = rng.gen_range(0..4usize);
+            z[index] += F251::from_u64(rng.gen_range(1..251));
+            if check_with_power_key(rho, &s, &w, &z) {
+                accepted_wrong += 1;
+            }
+        }
+        let rate = accepted_wrong as f64 / trials as f64;
+        let bound = power_key_soundness_error(251, 4, 1);
+        assert!(
+            rate < 3.0 * bound + 1e-3,
+            "false-acceptance rate {rate} too far above (m-1)/q = {bound}"
+        );
     }
 
     #[test]

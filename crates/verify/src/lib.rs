@@ -26,6 +26,9 @@ pub mod freivalds;
 pub mod keys;
 pub mod verifier;
 
-pub use freivalds::{check_mat_vec, soundness_error, FreivaldsCheck};
+pub use freivalds::{
+    check_mat_vec, check_with_power_key, expand_power_key, power_key_soundness_error,
+    soundness_error, FreivaldsCheck,
+};
 pub use keys::{KeyGenConfig, MatVecKey, RoundKeys};
 pub use verifier::{VerdictStats, VerifierSet, WorkerVerifier};

@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
 """Parse the criterion-shim bench output into a JSON summary and gate the
-NTT perf win.
+NTT and Montgomery-chain perf wins.
 
 The bench harness (crates/shims/criterion) prints one line per benchmark:
 
     bench: <id> ... median <ns> ns/iter (<iters> iters)
 
 This script collects those lines into ``{"results_ns_per_iter": {id: ns}}``
-and enforces the PR2 regression gate: for every ``encode_f64`` /
-``decode_f64`` pair at ``K >= 64`` the ``ntt`` path must be strictly faster
-than the ``matrix`` path. CI uploads the JSON as an artifact so perf history
-is inspectable per run.
+and enforces two regression gates:
+
+* the PR2 gate: for every ``encode_f64`` / ``decode_f64`` pair at
+  ``K >= 64`` the ``ntt`` path must be strictly faster than the ``matrix``
+  path;
+* the PR3 gate: for every ``pow_chain/p251`` / ``inverse_chain/p251`` pair
+  at chain length >= 64 the ``montgomery`` path must be strictly faster
+  than the ``barrett`` path (Montgomery loses to Barrett only below the
+  domain-conversion break-even, which sits far under 64 products).
+
+CI uploads the JSON as an artifact so perf history is inspectable per run.
 
 Usage:
     cargo bench ... | tee bench.log
@@ -26,7 +33,11 @@ BENCH_LINE = re.compile(
     r"^bench: (?P<id>\S+) \.\.\. median (?P<ns>[0-9.]+) ns/iter \((?P<iters>\d+) iters\)"
 )
 PAIR = re.compile(r"^(?P<group>(?:encode|decode)_f64)/k(?P<k>\d+)/(?P<path>matrix|ntt)$")
+MONT_PAIR = re.compile(
+    r"^(?P<group>(?:pow|inverse)_chain/p251)/len(?P<len>\d+)/(?P<path>barrett|montgomery)$"
+)
 MIN_GATED_K = 64
+MIN_GATED_CHAIN = 64
 
 
 def parse(lines):
@@ -70,6 +81,42 @@ def gate(results):
     return checks, failures
 
 
+def gate_montgomery(results):
+    """Returns (checks, failures) for barrett-vs-montgomery chains >= 64."""
+    pairs = {}
+    for bench_id in results:
+        match = MONT_PAIR.match(bench_id)
+        if match and int(match.group("len")) >= MIN_GATED_CHAIN:
+            key = (match.group("group"), int(match.group("len")))
+            pairs.setdefault(key, {})[match.group("path")] = results[bench_id]
+    checks, failures = [], []
+    for (group, length), paths in sorted(pairs.items()):
+        if "barrett" not in paths or "montgomery" not in paths:
+            failures.append(
+                f"{group}/len{length}: missing one side of the barrett/montgomery pair"
+            )
+            continue
+        speedup = paths["barrett"] / paths["montgomery"]
+        check = {
+            "pair": f"{group}/len{length}",
+            "barrett_ns": paths["barrett"],
+            "montgomery_ns": paths["montgomery"],
+            "speedup": round(speedup, 2),
+            "ok": paths["montgomery"] < paths["barrett"],
+        }
+        checks.append(check)
+        if not check["ok"]:
+            failures.append(
+                f"{group}/len{length}: montgomery path ({paths['montgomery']:.0f} ns) "
+                f"is not faster than the barrett path ({paths['barrett']:.0f} ns)"
+            )
+    if not checks:
+        failures.append(
+            "no pow_chain/inverse_chain barrett-vs-montgomery pairs found in bench output"
+        )
+    return checks, failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("log", nargs="?", help="bench output file (defaults to stdin)")
@@ -83,10 +130,13 @@ def main():
         lines = sys.stdin.readlines()
 
     results = parse(lines)
-    checks, failures = gate(results)
+    ntt_checks, ntt_failures = gate(results)
+    mont_checks, mont_failures = gate_montgomery(results)
+    failures = ntt_failures + mont_failures
     summary = {
         "results_ns_per_iter": results,
-        "ntt_regression_checks": checks,
+        "ntt_regression_checks": ntt_checks,
+        "montgomery_chain_checks": mont_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)
