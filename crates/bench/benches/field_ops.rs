@@ -167,6 +167,50 @@ fn bench_mat_vec_512(c: &mut Criterion) {
     run::<P25>(c, "p25", 6);
 }
 
+/// The PR1 single-accumulator lazy dot: one `u128` running sum, one
+/// specialized reduction per [`PrimeModulus::WIDE_BATCH`] products — the
+/// baseline the lane-striped kernel is gated against (`avcc_field::dot`
+/// itself stripes for the tight-cadence moduli, so the baseline is spelled
+/// out here like the other pre-PR references).
+fn dot_single_lane<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Fp<M> {
+    let mut accumulator: u128 = 0;
+    for (chunk_a, chunk_b) in a.chunks(M::WIDE_BATCH).zip(b.chunks(M::WIDE_BATCH)) {
+        for (&x, &y) in chunk_a.iter().zip(chunk_b.iter()) {
+            accumulator += x.value() as u128 * y.value() as u128;
+        }
+        accumulator = M::reduce_wide(accumulator) as u128;
+    }
+    Fp::<M>::new(M::reduce_wide(accumulator))
+}
+
+/// Vector-vs-scalar dot: the [`avcc_field::DOT_LANES`]-striped kernel
+/// against the PR1 single-accumulator baseline, on the moduli whose collapse
+/// cadence makes striping worthwhile (`p61`: every 63 products; `p64`:
+/// every product — `P25`/`P251` keep the single accumulator via the
+/// `LANE_STRIPE_MAX_BATCH` const branch, exactly as they keep their folds
+/// over Montgomery). CI gates `vectorized` not losing to `scalar` at
+/// length ≥ 4096 (`scripts/bench_regression.py`).
+fn bench_dot_lanes(c: &mut Criterion) {
+    fn run<M: PrimeModulus>(c: &mut Criterion, field_name: &str, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for len in [1024usize, 4096, 16_384] {
+            let a: Vec<Fp<M>> = avcc_field::random_vector(&mut rng, len);
+            let b: Vec<Fp<M>> = avcc_field::random_vector(&mut rng, len);
+            let mut group = c.benchmark_group(format!("dot_lanes/{field_name}/len{len}"));
+            group.bench_function(BenchmarkId::from_parameter("scalar"), |bencher| {
+                bencher.iter(|| dot_single_lane(black_box(&a), black_box(&b)))
+            });
+            group.bench_function(BenchmarkId::from_parameter("vectorized"), |bencher| {
+                bencher.iter(|| dot(black_box(&a), black_box(&b)))
+            });
+            group.finish();
+        }
+    }
+
+    run::<P61>(c, "p61", 12);
+    run::<P64>(c, "p64", 13);
+}
+
 fn bench_batch_inverse(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let values: Vec<F25> = avcc_field::rng::random_nonzero_vector(&mut rng, 1024);
@@ -310,6 +354,7 @@ criterion_group!(
     bench_reduction_backends,
     bench_dot_products,
     bench_dot_backends,
+    bench_dot_lanes,
     bench_mat_vec_512,
     bench_batch_inverse,
     bench_montgomery_chains,

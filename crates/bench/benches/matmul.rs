@@ -1,9 +1,23 @@
 //! Worker-kernel benchmarks: serial versus multi-threaded field matrix–vector
-//! products. These calibrate the simulator's compute-cost model and back the
-//! claim that the worker compute dominates the master-side overheads.
+//! and matrix–matrix products. These calibrate the simulator's compute-cost
+//! model and back the claim that the worker compute dominates the master-side
+//! overheads.
+//!
+//! The `mat_mat_512/<field>/{serial,pooled}` pairs are the PR4 acceptance
+//! benches: the pooled kernel (chunks as `avcc_pool` work-stealing tasks)
+//! must not lose to the PR1 serial blocked kernel — CI enforces it via
+//! `scripts/bench_regression.py`. On a single-core host the pool degenerates
+//! to the serial path, so the pair ties; on multi-core hosts the pooled side
+//! wins by roughly the core count. `pool_fanout/*` compares the *dispatch
+//! mechanisms* themselves — per-task scoped OS threads (the pre-PR4
+//! implementation) against pool tasks — at a granularity where spawn
+//! overhead matters.
 
-use avcc_field::F25;
-use avcc_linalg::{mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel, Matrix};
+use avcc_field::{Fp, PrimeModulus, F25, F61};
+use avcc_linalg::partition::chunk_ranges;
+use avcc_linalg::{
+    mat_mat, mat_mat_parallel, mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel, Matrix,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -60,5 +74,79 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_worker_kernel, bench_parallel_speedup);
+/// The PR4 acceptance kernel: 512×512 matrix–matrix product, serial blocked
+/// strips versus the same strips as work-stealing pool tasks.
+fn bench_mat_mat_512(c: &mut Criterion) {
+    const N: usize = 512;
+
+    fn run<M: PrimeModulus>(c: &mut Criterion, field_name: &str, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Matrix<Fp<M>> = Matrix::from_vec(N, N, avcc_field::random_matrix(&mut rng, N, N));
+        let b: Matrix<Fp<M>> = Matrix::from_vec(N, N, avcc_field::random_matrix(&mut rng, N, N));
+        let threads = avcc_pool::global().parallelism();
+        let mut group = c.benchmark_group(format!("mat_mat_512/{field_name}"));
+        group.bench_function(BenchmarkId::from_parameter("serial"), |bencher| {
+            bencher.iter(|| mat_mat(black_box(&a), black_box(&b)))
+        });
+        group.bench_function(BenchmarkId::from_parameter("pooled"), |bencher| {
+            bencher.iter(|| mat_mat_parallel(black_box(&a), black_box(&b), threads))
+        });
+        group.finish();
+    }
+
+    run::<avcc_field::P25>(c, "p25", 7);
+    run::<avcc_field::P61>(c, "p61", 8);
+}
+
+/// Dispatch-mechanism comparison: fanning eight moderate dot-product chunks
+/// out as scoped OS threads (one spawn per chunk, the pre-PR4 pattern)
+/// versus as pool tasks. The work per chunk is small enough that dispatch
+/// overhead is visible; the pool pays one queue push per task instead of an
+/// OS thread spawn/join.
+fn bench_pool_fanout(c: &mut Criterion) {
+    const CHUNKS: usize = 8;
+    const CHUNK_LEN: usize = 4096;
+    let mut rng = StdRng::seed_from_u64(9);
+    let a: Vec<F61> = avcc_field::random_vector(&mut rng, CHUNKS * CHUNK_LEN);
+    let b: Vec<F61> = avcc_field::random_vector(&mut rng, CHUNKS * CHUNK_LEN);
+    let ranges = chunk_ranges(a.len(), CHUNKS);
+
+    let mut group = c.benchmark_group(format!("pool_fanout/dot{CHUNKS}x{CHUNK_LEN}"));
+    group.bench_function(BenchmarkId::from_parameter("scoped_threads"), |bencher| {
+        bencher.iter(|| {
+            let partials: Vec<F61> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .cloned()
+                    .map(|range| {
+                        let (a, b) = (&a, &b);
+                        scope.spawn(move || avcc_field::dot(&a[range.clone()], &b[range]))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("fanout thread panicked"))
+                    .collect()
+            });
+            black_box(partials)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("pool"), |bencher| {
+        bencher.iter(|| {
+            let partials = avcc_pool::map_ranges(ranges.clone(), |range| {
+                avcc_field::dot(&a[range.clone()], &b[range])
+            });
+            black_box(partials)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_worker_kernel,
+    bench_parallel_speedup,
+    bench_mat_mat_512,
+    bench_pool_fanout
+);
 criterion_main!(benches);

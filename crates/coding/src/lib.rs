@@ -19,6 +19,30 @@
 //!    verifier) and error-correcting decoding via Berlekamp–Welch on
 //!    worker fingerprints (what the LCC baseline needs to identify Byzantine
 //!    workers without verification).
+//!
+//! # Encode/decode path selection
+//!
+//! Every encode and decode picks between two algebraically identical
+//! implementations, automatically, per call:
+//!
+//! | Path | Cost per coordinate | Requires | Chosen when |
+//! |---|---|---|---|
+//! | Lagrange matrix | `O((K+T)·N)` encode, `O(B·R)` decode (`R` responders, `B` output blocks) | nothing — any field, any points, any responder subset | fallback, always available |
+//! | NTT (subgroup) | `O(N log N)` | field with declared two-adicity ([`avcc_field::NttModulus`], e.g. `F64`), `K+T` a power of two, points in subgroup position ([`points::EvaluationPoints`] `subgroup`/`auto` constructors), and — for the decode — **every** coset worker responding | all conditions hold |
+//!
+//! The β-points (interpolation) sit in an order-`(K+T)` multiplicative
+//! subgroup and the α-points (workers) on a generator-shifted coset, so the
+//! two sets never collide; encode is then an inverse NTT over the subgroup
+//! followed by a coset-scaled forward NTT, and decode folds the full-coset
+//! inverse transform mod `z^B − 1` back onto the subgroup. A missing
+//! worker breaks the coset structure, so straggler rounds silently fall
+//! back to the Lagrange path — correctness never depends on the fast path
+//! (`BENCH_PR2.json`: 4.3–8.3× at `K ∈ {64, 128}`, gated in CI).
+//!
+//! Both paths share the same vectorized substrate: Lagrange linear
+//! combinations run on [`avcc_field::WideAccumulator`] lanes with one
+//! shared batch inversion per decode, and the NTT butterflies are
+//! lane-unrolled with per-plan Montgomery twiddles (`avcc_poly::ntt`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

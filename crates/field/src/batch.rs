@@ -11,6 +11,16 @@
 //! never overflow. For the paper's 25-bit field the batch exceeds any
 //! realistic vector length, so a dot product performs exactly one reduction;
 //! for the 61-bit field a reduction happens every ~63 products.
+//!
+//! On top of the lazy reduction, the hot sweeps ([`dot`],
+//! [`WideAccumulator::axpy`]) are *vectorized*: they stripe over
+//! [`DOT_LANES`] independent `u128` accumulator lanes so consecutive
+//! multiply-adds never serialize on a single accumulator's add-with-carry
+//! chain. The striping is pure instruction-level parallelism in safe,
+//! portable code — no `unsafe`, no target-feature gates — and the
+//! [`PrimeModulus::WIDE_BATCH`] overflow bound is enforced per lane by the
+//! same compile-time guard, so the vector path admits exactly the moduli the
+//! scalar path did.
 
 use crate::fp::{Fp, PrimeField, PrimeModulus};
 
@@ -24,6 +34,27 @@ pub const fn assert_wide_batch<M: PrimeModulus>() {
         "modulus too large for lazy reduction: one (q-1)^2 product must fit in u128"
     );
 }
+
+/// Number of independent `u128` accumulator lanes the vectorized kernels
+/// stripe over. A single running accumulator serializes on its own add
+/// (`u128` add-with-carry latency per product) and, worse, on the
+/// [`PrimeModulus::reduce_wide`] collapse it must pay every
+/// [`PrimeModulus::WIDE_BATCH`] products; four independent lanes let the
+/// multiplies, adds and per-lane collapses overlap, and the compiler keep
+/// all four in registers. The lanes are folded with field additions only at
+/// the end, so the result is bit-identical to the single-lane kernel.
+pub const DOT_LANES: usize = 4;
+
+/// Batch size above which [`dot`] skips the lane striping and keeps one
+/// running accumulator. Striping pays off exactly when the collapse cadence
+/// is tight (`F_{2^61-1}`: every 63 products; Goldilocks: every product) —
+/// the per-lane collapses then overlap instead of serializing. When a single
+/// accumulator can absorb any realistic vector without collapsing (the
+/// 25-bit field's batch is ≈ 2^78), the loop is a plain multiply-add
+/// reduction that the optimizer already reassociates across iterations, and
+/// manual striping only adds bookkeeping — measured, see the
+/// `dot_lanes/<field>` benches and `BENCH_PR4.json`.
+pub const LANE_STRIPE_MAX_BATCH: usize = 1 << 16;
 
 /// Element-wise sum of two equal-length slices into a new vector.
 ///
@@ -82,26 +113,68 @@ pub fn slice_axpy<M: PrimeModulus>(acc: &mut [Fp<M>], c: Fp<M>, b: &[Fp<M>]) {
     }
 }
 
-/// Inner product `Σ a[i]·b[i]` with lazy reduction.
+/// Inner product `Σ a[i]·b[i]` with lazy reduction, vectorized over
+/// [`DOT_LANES`] independent `u128` accumulator lanes for the moduli whose
+/// collapse cadence is tight enough to profit (see
+/// [`LANE_STRIPE_MAX_BATCH`]; the selection is a `const` branch that folds
+/// away).
 ///
-/// Unreduced products are summed in a `u128` accumulator, reduced through the
-/// specialized backend once every [`PrimeModulus::WIDE_BATCH`] products and
-/// once at the end — the inner loop is multiply-add only, with no division,
-/// no comparison and no branch.
+/// On the striped path, unreduced products stripe across the lanes
+/// (`lane[j]` absorbs elements `j, j+4, j+8, …` of each chunk), each lane is
+/// reduced through the specialized backend once every
+/// [`PrimeModulus::WIDE_BATCH`] of *its* products, and the canonical lane
+/// totals are folded with field additions at the end — the inner loop is
+/// four independent multiply-adds per step, with no division, no comparison,
+/// no branch, and no dependency chain between consecutive products. The
+/// [`PrimeModulus::WIDE_BATCH`] overflow bound holds per lane exactly as it
+/// does for the scalar kernel: a chunk of `DOT_LANES · WIDE_BATCH` elements
+/// feeds at most `WIDE_BATCH` products into any one lane between collapses.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dot<M: PrimeModulus>(a: &[Fp<M>], b: &[Fp<M>]) -> Fp<M> {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
     const { assert_wide_batch::<M>() }
-    let mut accumulator: u128 = 0;
-    for (chunk_a, chunk_b) in a.chunks(M::WIDE_BATCH).zip(b.chunks(M::WIDE_BATCH)) {
-        for (&x, &y) in chunk_a.iter().zip(chunk_b.iter()) {
-            accumulator += x.value() as u128 * y.value() as u128;
+    if const { M::WIDE_BATCH > LANE_STRIPE_MAX_BATCH } {
+        // Huge-batch moduli: one accumulator, (almost) no collapses — the
+        // optimizer already runs this reduction wide.
+        let mut accumulator: u128 = 0;
+        for (chunk_a, chunk_b) in a.chunks(M::WIDE_BATCH).zip(b.chunks(M::WIDE_BATCH)) {
+            for (&x, &y) in chunk_a.iter().zip(chunk_b.iter()) {
+                accumulator += x.value() as u128 * y.value() as u128;
+            }
+            accumulator = M::reduce_wide(accumulator) as u128;
         }
-        accumulator = M::reduce_wide(accumulator) as u128;
+        return Fp::from_canonical(M::reduce_wide(accumulator));
     }
-    Fp::from_canonical(M::reduce_wide(accumulator))
+    let chunk_len = M::WIDE_BATCH.saturating_mul(DOT_LANES);
+    let mut lanes = [0u128; DOT_LANES];
+    for (chunk_a, chunk_b) in a.chunks(chunk_len).zip(b.chunks(chunk_len)) {
+        let mut groups_a = chunk_a.chunks_exact(DOT_LANES);
+        let mut groups_b = chunk_b.chunks_exact(DOT_LANES);
+        for (ga, gb) in groups_a.by_ref().zip(groups_b.by_ref()) {
+            lanes[0] += ga[0].value() as u128 * gb[0].value() as u128;
+            lanes[1] += ga[1].value() as u128 * gb[1].value() as u128;
+            lanes[2] += ga[2].value() as u128 * gb[2].value() as u128;
+            lanes[3] += ga[3].value() as u128 * gb[3].value() as u128;
+        }
+        for ((lane, &x), &y) in lanes
+            .iter_mut()
+            .zip(groups_a.remainder())
+            .zip(groups_b.remainder())
+        {
+            *lane += x.value() as u128 * y.value() as u128;
+        }
+        for lane in lanes.iter_mut() {
+            *lane = M::reduce_wide(*lane) as u128;
+        }
+    }
+    // Every lane is canonical after the per-chunk collapse (or still zero),
+    // so the fold is plain field addition.
+    lanes
+        .into_iter()
+        .map(|lane| Fp::from_canonical(lane as u64))
+        .fold(Fp::<M>::ZERO, |acc, lane| acc + lane)
 }
 
 /// A vector of `u128` lanes accumulating unreduced products — the shared
@@ -143,6 +216,10 @@ impl<M: PrimeModulus> WideAccumulator<M> {
 
     /// Fused multiply-add `lane[i] += c · b[i]`, reducing lazily.
     ///
+    /// The sweep is unrolled [`DOT_LANES`] lanes at a time: the lanes are
+    /// already independent, and the explicit four-wide groups keep the
+    /// `u128` multiply-adds flowing without per-element loop control.
+    ///
     /// # Panics
     /// Panics if `b.len()` differs from the number of lanes.
     pub fn axpy(&mut self, c: Fp<M>, b: &[Fp<M>]) {
@@ -151,7 +228,19 @@ impl<M: PrimeModulus> WideAccumulator<M> {
             self.collapse();
         }
         let scale = c.value() as u128;
-        for (lane, &y) in self.lanes.iter_mut().zip(b.iter()) {
+        let mut lane_groups = self.lanes.chunks_exact_mut(DOT_LANES);
+        let mut b_groups = b.chunks_exact(DOT_LANES);
+        for (lanes, values) in lane_groups.by_ref().zip(b_groups.by_ref()) {
+            lanes[0] += scale * values[0].value() as u128;
+            lanes[1] += scale * values[1].value() as u128;
+            lanes[2] += scale * values[2].value() as u128;
+            lanes[3] += scale * values[3].value() as u128;
+        }
+        for (lane, &y) in lane_groups
+            .into_remainder()
+            .iter_mut()
+            .zip(b_groups.remainder())
+        {
             *lane += scale * y.value() as u128;
         }
         self.pending += 1;
@@ -311,6 +400,54 @@ mod tests {
         let b = vec![near; 10_000];
         let naive: F = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
         assert_eq!(dot(&a, &b), naive);
+    }
+
+    #[test]
+    fn dot_matches_reference_across_lane_remainders() {
+        // The 4-lane striping: exercise every remainder class (0..=3 leftover
+        // elements) and lengths shorter than one lane group.
+        for len in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17] {
+            let a: Vec<F> = (0..len as u64).map(|i| F::from_u64(i * 7 + 1)).collect();
+            let b: Vec<F> = (0..len as u64).map(|i| F::from_u64(i * 13 + 3)).collect();
+            let naive: F = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+            assert_eq!(dot(&a, &b), naive, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn dot_crosses_the_p61_lane_chunk_boundary() {
+        // With 4 lanes the collapse boundary sits at 4 * WIDE_BATCH elements;
+        // straddle it, land exactly on it, and overshoot by a non-multiple
+        // of the lane count.
+        type G = Fp<P61>;
+        let chunk = P61::WIDE_BATCH * DOT_LANES;
+        for len in [chunk - 1, chunk, chunk + 1, chunk * 2 + 3] {
+            let a: Vec<G> = (0..len as u64)
+                .map(|i| G::from_u64(P61::MODULUS - 1 - (i % 11)))
+                .collect();
+            let b: Vec<G> = (0..len as u64)
+                .map(|i| G::from_u64(P61::MODULUS - 5 - (i % 7)))
+                .collect();
+            let naive: G = a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum();
+            assert_eq!(dot(&a, &b), naive, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn axpy_matches_slice_axpy_across_lane_remainders() {
+        for len in [1usize, 3, 4, 5, 7, 8, 11] {
+            let b: Vec<F> = (0..len as u64)
+                .map(|i| F::from_u64(P25::MODULUS - 1 - i))
+                .collect();
+            let c = F::from_u64(P25::MODULUS - 2);
+            let mut expected = vec![F::ZERO; len];
+            let mut accumulator = WideAccumulator::<P25>::new(len);
+            for _ in 0..3 {
+                slice_axpy(&mut expected, c, &b);
+                accumulator.axpy(c, &b);
+            }
+            assert_eq!(accumulator.finish(), expected, "len = {len}");
+        }
     }
 
     #[test]

@@ -110,7 +110,7 @@ pub mod rng;
 
 pub use batch::{
     batch_inverse, dot, slice_add, slice_add_assign, slice_axpy, slice_scale, slice_sub,
-    WideAccumulator,
+    WideAccumulator, DOT_LANES,
 };
 pub use fp::{Fp, MontgomeryModulus, NttModulus, PrimeField, PrimeModulus, P25, P251, P61, P64};
 pub use montgomery::{from_montgomery_vec, power_series, to_montgomery_vec, MontFp};

@@ -95,10 +95,25 @@ impl<M: MontgomeryModulus> MontFp<M> {
     }
 }
 
+/// Compile-time tie between the public marker and the routing flag: every
+/// [`MontgomeryModulus`] implementor **must** also flip
+/// [`crate::PrimeModulus::MONTGOMERY_CHAINS`] on, or the chain-heavy paths
+/// (`Fp::pow`, batch inversion, NTT twiddles) would silently stay un-routed
+/// while `MontFp` advertises the domain. Evaluated in an inline-`const`
+/// block on the domain's entry point, so a mismatched modulus fails to
+/// *compile* the moment any code enters the domain.
+const fn assert_chains_routed<M: MontgomeryModulus>() {
+    assert!(
+        M::MONTGOMERY_CHAINS,
+        "MontgomeryModulus implementors must set MONTGOMERY_CHAINS = true"
+    );
+}
+
 impl<M: MontgomeryModulus> From<Fp<M>> for MontFp<M> {
     /// Enters the Montgomery domain: one `mul_redc` by `R²`.
     #[inline]
     fn from(value: Fp<M>) -> Self {
+        const { assert_chains_routed::<M>() }
         MontFp(M::to_montgomery(value.value()), PhantomData)
     }
 }

@@ -20,15 +20,20 @@
 //!   instead of `rows` times.
 //!
 //! The parallel variants split the row range with the shared
-//! [`crate::partition`] helper; they are used by the threaded cluster
+//! [`crate::partition`] helper and run the chunks as tasks on the global
+//! work-stealing pool ([`avcc_pool`]); they are used by the threaded cluster
 //! executor where a worker may own several cores, and by the benchmarks that
-//! calibrate the simulator's compute-cost model.
+//! calibrate the simulator's compute-cost model. Because the chunks are pool
+//! tasks rather than dedicated OS threads, these kernels can be called from
+//! *inside* other pool tasks (the simulated cluster's per-worker dispatch)
+//! without oversubscribing the machine: the `threads` argument caps the
+//! chunk count, and the pool schedules chunks onto its fixed worker set.
 
 use avcc_field::batch::assert_wide_batch;
 use avcc_field::{Fp, PrimeModulus, WideAccumulator};
 
 use crate::matrix::Matrix;
-use crate::partition::{chunk_ranges, scoped_map};
+use crate::partition::{chunk_ranges, pool_map};
 
 /// Number of output rows that share one streaming pass over `B` (or over `x`)
 /// in the blocked kernels. Chosen so a strip of `u128` accumulator lanes for
@@ -173,7 +178,7 @@ pub fn mat_vec_parallel<M: PrimeModulus>(
     if threads <= 1 || rows < 2 * threads || rows * a.cols() < PARALLEL_MIN_ELEMENTS {
         return mat_vec(a, x);
     }
-    let partials = scoped_map(chunk_ranges(rows, threads), |range| {
+    let partials = pool_map(chunk_ranges(rows, threads), |range| {
         mat_vec_rows(a, x, range)
     });
     partials.into_iter().flatten().collect()
@@ -192,7 +197,7 @@ pub fn matt_vec_parallel<M: PrimeModulus>(
     if threads <= 1 || rows < 2 * threads || rows * a.cols() < PARALLEL_MIN_ELEMENTS {
         return matt_vec(a, y);
     }
-    let partials = scoped_map(chunk_ranges(rows, threads), |range| {
+    let partials = pool_map(chunk_ranges(rows, threads), |range| {
         matt_vec_rows(a, y, range)
     });
     let mut result = vec![Fp::<M>::ZERO; a.cols()];
@@ -214,7 +219,7 @@ pub fn mat_mat_parallel<M: PrimeModulus>(
     if threads <= 1 || rows < 2 * threads || rows * a.cols() * b.cols() < PARALLEL_MIN_ELEMENTS {
         return mat_mat(a, b);
     }
-    let partials = scoped_map(chunk_ranges(rows, threads), |range| {
+    let partials = pool_map(chunk_ranges(rows, threads), |range| {
         mat_mat_rows(a, b, range)
     });
     Matrix::from_vec(rows, b.cols(), partials.into_iter().flatten().collect())

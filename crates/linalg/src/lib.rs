@@ -11,10 +11,12 @@
 //!   decoding (small linear solves / interpolation).
 //!
 //! [`Matrix`] is a simple row-major dense container generic over the element
-//! type; [`field_ops`] provides the field kernels (serial and multi-threaded
-//! via scoped threads), and [`real_ops`] provides the `f64` reference kernels
-//! plus quantization bridges used by the ML layer and by tests that compare
-//! the field pipeline against a floating-point reference.
+//! type; [`field_ops`] provides the field kernels (serial, and multi-threaded
+//! as tasks on the shared [`avcc_pool`] work-stealing pool so they compose
+//! with the simulator's per-worker fan-out), and [`real_ops`] provides the
+//! `f64` reference kernels plus quantization bridges used by the ML layer and
+//! by tests that compare the field pipeline against a floating-point
+//! reference.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

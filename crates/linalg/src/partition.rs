@@ -1,11 +1,19 @@
 //! The shared work-splitting helper behind every multi-threaded kernel.
 //!
 //! The parallel kernels in [`crate::field_ops`] all follow the same shape:
-//! split a row range into contiguous chunks, hand each chunk to a scoped
-//! thread, and collect the per-chunk results in order. This module hosts that
-//! logic once — [`chunk_ranges`] computes the split and [`scoped_map`] runs
-//! it — replacing the hand-rolled scoped-thread splitting that used to be
-//! copied into each kernel.
+//! split a row range into contiguous chunks, run each chunk as a task on the
+//! shared work-stealing pool ([`avcc_pool`]), and collect the per-chunk
+//! results in order. This module hosts that logic once — [`chunk_ranges`]
+//! computes the split and [`pool_map`] runs it.
+//!
+//! Earlier revisions spawned one scoped OS thread per chunk
+//! (`std::thread::scope`), which composed badly with outer parallelism: a
+//! simulated cluster dispatching 12 worker tasks, each splitting a blocked
+//! kernel 4 ways, would stand up 48 threads on however many cores exist.
+//! Pool tasks instead share one set of `AVCC_THREADS` workers, and a task
+//! that waits for its chunks executes those same chunks meanwhile (the
+//! pool's *scope-local helping* rule), so nested fan-out (executor ×
+//! kernel) neither oversubscribes nor deadlocks.
 
 use core::ops::Range;
 
@@ -22,30 +30,18 @@ pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
         .collect()
 }
 
-/// Runs `task` over every range on its own scoped thread and returns the
-/// results in range order.
+/// Runs `task` over every range as tasks on the global work-stealing pool
+/// and returns the results in range order.
 ///
-/// With a single range the task runs on the calling thread (no spawn cost);
-/// panics in tasks propagate to the caller.
-pub fn scoped_map<R, F>(ranges: Vec<Range<usize>>, task: F) -> Vec<R>
+/// With a single range (or a 1-thread pool) the task runs on the calling
+/// thread with no queueing cost; panics in tasks propagate to the caller
+/// after all sibling tasks have drained.
+pub fn pool_map<R, F>(ranges: Vec<Range<usize>>, task: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    if ranges.len() <= 1 {
-        return ranges.into_iter().map(task).collect();
-    }
-    let task = &task;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|range| scope.spawn(move || task(range)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("worker thread panicked"))
-            .collect()
-    })
+    avcc_pool::map_ranges(ranges, task)
 }
 
 #[cfg(test)]
@@ -74,16 +70,16 @@ mod tests {
     }
 
     #[test]
-    fn scoped_map_preserves_range_order() {
+    fn pool_map_preserves_range_order() {
         let ranges = chunk_ranges(100, 7);
-        let sums = scoped_map(ranges.clone(), |range| range.sum::<usize>());
+        let sums = pool_map(ranges.clone(), |range| range.sum::<usize>());
         let expected: Vec<usize> = ranges.into_iter().map(|range| range.sum()).collect();
         assert_eq!(sums, expected);
     }
 
     #[test]
     fn single_range_runs_inline() {
-        let results = scoped_map(chunk_ranges(5, 1), |range| range.len());
+        let results = pool_map(chunk_ranges(5, 1), |range| range.len());
         assert_eq!(results, vec![5]);
     }
 }

@@ -1,0 +1,110 @@
+//! Pool fan-out equivalence tests: results computed by splitting work into
+//! `avcc_pool` scope tasks must be identical to the sequential kernels, for
+//! every pool size (including the degenerate 1-thread pool, the
+//! `AVCC_THREADS=1` configuration).
+
+use avcc_field::{batch_inverse, Fp, PrimeField, PrimeModulus, F25, P25};
+use avcc_linalg::partition::chunk_ranges;
+use avcc_linalg::{mat_mat, mat_mat_parallel, Matrix};
+use avcc_pool::ThreadPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix<F25> {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| F25::from_u64(rng.gen_range(0..P25::MODULUS)))
+            .collect(),
+    )
+}
+
+/// `mat_mat` computed as an explicit pool-scope fan-out over row strips on a
+/// pool of the given size.
+fn mat_mat_on_pool(
+    pool: &ThreadPool,
+    a: &Matrix<F25>,
+    b: &Matrix<F25>,
+    chunks: usize,
+) -> Matrix<F25> {
+    let ranges = chunk_ranges(a.rows(), chunks);
+    let mut strips: Vec<Option<Matrix<F25>>> = (0..ranges.len()).map(|_| None).collect();
+    pool.scope(|scope| {
+        for (slot, range) in strips.iter_mut().zip(ranges) {
+            scope.spawn(move || {
+                let strip = Matrix::from_vec(
+                    range.len(),
+                    a.cols(),
+                    range
+                        .clone()
+                        .flat_map(|row| a.row(row).iter().copied())
+                        .collect(),
+                );
+                *slot = Some(mat_mat(&strip, b));
+            });
+        }
+    });
+    let mut data = Vec::with_capacity(a.rows() * b.cols());
+    for strip in strips {
+        let strip = strip.expect("strip task did not run");
+        for row in 0..strip.rows() {
+            data.extend_from_slice(strip.row(row));
+        }
+    }
+    Matrix::from_vec(a.rows(), b.cols(), data)
+}
+
+/// `batch_inverse` computed as a pool-scope fan-out over contiguous chunks
+/// (each chunk pays its own inversion; the merged result must still match
+/// the one-pass sequential sweep exactly).
+fn batch_inverse_on_pool(pool: &ThreadPool, values: &[Fp<P25>], chunks: usize) -> Vec<Fp<P25>> {
+    let ranges = chunk_ranges(values.len(), chunks);
+    let mut parts: Vec<Option<Vec<Fp<P25>>>> = (0..ranges.len()).map(|_| None).collect();
+    pool.scope(|scope| {
+        for (slot, range) in parts.iter_mut().zip(ranges) {
+            scope.spawn(move || *slot = Some(batch_inverse(&values[range])));
+        }
+    });
+    parts
+        .into_iter()
+        .flat_map(|part| part.expect("chunk task did not run"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_pool_mat_mat_matches_sequential(seed in any::<u64>(), pool_size in 1usize..=4, chunks in 1usize..=7) {
+        let pool = ThreadPool::new(pool_size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, 23, 11);
+        let b = random_matrix(&mut rng, 11, 9);
+        let sequential = mat_mat(&a, &b);
+        let pooled = mat_mat_on_pool(&pool, &a, &b, chunks);
+        prop_assert_eq!(pooled, sequential);
+    }
+
+    #[test]
+    fn prop_pool_batch_inverse_matches_sequential(
+        raw in proptest::collection::vec(1..P25::MODULUS, 1..200),
+        pool_size in 1usize..=4,
+        chunks in 1usize..=9,
+    ) {
+        let pool = ThreadPool::new(pool_size);
+        let values: Vec<Fp<P25>> = raw.iter().map(|&v| Fp::from_u64(v)).collect();
+        let sequential = batch_inverse(&values);
+        let pooled = batch_inverse_on_pool(&pool, &values, chunks);
+        prop_assert_eq!(pooled, sequential);
+    }
+
+    #[test]
+    fn prop_mat_mat_parallel_matches_serial_on_global_pool(seed in any::<u64>(), threads in 1usize..=8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, 48, 32);
+        let b = random_matrix(&mut rng, 32, 24);
+        prop_assert_eq!(mat_mat_parallel(&a, &b, threads), mat_mat(&a, &b));
+    }
+}

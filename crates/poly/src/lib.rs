@@ -32,5 +32,5 @@ pub mod reed_solomon;
 pub use dense::Polynomial;
 pub use lagrange::{evaluate_basis_at, interpolate, interpolate_eval, LagrangeBasis};
 pub use linear::{invert_matrix, mat_vec, rank, solve, LinearSolveError};
-pub use ntt::{root_of_unity, NttPlan};
+pub use ntt::{root_of_unity, NttPlan, NTT_LANES};
 pub use reed_solomon::{BerlekampWelch, RsDecodeError, RsDecoded};

@@ -17,7 +17,10 @@
 //!   [`NttPlan::inverse_vectors`]) in which every "element" is a whole data
 //!   block: the butterflies stream contiguously over block slices, which is
 //!   how the encoder transforms `K+T` matrices at once without a strided
-//!   per-coordinate gather.
+//!   per-coordinate gather. Both networks unroll [`NTT_LANES`] independent
+//!   butterflies per step so the per-product reductions overlap instead of
+//!   serializing (safe portable ILP, same spirit as the
+//!   [`avcc_field::DOT_LANES`] dot-product striping).
 //! * Coset helpers ([`NttPlan::coset_scale`] / [`NttPlan::coset_scale_vectors`])
 //!   implementing the substitution `u(z) → u(c·z)`: scaling coefficient `k`
 //!   by `c^k` turns a subgroup transform into an evaluation on the coset
@@ -41,6 +44,14 @@
 //! identical either way; selection is a `const` branch that folds away.
 
 use avcc_field::{power_series, Fp, PrimeField, PrimeModulus};
+
+/// Number of butterflies (scalar network) or block coordinates (vector-lane
+/// network) processed per unrolled step. Independent butterflies break the
+/// dependency chain of the per-product reduction (three dependent multiplies
+/// per REDC on the Montgomery-routed moduli), mirroring
+/// [`avcc_field::DOT_LANES`] in the dot-product kernels; the transforms are
+/// bit-identical to the rolled loop.
+pub const NTT_LANES: usize = 4;
 
 /// Multiplies a stored plan constant (a raw [`to_plan_form`] residue — kept
 /// as a bare `u64` precisely so a Montgomery residue can never be mistaken
@@ -213,18 +224,44 @@ impl<M: PrimeModulus> NttPlan<M> {
     }
 
     /// The iterative butterfly network shared by both directions.
+    ///
+    /// Butterflies at distinct offsets within a block are independent, so
+    /// the inner loop runs [`NTT_LANES`] of them per step with separate
+    /// temporaries: four `twiddle_mul` reductions (three dependent multiplies
+    /// each on the Montgomery-routed moduli) overlap instead of serializing.
+    /// The remainder loop handles the first stages, whose half-blocks are
+    /// narrower than one lane group.
     fn butterflies(&self, data: &mut [Fp<M>], twiddles: &[u64]) {
         let n = data.len();
         let mut len = 2;
         while len <= n {
             let step = n / len;
+            let half = len / 2;
             for start in (0..n).step_by(len) {
-                for k in 0..len / 2 {
-                    let twiddle = twiddles[k * step];
-                    let a = data[start + k];
-                    let t = twiddle_mul(twiddle, data[start + k + len / 2]);
-                    data[start + k] = a + t;
-                    data[start + k + len / 2] = a - t;
+                let (left, right) = data[start..start + len].split_at_mut(half);
+                let mut k = 0;
+                while k + NTT_LANES <= half {
+                    let t0 = twiddle_mul(twiddles[k * step], right[k]);
+                    let t1 = twiddle_mul(twiddles[(k + 1) * step], right[k + 1]);
+                    let t2 = twiddle_mul(twiddles[(k + 2) * step], right[k + 2]);
+                    let t3 = twiddle_mul(twiddles[(k + 3) * step], right[k + 3]);
+                    let (a0, a1, a2, a3) = (left[k], left[k + 1], left[k + 2], left[k + 3]);
+                    left[k] = a0 + t0;
+                    left[k + 1] = a1 + t1;
+                    left[k + 2] = a2 + t2;
+                    left[k + 3] = a3 + t3;
+                    right[k] = a0 - t0;
+                    right[k + 1] = a1 - t1;
+                    right[k + 2] = a2 - t2;
+                    right[k + 3] = a3 - t3;
+                    k += NTT_LANES;
+                }
+                while k < half {
+                    let t = twiddle_mul(twiddles[k * step], right[k]);
+                    let a = left[k];
+                    left[k] = a + t;
+                    right[k] = a - t;
+                    k += 1;
                 }
             }
             len <<= 1;
@@ -262,6 +299,11 @@ impl<M: PrimeModulus> NttPlan<M> {
         }
     }
 
+    /// The vector-lane butterfly network: one twiddle per butterfly, applied
+    /// element-wise across a whole block pair. The coordinate sweep runs
+    /// [`NTT_LANES`] elements per step — with a shared twiddle the four
+    /// `twiddle_mul` reductions are fully independent, so this is the
+    /// highest-ILP loop in the transform (and the encoder's hot path).
     fn vector_butterflies(&self, lanes: &mut [Vec<Fp<M>>], twiddles: &[u64]) {
         let n = lanes.len();
         let width = lanes.first().map_or(0, Vec::len);
@@ -277,7 +319,27 @@ impl<M: PrimeModulus> NttPlan<M> {
                     let b = &mut tail[0];
                     assert_eq!(a.len(), width, "NTT lanes must share a width");
                     assert_eq!(b.len(), width, "NTT lanes must share a width");
-                    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                    let mut a_groups = a.chunks_exact_mut(NTT_LANES);
+                    let mut b_groups = b.chunks_exact_mut(NTT_LANES);
+                    for (xs, ys) in a_groups.by_ref().zip(b_groups.by_ref()) {
+                        let t0 = twiddle_mul(twiddle, ys[0]);
+                        let t1 = twiddle_mul(twiddle, ys[1]);
+                        let t2 = twiddle_mul(twiddle, ys[2]);
+                        let t3 = twiddle_mul(twiddle, ys[3]);
+                        ys[0] = xs[0] - t0;
+                        ys[1] = xs[1] - t1;
+                        ys[2] = xs[2] - t2;
+                        ys[3] = xs[3] - t3;
+                        xs[0] += t0;
+                        xs[1] += t1;
+                        xs[2] += t2;
+                        xs[3] += t3;
+                    }
+                    for (x, y) in a_groups
+                        .into_remainder()
+                        .iter_mut()
+                        .zip(b_groups.into_remainder().iter_mut())
+                    {
                         let t = twiddle_mul(twiddle, *y);
                         let sum = *x + t;
                         *y = *x - t;

@@ -10,9 +10,23 @@
 //!   Nothing sleeps; a 50-iteration training run over a 12-worker cluster
 //!   completes in seconds of real time while still exhibiting the arrival
 //!   orderings the paper's results depend on.
-//! * [`ThreadedExecutor`] — one OS thread per worker connected with mpsc
-//!   channels; stragglers really do finish later. Used by the examples to
-//!   demonstrate that the same master logic drives a live cluster.
+//! * [`ThreadedExecutor`] — every worker task runs as a task on the shared
+//!   [`avcc_pool`] work-stealing pool and reports back over an mpsc channel;
+//!   stragglers really do finish later. Used by the examples to demonstrate
+//!   that the same master logic drives a live cluster. Because worker tasks
+//!   are pool tasks (not one dedicated OS thread per worker, as in earlier
+//!   revisions), a worker task may itself call the pool-backed parallel
+//!   kernels in `avcc_linalg` — the nested fan-out shares the one fixed set
+//!   of pool threads instead of multiplying OS threads, and a worker waiting
+//!   on its inner kernel chunks executes those same chunks meanwhile (the
+//!   pool's *scope-local* helping rule, which is also what keeps a waiter
+//!   from nesting another worker's task — and sleep — inside its own
+//!   measured compute span), so the nesting cannot deadlock.
+//!
+//! [`VirtualExecutor`] stays deliberately serial: it derives each worker's
+//! virtual cost from a wall-clock measurement of that worker's task, and
+//! running tasks concurrently would let them contend and corrupt each
+//! other's measurements.
 
 use std::time::Instant;
 
@@ -31,8 +45,11 @@ pub struct WorkerOutcome<T> {
     pub compute_seconds: f64,
     /// Simulated network time in seconds.
     pub network_seconds: f64,
-    /// Simulated arrival time at the master (compute + network; all workers
-    /// start at time zero).
+    /// Simulated arrival time at the master. All workers start at time
+    /// zero; for the [`VirtualExecutor`] this is exactly
+    /// `compute + network`, while for the [`ThreadedExecutor`] it is the
+    /// real send instant plus network time — which also includes any time
+    /// the task spent queued on the pool, so `arrival ≥ compute + network`.
     pub arrival_seconds: f64,
     /// `true` iff the payload was modified by a Byzantine attack.
     pub corrupted: bool,
@@ -139,9 +156,20 @@ impl VirtualExecutor {
     }
 }
 
-/// A real-thread executor: every worker runs on its own OS thread and sends
-/// its result back over a channel. Straggler slowdowns are realized as actual
-/// (scaled-down) sleeps so the arrival order visibly matches the profile.
+/// A real-concurrency executor: every worker runs as a task on the shared
+/// work-stealing pool and sends its result back over a channel. Straggler
+/// slowdowns are realized as actual (scaled-down) sleeps so the arrival
+/// order visibly matches the profile when the pool has at least as many
+/// threads as there are workers (`AVCC_THREADS=<N>` guarantees it).
+///
+/// On smaller pools workers time-share the pool threads and whole tasks
+/// serialize, exactly as a real cluster node with fewer cores than
+/// processes would behave: arrival order degrades toward spawn order (a
+/// straggler early in the queue delays everyone behind it rather than only
+/// itself), and queue wait shows up in `arrival_seconds`. Per-worker
+/// `compute_seconds` stays honest everywhere — it is measured from the
+/// moment the worker's task starts running, not from the start of the
+/// round.
 #[derive(Debug, Clone)]
 pub struct ThreadedExecutor {
     profile: ClusterProfile,
@@ -164,7 +192,7 @@ impl ThreadedExecutor {
         &self.profile
     }
 
-    /// Runs one round on real threads. Results are returned in arrival order
+    /// Runs one round as pool tasks. Results are returned in arrival order
     /// (the order in which the master's channel received them).
     pub fn run_round<T, Task, Corrupt>(
         &self,
@@ -186,28 +214,38 @@ impl ThreadedExecutor {
         );
         let (sender, receiver) = mpsc::channel();
         let round_start = Instant::now();
-        let mut arrived: Vec<(usize, T, f64)> = std::thread::scope(|scope| {
+        // The scope returns once every worker task has sent its result, so
+        // draining the channel afterwards never blocks. (Collecting *inside*
+        // the scope body would deadlock on small pools: the body runs before
+        // the scope starts executing queued tasks.)
+        avcc_pool::scope(|scope| {
             for (worker, task) in tasks.into_iter().enumerate() {
                 let sender = sender.clone();
                 let slowdown = self.profile.worker(worker).effective_slowdown();
                 let extra_sleep = (slowdown - 1.0).max(0.0) * self.sleep_per_slowdown_unit;
                 scope.spawn(move || {
+                    // Compute time is the task's own execution span; on a
+                    // pool smaller than the worker count the task may also
+                    // have *queued* behind other workers, and that wait
+                    // belongs to arrival, not compute.
+                    let task_start = Instant::now();
                     let payload = task();
                     if extra_sleep > 0.0 {
                         std::thread::sleep(std::time::Duration::from_secs_f64(extra_sleep));
                     }
-                    let elapsed = round_start.elapsed().as_secs_f64();
+                    let compute = task_start.elapsed().as_secs_f64();
+                    let sent_at = round_start.elapsed().as_secs_f64();
                     // A closed receiver just means the master stopped early.
-                    let _ = sender.send((worker, payload, elapsed));
+                    let _ = sender.send((worker, payload, compute, sent_at));
                 });
             }
-            drop(sender);
-            receiver.iter().collect()
         });
+        drop(sender);
+        let mut arrived: Vec<(usize, T, f64, f64)> = receiver.iter().collect();
         // The channel already yields messages in arrival order; keep it.
         let outcomes = arrived
             .drain(..)
-            .map(|(worker, mut payload, elapsed)| {
+            .map(|(worker, mut payload, compute_seconds, sent_at)| {
                 let corrupted = corrupt(worker, &mut payload);
                 let network_seconds = self
                     .profile
@@ -215,9 +253,9 @@ impl ThreadedExecutor {
                     .transfer_seconds(payload_bytes(&payload));
                 WorkerOutcome {
                     worker,
-                    compute_seconds: elapsed,
+                    compute_seconds,
                     network_seconds,
-                    arrival_seconds: elapsed + network_seconds,
+                    arrival_seconds: sent_at + network_seconds,
                     payload,
                     corrupted,
                 }
@@ -334,6 +372,41 @@ mod tests {
     }
 
     #[test]
+    fn threaded_executor_nests_pool_backed_kernels_without_deadlock() {
+        // The composition the pool exists for: the executor fans 8 worker
+        // tasks onto the pool, and every worker task itself fans a blocked
+        // kernel onto the same pool. With per-worker OS threads this was 8 +
+        // 8*4 threads; with the pool it must complete on ANY pool size
+        // because threads waiting on inner scopes execute pending tasks.
+        use avcc_linalg::{mat_vec, mat_vec_parallel, Matrix};
+        use rand::SeedableRng;
+        let workers = 8;
+        let (rows, cols) = (128usize, 160usize);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let matrix = std::sync::Arc::new(Matrix::from_vec(
+            rows,
+            cols,
+            avcc_field::random_matrix(&mut rng, rows, cols),
+        ));
+        let x: std::sync::Arc<Vec<F25>> =
+            std::sync::Arc::new(avcc_field::random_vector(&mut rng, cols));
+        let expected = mat_vec(&matrix, &x);
+        let executor = ThreadedExecutor::new(ClusterProfile::uniform(workers));
+        let tasks: Vec<_> = (0..workers)
+            .map(|_| {
+                let matrix = std::sync::Arc::clone(&matrix);
+                let x = std::sync::Arc::clone(&x);
+                move || mat_vec_parallel(&matrix, &x, 4)
+            })
+            .collect();
+        let outcomes = executor.run_round(tasks, |v: &Vec<F25>| v.len() * 8, |_, _| false);
+        assert_eq!(outcomes.len(), workers);
+        for outcome in &outcomes {
+            assert_eq!(outcome.payload, expected);
+        }
+    }
+
+    #[test]
     fn threaded_executor_collects_all_workers() {
         let profile = ClusterProfile::uniform(4).with_stragglers(&[3], 5.0);
         let executor = ThreadedExecutor::new(profile);
@@ -345,5 +418,25 @@ mod tests {
         assert_eq!(workers, vec![0, 1, 2, 3]);
         // The straggler slept ~40 ms extra, so it should not arrive first.
         assert_ne!(outcomes[0].worker, 3);
+        for outcome in &outcomes {
+            // Compute is the task's own span; arrival additionally carries
+            // queue wait (pools smaller than the worker count) + network.
+            assert!(
+                outcome.compute_seconds <= outcome.arrival_seconds - outcome.network_seconds + 1e-9,
+                "worker {}: compute {} should not exceed send time {}",
+                outcome.worker,
+                outcome.compute_seconds,
+                outcome.arrival_seconds - outcome.network_seconds
+            );
+            // The straggler's 40 ms sleep is its own compute, nobody else's.
+            if outcome.worker != 3 {
+                assert!(
+                    outcome.compute_seconds < 0.04,
+                    "worker {} charged someone else's sleep: {}",
+                    outcome.worker,
+                    outcome.compute_seconds
+                );
+            }
+        }
     }
 }

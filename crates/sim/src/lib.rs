@@ -15,12 +15,41 @@
 //! * [`cluster`] — worker profiles, straggler injection and the network model.
 //! * [`attack`] — the paper's Byzantine attack models (reverse-value and
 //!   constant), applied to field-vector payloads.
-//! * [`executor`] — the [`executor::VirtualExecutor`] (deterministic virtual
-//!   timeline, used by every experiment) and the
-//!   [`executor::ThreadedExecutor`] (real OS threads and channels, used by the
-//!   examples to demonstrate the same API end to end).
+//! * [`executor`] — the two execution engines, see the table below.
 //! * [`metrics`] — per-iteration cost breakdown (compute / communication /
 //!   verification / decoding), the quantity plotted in Fig. 4.
+//!
+//! # Executor selection
+//!
+//! Both engines run one task per simulated worker and return
+//! [`executor::WorkerOutcome`]s in arrival order; they differ in what
+//! "time" means and on what the tasks run:
+//!
+//! | Engine | Tasks run on | Arrival time | Use when |
+//! |---|---|---|---|
+//! | [`executor::VirtualExecutor`] | the calling thread, serially | measured wall-clock per task × profile slowdown + modeled network transfer | every experiment: deterministic-enough orderings, seconds of real time for a 50-iteration × 12-worker run |
+//! | [`executor::ThreadedExecutor`] | the global [`avcc_pool`] work-stealing pool, concurrently | real elapsed time (straggler slowdowns realized as scaled-down sleeps) + modeled transfer | the examples: demonstrates the same master logic driving real concurrency |
+//!
+//! The split is deliberate. The virtual engine must stay serial because its
+//! cost model *measures* each task with a monotonic clock — concurrent
+//! tasks would contend for cores and corrupt each other's measurements. The
+//! threaded engine, conversely, exists to exhibit real concurrency, and
+//! since PR4 dispatches worker tasks onto the shared work-stealing pool
+//! rather than spawning one OS thread per worker: worker tasks may
+//! themselves call the pool-parallel kernels in `avcc_linalg`, and the
+//! nested fan-out (round × blocked kernel) shares one fixed thread set —
+//! composable, deadlock-free (waiting threads execute pending tasks), and
+//! never oversubscribed.
+//!
+//! # Cost accounting
+//!
+//! Per-iteration costs are virtual seconds, not wall-clock: compute comes
+//! from the executor's timeline, verification/decoding/encoding are
+//! measured on the master and scaled by the same
+//! [`executor::VirtualExecutor::time_scale`], and totals aggregate across
+//! iterations with a median-based robust sum
+//! (`TrainingReport::robust_total_seconds` in `avcc-core`) so host
+//! preemption spikes do not swamp comparisons.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

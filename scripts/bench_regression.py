@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Parse the criterion-shim bench output into a JSON summary and gate the
-NTT and Montgomery-chain perf wins.
+"""Parse the criterion-shim bench output into a JSON summary, gate the
+NTT / Montgomery-chain / pool / vector-lane perf wins, and render a
+cross-PR perf-trajectory table against the committed baselines.
 
 The bench harness (crates/shims/criterion) prints one line per benchmark:
 
     bench: <id> ... median <ns> ns/iter (<iters> iters)
 
 This script collects those lines into ``{"results_ns_per_iter": {id: ns}}``
-and enforces two regression gates:
+and enforces four regression gates:
 
 * the PR2 gate: for every ``encode_f64`` / ``decode_f64`` pair at
   ``K >= 64`` the ``ntt`` path must be strictly faster than the ``matrix``
@@ -15,17 +16,34 @@ and enforces two regression gates:
 * the PR3 gate: for every ``pow_chain/p251`` / ``inverse_chain/p251`` pair
   at chain length >= 64 the ``montgomery`` path must be strictly faster
   than the ``barrett`` path (Montgomery loses to Barrett only below the
-  domain-conversion break-even, which sits far under 64 products).
+  domain-conversion break-even, which sits far under 64 products);
+* the PR4 pool gate: for every ``mat_mat_512/<field>`` pair the ``pooled``
+  kernel (work-stealing pool tasks) must not lose to the ``serial`` PR1
+  blocked kernel. "Not lose" allows ``NOT_WORSE_TOLERANCE`` of noise: on a
+  single-core host the pool degenerates to the serial path and the pair
+  ties modulo measurement noise (the 512-cubed kernel gets only a few
+  timed iterations in smoke mode), while multi-core hosts show a
+  ~core-count win;
+* the PR4 vector gate: for every ``dot_lanes/<field>/len<N>`` pair at
+  ``N >= 4096`` the ``vectorized`` (lane-striped) dot must not lose to the
+  ``scalar`` PR1 single-accumulator kernel (same tolerance).
+
+With ``--baseline NAME=PATH`` (repeatable) the script also renders a
+markdown trajectory table comparing the current run against the committed
+``BENCH_PR*.json`` captures for every shared bench id, and appends it to
+``$GITHUB_STEP_SUMMARY`` when that variable is set (the CI job summary).
 
 CI uploads the JSON as an artifact so perf history is inspectable per run.
 
 Usage:
     cargo bench ... | tee bench.log
-    python3 scripts/bench_regression.py bench.log --out bench_summary.json
+    python3 scripts/bench_regression.py bench.log --out bench_summary.json \\
+        --baseline PR2=BENCH_PR2.json --baseline PR3=BENCH_PR3.json
 """
 
 import argparse
 import json
+import os
 import re
 import sys
 
@@ -36,8 +54,17 @@ PAIR = re.compile(r"^(?P<group>(?:encode|decode)_f64)/k(?P<k>\d+)/(?P<path>matri
 MONT_PAIR = re.compile(
     r"^(?P<group>(?:pow|inverse)_chain/p251)/len(?P<len>\d+)/(?P<path>barrett|montgomery)$"
 )
+POOL_PAIR = re.compile(r"^(?P<group>mat_mat_512/p\d+)/(?P<path>serial|pooled)$")
+LANE_PAIR = re.compile(
+    r"^(?P<group>dot_lanes/p\d+)/len(?P<len>\d+)/(?P<path>scalar|vectorized)$"
+)
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
+MIN_GATED_DOT_LEN = 4096
+# "Must not lose" gates tie on hosts where the win is structurally
+# unavailable (a 1-core runner cannot show a pool speedup); allow this much
+# run-to-run noise before calling a tie a loss.
+NOT_WORSE_TOLERANCE = 1.10
 
 
 def parse(lines):
@@ -117,10 +144,101 @@ def gate_montgomery(results):
     return checks, failures
 
 
+def gate_not_worse(results, pattern, fast_path, slow_path, min_len=None, label=""):
+    """Generic "must not lose" gate: for every matched (group[, len]) pair the
+    fast path must satisfy fast <= slow * NOT_WORSE_TOLERANCE."""
+    pairs = {}
+    for bench_id in results:
+        match = pattern.match(bench_id)
+        if not match:
+            continue
+        groups = match.groupdict()
+        if min_len is not None and int(groups.get("len", 0)) < min_len:
+            continue
+        key = bench_id.rsplit("/", 1)[0]
+        pairs.setdefault(key, {})[groups["path"]] = results[bench_id]
+    checks, failures = [], []
+    for key, paths in sorted(pairs.items()):
+        if fast_path not in paths or slow_path not in paths:
+            failures.append(f"{key}: missing one side of the {slow_path}/{fast_path} pair")
+            continue
+        speedup = paths[slow_path] / paths[fast_path]
+        ok = paths[fast_path] <= paths[slow_path] * NOT_WORSE_TOLERANCE
+        check = {
+            "pair": key,
+            f"{slow_path}_ns": paths[slow_path],
+            f"{fast_path}_ns": paths[fast_path],
+            "speedup": round(speedup, 2),
+            "ok": ok,
+        }
+        checks.append(check)
+        if not ok:
+            failures.append(
+                f"{key}: {fast_path} path ({paths[fast_path]:.0f} ns) loses to the "
+                f"{slow_path} path ({paths[slow_path]:.0f} ns) beyond the "
+                f"{NOT_WORSE_TOLERANCE:.2f}x noise tolerance"
+            )
+    if not checks:
+        failures.append(f"no {label or pattern.pattern} pairs found in bench output")
+    return checks, failures
+
+
+def load_baselines(specs):
+    """Parses repeated NAME=PATH specs into [(name, {bench_id: ns})]."""
+    baselines = []
+    for spec in specs or []:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise SystemExit(f"--baseline wants NAME=PATH, got {spec!r}")
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        baselines.append((name, data.get("results_ns_per_iter", {})))
+    return baselines
+
+
+def trajectory_table(results, baselines):
+    """Markdown table of every bench id shared with at least one baseline:
+    one column per baseline capture, one for the current run, and the
+    speedup of the current run over the oldest capture that has the id."""
+    ids = sorted(
+        bench_id
+        for bench_id in results
+        if any(bench_id in base for _, base in baselines)
+    )
+    if not ids:
+        return None
+    header = (
+        "| bench | "
+        + " | ".join(f"{name} ns" for name, _ in baselines)
+        + " | current ns | vs oldest |"
+    )
+    divider = "|" + "---|" * (len(baselines) + 3)
+    rows = [header, divider]
+    for bench_id in ids:
+        cells = [f"`{bench_id}`"]
+        oldest = None
+        for _, base in baselines:
+            value = base.get(bench_id)
+            cells.append(f"{value:.0f}" if value is not None else "—")
+            if oldest is None and value is not None:
+                oldest = value
+        current = results[bench_id]
+        cells.append(f"{current:.0f}")
+        cells.append(f"{oldest / current:.2f}x" if oldest else "—")
+        rows.append("| " + " | ".join(cells) + " |")
+    return "\n".join(rows)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("log", nargs="?", help="bench output file (defaults to stdin)")
     parser.add_argument("--out", help="write the JSON summary here")
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        metavar="NAME=PATH",
+        help="committed BENCH_*.json capture to diff against (repeatable)",
+    )
     args = parser.parse_args()
 
     if args.log:
@@ -132,11 +250,24 @@ def main():
     results = parse(lines)
     ntt_checks, ntt_failures = gate(results)
     mont_checks, mont_failures = gate_montgomery(results)
-    failures = ntt_failures + mont_failures
+    pool_checks, pool_failures = gate_not_worse(
+        results, POOL_PAIR, "pooled", "serial", label="mat_mat_512 serial-vs-pooled"
+    )
+    lane_checks, lane_failures = gate_not_worse(
+        results,
+        LANE_PAIR,
+        "vectorized",
+        "scalar",
+        min_len=MIN_GATED_DOT_LEN,
+        label="dot_lanes scalar-vs-vectorized",
+    )
+    failures = ntt_failures + mont_failures + pool_failures + lane_failures
     summary = {
         "results_ns_per_iter": results,
         "ntt_regression_checks": ntt_checks,
         "montgomery_chain_checks": mont_checks,
+        "pool_mat_mat_checks": pool_checks,
+        "dot_lane_checks": lane_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)
@@ -144,6 +275,20 @@ def main():
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(rendered + "\n")
     print(rendered)
+
+    baselines = load_baselines(args.baseline)
+    if baselines:
+        table = trajectory_table(results, baselines)
+        if table:
+            document = "## Bench trajectory vs committed baselines\n\n" + table + "\n"
+            print(document)
+            step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+            if step_summary:
+                with open(step_summary, "a", encoding="utf-8") as handle:
+                    handle.write(document)
+        else:
+            print("(no bench ids shared with the provided baselines)")
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
