@@ -23,14 +23,32 @@
 //!   codeword.
 //!
 //! When the evaluation points are in subgroup position (NTT-friendly field,
-//! see [`crate::points::EvaluationPoints::subgroup`]) and every worker
-//! responded, erasure decoding takes a full-coset NTT fast path —
-//! `O(N log N)` per coordinate instead of the `O(K·R)` Lagrange combination —
-//! and falls back to Lagrange interpolation the moment any result is missing
-//! (stragglers, evicted Byzantine workers).
+//! see [`crate::points::EvaluationPoints::subgroup`]) erasure decoding stays
+//! on a fast path regardless of who responded:
+//!
+//! * **Every worker present** and `N` filling the covering coset: one
+//!   full-coset inverse NTT, a fold modulo `z^B − 1` and one forward NTT —
+//!   `O(N log N)` per coordinate.
+//! * **Workers missing** (stragglers, evicted Byzantine workers): the
+//!   surviving α-points are no longer a full coset, so the decoder
+//!   interpolates `f(u)` from the survivor subset with a subproduct tree
+//!   ([`avcc_poly::TreeInterpolator`], `O(R log² R)` per coordinate), then
+//!   folds and forward-NTTs to the β-points exactly like the full-coset
+//!   path. The tree, its vanishing-derivative weights and their shared batch
+//!   inversion depend only on *which* workers survived, so they are cached
+//!   per survivor set (consecutive rounds straggle the same workers far more
+//!   often than not).
+//!
+//! The dense Lagrange combination ([`LagrangeDecoder::decode_erasure_lagrange`])
+//! remains as the non-NTT-field path and as the correctness oracle — both
+//! paths are bit-identical on every input (exact field arithmetic), which the
+//! tests assert directly.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use avcc_field::{dot, random_vector, Fp, PrimeField, PrimeModulus};
-use avcc_poly::{BerlekampWelch, LagrangeBasis, NttPlan, RsDecodeError};
+use avcc_poly::{BerlekampWelch, LagrangeBasis, NttPlan, RsDecodeError, TreeInterpolator};
 use rand::Rng;
 
 use crate::points::EvaluationPoints;
@@ -98,21 +116,88 @@ pub type DecodedWithErrors<M> = (Vec<Vec<Fp<M>>>, Vec<usize>);
 #[derive(Debug, Clone)]
 struct DecoderNtt<M: PrimeModulus> {
     /// Inverse transform over the α-coset subgroup (size `A`): worker values
-    /// → coefficients of `f(u)` (after undoing the coset shift).
-    interpolate: NttPlan<M>,
+    /// → coefficients of `f(u)` (after undoing the coset shift). Present
+    /// only when `N` fills the covering subgroup — the full-coset path needs
+    /// an evaluation at *every* coset point.
+    interpolate: Option<NttPlan<M>>,
     /// Forward transform over the β-subgroup (size `K + T`): folded
-    /// coefficients → outputs at the β-points.
+    /// coefficients → outputs at the β-points. Shared by the full-coset and
+    /// the partial (subproduct-tree) paths.
     evaluate: NttPlan<M>,
 }
 
+/// Entries the decoder caches per surviving-worker set: everything about a
+/// decode that depends only on *which* workers supplied results, not on the
+/// values they returned.
+#[derive(Debug)]
+enum CachedBasis<M: PrimeModulus> {
+    /// Dense Lagrange combination rows (the fallback/oracle path).
+    Dense(DenseBasis<M>),
+    /// Subproduct-tree interpolator over the survivor α-points (the partial
+    /// NTT path).
+    Tree(TreeInterpolator<M>),
+}
+
+/// The dense path's cached shape: systematic hits plus one Lagrange
+/// coefficient row per interpolated block, all in sorted-survivor order.
+#[derive(Debug)]
+struct DenseBasis<M: PrimeModulus> {
+    /// For each data block `k`: the sorted-survivor position of a worker
+    /// sitting exactly on `β_k` (its vector *is* the output), if any.
+    systematic: Vec<Option<usize>>,
+    /// `ℓ_j(β_k)` rows for the non-systematic blocks, ascending `k`.
+    rows: Vec<Vec<Fp<M>>>,
+}
+
+/// Basis cache keyed by `(tree_path, sorted surviving workers)` with hit
+/// accounting. Bounded: at [`BASIS_CACHE_CAPACITY`] distinct survivor sets
+/// the cache is cleared (straggler patterns at scale are heavily repetitive,
+/// so churn past the bound means the patterns are random and caching is
+/// hopeless anyway).
+#[derive(Debug)]
+struct BasisCache<M: PrimeModulus> {
+    entries: HashMap<(bool, Vec<usize>), Arc<CachedBasis<M>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<M: PrimeModulus> Default for BasisCache<M> {
+    fn default() -> Self {
+        BasisCache {
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Distinct survivor sets held before the basis cache resets.
+const BASIS_CACHE_CAPACITY: usize = 32;
+
 /// The decoder bound to a scheme configuration and its evaluation points.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LagrangeDecoder<M: PrimeModulus> {
     config: SchemeConfig,
     points: EvaluationPoints<M>,
-    /// Cached transforms for the full-coset NTT fast path (`None` → always
-    /// the Lagrange path).
+    /// Cached transforms for the NTT fast paths (`None` → points not in
+    /// subgroup position, always the dense Lagrange path).
     ntt: Option<DecoderNtt<M>>,
+    /// Per-survivor-set interpolation state (see [`BasisCache`]); interior
+    /// mutability because decoding takes `&self`.
+    cache: Mutex<BasisCache<M>>,
+}
+
+impl<M: PrimeModulus> Clone for LagrangeDecoder<M> {
+    /// Clones the decoder configuration; the basis cache starts empty (it is
+    /// a pure accelerator, rebuilt on demand).
+    fn clone(&self) -> Self {
+        LagrangeDecoder {
+            config: self.config,
+            points: self.points.clone(),
+            ntt: self.ntt.clone(),
+            cache: Mutex::new(BasisCache::default()),
+        }
+    }
 }
 
 impl<M: PrimeModulus> LagrangeDecoder<M> {
@@ -143,28 +228,50 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             config.workers,
             "need one α-point per worker"
         );
-        // The full-coset inverse NTT needs an evaluation at *every* coset
-        // point, so the fast path only exists when the worker count fills the
-        // covering subgroup exactly (N a power of two).
-        let ntt = points
-            .ntt_layout()
-            .filter(|layout| layout.workers() == config.workers)
-            .map(|layout| DecoderNtt {
-                interpolate: NttPlan::new(layout.log_workers),
-                evaluate: NttPlan::new(layout.log_blocks),
-            });
+        // The β-side forward transform works whenever the points are in
+        // subgroup position; the full-coset inverse NTT additionally needs an
+        // evaluation at *every* coset point, so that plan only exists when
+        // the worker count fills the covering subgroup exactly (N a power of
+        // two).
+        let ntt = points.ntt_layout().map(|layout| DecoderNtt {
+            interpolate: (layout.workers() == config.workers)
+                .then(|| NttPlan::new(layout.log_workers)),
+            evaluate: NttPlan::new(layout.log_blocks),
+        });
         LagrangeDecoder {
             config,
             points,
             ntt,
+            cache: Mutex::new(BasisCache::default()),
         }
     }
 
     /// `true` iff this decoder can take the full-coset `O(N log N)` NTT path
-    /// (subgroup points and `N` filling the covering subgroup); it still
-    /// falls back to Lagrange interpolation when results are missing.
+    /// (subgroup points and `N` filling the covering subgroup); with results
+    /// missing it drops to the partial subproduct-tree path instead.
     pub fn supports_ntt(&self) -> bool {
+        self.ntt
+            .as_ref()
+            .is_some_and(|ntt| ntt.interpolate.is_some())
+    }
+
+    /// `true` iff this decoder can take the partial `O(R log² R)`
+    /// subproduct-tree path when workers are missing (points in subgroup
+    /// position — the β-side forward NTT is what the fold needs).
+    pub fn supports_partial_ntt(&self) -> bool {
         self.ntt.is_some()
+    }
+
+    /// Cache accounting for the per-survivor-set interpolation state:
+    /// `(hits, misses)` since construction. A repeated straggler pattern
+    /// must hit (tested), so at steady state `hits` grows and `misses`
+    /// stays put.
+    pub fn basis_cache_stats(&self) -> (u64, u64) {
+        let cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (cache.hits, cache.misses)
     }
 
     /// The scheme configuration.
@@ -188,37 +295,94 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
     ) -> Result<Vec<Vec<Fp<M>>>, DecodeError> {
         let threshold = self.recovery_threshold();
         self.validate(results, threshold)?;
-        // Full-coset NTT fast path: every worker responded (validate has
-        // already established distinctness, so `N` results = all of them),
-        // the points are in subgroup position and `N` fills the covering
-        // subgroup. Missing workers fall through to Lagrange interpolation.
-        if self.ntt.is_some() && results.len() == self.config.workers {
-            return Ok(self.decode_erasure_ntt(results));
+        if let Some(ntt) = &self.ntt {
+            // Full-coset fast path: every worker responded (validate has
+            // already established distinctness, so `N` results = all of
+            // them), and `N` fills the covering subgroup.
+            if ntt.interpolate.is_some() && results.len() == self.config.workers {
+                return Ok(self.decode_erasure_full_coset(results));
+            }
+            // Partial fast path: workers are missing (or never filled the
+            // coset), but the points are still in subgroup position —
+            // subproduct-tree interpolation from the surviving subset.
+            return Ok(self.decode_erasure_tree(&results[..threshold], ntt));
         }
-        // Use exactly `threshold` results (the fastest ones the caller chose).
-        let selected = &results[..threshold];
-        let alphas: Vec<Fp<M>> = selected
-            .iter()
-            .map(|(worker, _)| self.points.alpha()[*worker])
-            .collect();
-        let width = selected[0].1.len();
+        Ok(self.decode_erasure_dense(&results[..threshold]))
+    }
 
-        // One basis construction (with its batch-inverted barycentric
-        // weights) is shared by all K β-point evaluations below.
-        let basis = LagrangeBasis::new(alphas);
+    /// The dense Lagrange combination on exactly `threshold` results — the
+    /// non-NTT-field path, kept public as the correctness oracle for the
+    /// NTT paths (bit-identical outputs, asserted in tests) and as the
+    /// comparator the `decode_straggler` benches gate against.
+    ///
+    /// Accepts the same inputs as [`LagrangeDecoder::decode_erasure`] and
+    /// shares its per-survivor-set cache.
+    pub fn decode_erasure_lagrange(
+        &self,
+        results: &[(usize, Vec<Fp<M>>)],
+    ) -> Result<Vec<Vec<Fp<M>>>, DecodeError> {
+        let threshold = self.recovery_threshold();
+        self.validate(results, threshold)?;
+        Ok(self.decode_erasure_dense(&results[..threshold]))
+    }
 
+    /// Sorts selected results by worker index: the cache key must not depend
+    /// on arrival order, so every per-survivor-set structure (and the
+    /// combination that consumes it) uses this canonical order.
+    fn sorted_by_worker(selected: &[(usize, Vec<Fp<M>>)]) -> Vec<&(usize, Vec<Fp<M>>)> {
+        let mut ordered: Vec<&(usize, Vec<Fp<M>>)> = selected.iter().collect();
+        ordered.sort_unstable_by_key(|(worker, _)| *worker);
+        ordered
+    }
+
+    /// Fetches (or builds and caches) the per-survivor-set interpolation
+    /// state for the given canonicalized selection.
+    fn basis_for(&self, ordered: &[&(usize, Vec<Fp<M>>)], tree: bool) -> Arc<CachedBasis<M>> {
+        let workers: Vec<usize> = ordered.iter().map(|(worker, _)| *worker).collect();
+        {
+            let mut cache = self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(hit) = cache.entries.get(&(tree, workers.clone())) {
+                let hit = Arc::clone(hit);
+                cache.hits += 1;
+                return hit;
+            }
+            cache.misses += 1;
+        }
+        // Build outside the lock: concurrent first decodes of the same
+        // pattern may both build (harmless), but no decode ever blocks on
+        // another's basis construction.
+        let alphas: Vec<Fp<M>> = workers.iter().map(|&w| self.points.alpha()[w]).collect();
+        let built = Arc::new(if tree {
+            CachedBasis::Tree(TreeInterpolator::new(alphas))
+        } else {
+            CachedBasis::Dense(self.build_dense_basis(&alphas))
+        });
+        let mut cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if cache.entries.len() >= BASIS_CACHE_CAPACITY {
+            cache.entries.clear();
+        }
+        cache.entries.insert((tree, workers), Arc::clone(&built));
+        built
+    }
+
+    /// Builds the dense path's cached shape: systematic hits and the
+    /// Lagrange rows for the interpolated blocks. One basis construction
+    /// (with its batch-inverted barycentric weights) and one shared
+    /// `evaluate_at_many` batch inversion cover all `K` blocks.
+    fn build_dense_basis(&self, alphas: &[Fp<M>]) -> DenseBasis<M> {
+        let basis = LagrangeBasis::new(alphas.to_vec());
         // Systematic fast path per block: a selected worker sitting exactly
-        // on β_k already holds the output. Every *other* β-point goes
-        // through one shared `evaluate_at_many` call, so the whole fallback
-        // performs a single batch inversion (one Montgomery-routed chain of
-        // `3·threshold` multiplies per block) instead of one per block.
-        let systematic: Vec<Option<&Vec<Fp<M>>>> = (0..self.config.partitions)
+        // on β_k already holds the output.
+        let systematic: Vec<Option<usize>> = (0..self.config.partitions)
             .map(|k| {
                 let beta = self.points.beta()[k];
-                selected
-                    .iter()
-                    .find(|(worker, _)| self.points.alpha()[*worker] == beta)
-                    .map(|(_, vector)| vector)
+                alphas.iter().position(|&alpha| alpha == beta)
             })
             .collect();
         let interpolated_betas: Vec<Fp<M>> = systematic
@@ -227,12 +391,24 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             .filter(|(_, hit)| hit.is_none())
             .map(|(k, _)| self.points.beta()[k])
             .collect();
-        let mut basis_rows = basis.evaluate_at_many(&interpolated_betas).into_iter();
+        let rows = basis.evaluate_at_many(&interpolated_betas);
+        DenseBasis { systematic, rows }
+    }
 
+    /// The dense `O(K·R)`-per-coordinate combination over exactly
+    /// `threshold` results, with its basis rows cached per survivor set.
+    fn decode_erasure_dense(&self, selected: &[(usize, Vec<Fp<M>>)]) -> Vec<Vec<Fp<M>>> {
+        let ordered = Self::sorted_by_worker(selected);
+        let basis = self.basis_for(&ordered, false);
+        let CachedBasis::Dense(dense) = &*basis else {
+            unreachable!("dense decode fetched a dense basis");
+        };
+        let width = ordered[0].1.len();
+        let mut basis_rows = dense.rows.iter();
         let mut outputs = Vec::with_capacity(self.config.partitions);
-        for hit in systematic {
-            if let Some(vector) = hit {
-                outputs.push(vector.clone());
+        for hit in &dense.systematic {
+            if let Some(position) = hit {
+                outputs.push(ordered[*position].1.clone());
                 continue;
             }
             let coefficients = basis_rows
@@ -241,7 +417,7 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             // One lazy-reduction pass over the selected workers: the u128
             // lanes absorb one product per worker and reduce once at the end.
             let mut block = avcc_field::WideAccumulator::<M>::new(width);
-            for ((_, vector), &coefficient) in selected.iter().zip(coefficients.iter()) {
+            for ((_, vector), &coefficient) in ordered.iter().zip(coefficients.iter()) {
                 if coefficient == Fp::<M>::ZERO {
                     continue;
                 }
@@ -249,15 +425,59 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
             }
             outputs.push(block.finish());
         }
-        Ok(outputs)
+        outputs
+    }
+
+    /// The partial `O(R log² R)`-per-coordinate fast path (points in
+    /// subgroup position, workers missing): interpolate `P = f(u)` from the
+    /// surviving α-subset with the cached subproduct tree (vector lanes —
+    /// every coordinate in one tree pass), then fold the coefficients modulo
+    /// `z^B − 1` and forward-NTT over the β-subgroup exactly like the
+    /// full-coset path.
+    fn decode_erasure_tree(
+        &self,
+        selected: &[(usize, Vec<Fp<M>>)],
+        ntt: &DecoderNtt<M>,
+    ) -> Vec<Vec<Fp<M>>> {
+        let ordered = Self::sorted_by_worker(selected);
+        let basis = self.basis_for(&ordered, true);
+        let CachedBasis::Tree(interpolator) = &*basis else {
+            unreachable!("tree decode fetched a tree basis");
+        };
+        let lanes: Vec<&[Fp<M>]> = ordered
+            .iter()
+            .map(|(_, vector)| vector.as_slice())
+            .collect();
+        let width = lanes[0].len();
+        let mut coefficients = interpolator.interpolate_vectors(&lanes).into_iter();
+        // Fold modulo z^B − 1 (exact: every β-point satisfies z^B = 1). The
+        // recovery threshold (K+T−1)·deg f + 1 is at least B = K+T, so the
+        // first B coefficient lanes always exist.
+        let blocks = ntt.evaluate.len();
+        let mut folded: Vec<Vec<Fp<M>>> = coefficients.by_ref().take(blocks).collect();
+        debug_assert_eq!(folded.len(), blocks);
+        for (m, lane) in coefficients.enumerate() {
+            let target = &mut folded[m % blocks];
+            for (slot, value) in target.iter_mut().zip(lane) {
+                *slot += value;
+            }
+        }
+        ntt.evaluate.forward_vectors(&mut folded);
+        folded.truncate(self.config.partitions);
+        debug_assert!(folded.iter().all(|lane| lane.len() == width));
+        folded
     }
 
     /// The `O(N log N)`-per-coordinate fast path: interpolate `P = f(u)` from
     /// the full α-coset with one inverse NTT, fold the coefficients modulo
     /// `z^B − 1` (exact, because every β-point satisfies `z^B = 1`) and
     /// evaluate at all β-points with one forward NTT over the subgroup.
-    fn decode_erasure_ntt(&self, results: &[(usize, Vec<Fp<M>>)]) -> Vec<Vec<Fp<M>>> {
+    fn decode_erasure_full_coset(&self, results: &[(usize, Vec<Fp<M>>)]) -> Vec<Vec<Fp<M>>> {
         let ntt = self.ntt.as_ref().expect("caller checked the fast path");
+        let interpolate = ntt
+            .interpolate
+            .as_ref()
+            .expect("caller checked the full-coset plan");
         let layout = self
             .points
             .ntt_layout()
@@ -270,9 +490,8 @@ impl<M: PrimeModulus> LagrangeDecoder<M> {
         }
         // Coefficients of P in the coset basis: INTT gives p_k·g^k, undone by
         // scaling with g^{-1} powers.
-        ntt.interpolate.inverse_vectors(&mut lanes);
-        ntt.interpolate
-            .coset_scale_vectors(&mut lanes, layout.shift.inverse());
+        interpolate.inverse_vectors(&mut lanes);
+        interpolate.coset_scale_vectors(&mut lanes, layout.shift.inverse());
         // Fold modulo z^B − 1: coefficient m contributes to residue m mod B.
         let blocks = ntt.evaluate.len();
         let mut folded: Vec<Vec<Fp<M>>> = lanes.drain(..blocks).collect();
@@ -604,27 +823,82 @@ mod tests {
         }
 
         #[test]
-        fn missing_workers_fall_back_to_lagrange_and_agree() {
+        fn missing_workers_take_the_tree_path_and_agree() {
             let config = SchemeConfig::linear(16, 8, 4, 2).unwrap();
             let (expected, results, decoder) = ntt_round(config, 22);
-            // Dropping any straggler forces the Lagrange path; both paths
-            // must produce the same outputs.
+            // Dropping any straggler drops to the partial subproduct-tree
+            // path; all three paths must produce the same outputs.
             let full = decoder.decode_erasure(&results).unwrap();
             let subset = results[3..].to_vec();
             let partial = decoder.decode_erasure(&subset).unwrap();
+            let oracle = decoder.decode_erasure_lagrange(&subset).unwrap();
             assert_eq!(full, expected);
             assert_eq!(partial, expected);
+            // Bit-identical to the dense Lagrange oracle, not just equal as
+            // decoded numbers.
+            assert_eq!(partial, oracle);
         }
 
         #[test]
-        fn non_power_of_two_worker_counts_use_lagrange_only() {
-            // N = 12 < 16 never fills the coset: supports_ntt is false but
-            // decoding stays correct.
+        fn tree_path_is_bit_identical_to_lagrange_for_any_straggler_count() {
+            let config = SchemeConfig::linear(16, 8, 4, 2).unwrap();
+            let (expected, results, decoder) = ntt_round(config, 26);
+            for missing in 1..=4usize {
+                let subset = results[missing..].to_vec();
+                let tree = decoder.decode_erasure(&subset).unwrap();
+                let oracle = decoder.decode_erasure_lagrange(&subset).unwrap();
+                assert_eq!(tree, expected, "{missing} missing");
+                assert_eq!(tree, oracle, "{missing} missing");
+            }
+        }
+
+        #[test]
+        fn non_power_of_two_worker_counts_use_the_partial_path() {
+            // N = 12 < 16 never fills the coset: the full-coset path is
+            // unavailable, but the points are still in subgroup position so
+            // the partial tree path applies — and decoding stays correct.
             let config = SchemeConfig::linear(12, 8, 2, 1).unwrap();
             let (expected, results, decoder) = ntt_round(config, 23);
             assert!(!decoder.supports_ntt());
+            assert!(decoder.supports_partial_ntt());
             let outputs = decoder.decode_erasure(&results).unwrap();
             assert_eq!(outputs, expected);
+        }
+
+        #[test]
+        fn repeated_straggler_pattern_hits_the_basis_cache() {
+            let config = SchemeConfig::linear(16, 8, 4, 2).unwrap();
+            let (expected, results, decoder) = ntt_round(config, 27);
+            // Exactly threshold-many survivors, so the selected set (and
+            // with it the cache key) is the whole subset regardless of
+            // arrival order.
+            assert_eq!(decoder.recovery_threshold(), 8);
+            let subset = results[2..10].to_vec();
+            assert_eq!(decoder.basis_cache_stats(), (0, 0));
+            assert_eq!(decoder.decode_erasure(&subset).unwrap(), expected);
+            assert_eq!(decoder.basis_cache_stats(), (0, 1));
+            // Same survivor set again (the common consecutive-round case):
+            // the interpolator is reused, not rebuilt.
+            assert_eq!(decoder.decode_erasure(&subset).unwrap(), expected);
+            assert_eq!(decoder.basis_cache_stats(), (1, 1));
+            // Arrival order must not matter: a shuffled copy of the same
+            // survivor set still hits.
+            let mut shuffled = subset.clone();
+            shuffled.reverse();
+            assert_eq!(decoder.decode_erasure(&shuffled).unwrap(), expected);
+            assert_eq!(decoder.basis_cache_stats(), (2, 1));
+            // A different straggler pattern is a different key.
+            let other = results[3..].to_vec();
+            assert_eq!(decoder.decode_erasure(&other).unwrap(), expected);
+            assert_eq!(decoder.basis_cache_stats(), (2, 2));
+            // The dense oracle on the same survivors caches separately.
+            assert_eq!(decoder.decode_erasure_lagrange(&subset).unwrap(), expected);
+            assert_eq!(decoder.basis_cache_stats(), (2, 3));
+            assert_eq!(decoder.decode_erasure_lagrange(&subset).unwrap(), expected);
+            assert_eq!(decoder.basis_cache_stats(), (3, 3));
+            // Cloning resets the cache (it is a pure accelerator).
+            let cloned = decoder.clone();
+            assert_eq!(cloned.basis_cache_stats(), (0, 0));
         }
 
         #[test]

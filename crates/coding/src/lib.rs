@@ -22,22 +22,29 @@
 //!
 //! # Encode/decode path selection
 //!
-//! Every encode and decode picks between two algebraically identical
+//! Every encode and decode picks between algebraically identical
 //! implementations, automatically, per call:
 //!
 //! | Path | Cost per coordinate | Requires | Chosen when |
 //! |---|---|---|---|
-//! | Lagrange matrix | `O((K+T)·N)` encode, `O(B·R)` decode (`R` responders, `B` output blocks) | nothing — any field, any points, any responder subset | fallback, always available |
-//! | NTT (subgroup) | `O(N log N)` | field with declared two-adicity ([`avcc_field::NttModulus`], e.g. `F64`), `K+T` a power of two, points in subgroup position ([`points::EvaluationPoints`] `subgroup`/`auto` constructors), and — for the decode — **every** coset worker responding | all conditions hold |
+//! | Lagrange matrix | `O((K+T)·N)` encode, `O(B·R)` decode (`R` responders, `B` output blocks) | nothing — any field, any points, any responder subset | fallback, always available (and the tests' correctness oracle, [`decoder::LagrangeDecoder::decode_erasure_lagrange`]) |
+//! | NTT full coset (decode) / subgroup (encode) | `O(N log N)` | field with declared two-adicity ([`avcc_field::NttModulus`], e.g. `F64`), `K+T` a power of two, points in subgroup position ([`points::EvaluationPoints`] `subgroup`/`auto` constructors), and — for the decode — **every** coset worker responding | all conditions hold |
+//! | Subproduct tree (decode) | `O(R log² R)` | subgroup position as above; works for **any** surviving subset of ≥ threshold workers | points in subgroup position but the full coset is incomplete (stragglers, evicted Byzantine workers, `N` not a power of two) |
 //!
 //! The β-points (interpolation) sit in an order-`(K+T)` multiplicative
 //! subgroup and the α-points (workers) on a generator-shifted coset, so the
 //! two sets never collide; encode is then an inverse NTT over the subgroup
 //! followed by a coset-scaled forward NTT, and decode folds the full-coset
 //! inverse transform mod `z^B − 1` back onto the subgroup. A missing
-//! worker breaks the coset structure, so straggler rounds silently fall
-//! back to the Lagrange path — correctness never depends on the fast path
-//! (`BENCH_PR2.json`: 4.3–8.3× at `K ∈ {64, 128}`, gated in CI).
+//! worker breaks the coset structure but not the subgroup position: the
+//! decoder then interpolates `f(u)` from the surviving α-subset with a
+//! cached subproduct tree ([`avcc_poly::TreeInterpolator`], keyed by the
+//! survivor set — consecutive rounds usually straggle the same workers) and
+//! still folds/forward-NTTs to the β-points. The dense Lagrange matrix only
+//! runs on fields without NTT metadata — correctness never depends on a
+//! fast path (`BENCH_PR2.json`: 4.3–8.3× at `K ∈ {64, 128}`;
+//! `BENCH_PR5.json`: tree vs dense with 1–4 missing workers; both gated in
+//! CI).
 //!
 //! Both paths share the same vectorized substrate: Lagrange linear
 //! combinations run on [`avcc_field::WideAccumulator`] lanes with one

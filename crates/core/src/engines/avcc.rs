@@ -307,6 +307,36 @@ mod tests {
     }
 
     #[test]
+    fn straggler_round_on_subgroup_points_decodes_via_the_partial_ntt_path() {
+        use avcc_field::{F64, P64};
+        // Goldilocks field, K = 8 and N = 16 in subgroup position: a clean
+        // round decodes through the full-coset NTT, while the straggler
+        // round below decodes through the subproduct-tree partial path
+        // (PR5) — the common case at scale. Both must reproduce the exact
+        // product.
+        let mut rng = StdRng::seed_from_u64(40);
+        let matrix = Matrix::from_vec(16, 6, avcc_field::random_matrix(&mut rng, 16, 6));
+        let input: Vec<F64> = avcc_field::random_vector(&mut rng, 6);
+        let expected = mat_vec(&matrix, &input);
+        let config = SchemeConfig::linear(16, 8, 4, 0).unwrap();
+        let mut engine = AvccMatVec::<P64>::new(&matrix, config, KeyGenConfig::default(), &mut rng);
+        // Sanity: this geometry really is the NTT layout with both fast paths.
+        let decoder = LagrangeDecoder::<P64>::new(config);
+        assert!(decoder.supports_ntt());
+        assert!(decoder.supports_partial_ntt());
+        let profile = ClusterProfile::uniform(16).with_stragglers(&[0, 5, 11, 13], 300.0);
+        let executor = VirtualExecutor::new(profile).with_time_scale(1.0);
+        let mut round_rng = StdRng::seed_from_u64(41);
+        let round = engine
+            .execute(&input, &executor, &ByzantineSpec::none(), &mut round_rng)
+            .unwrap();
+        assert_eq!(round.output, expected);
+        for straggler in [0usize, 5, 11, 13] {
+            assert!(!round.used_workers.contains(&straggler));
+        }
+    }
+
+    #[test]
     fn too_many_byzantine_workers_fail_loudly_not_silently() {
         let (matrix, input, _) = setup();
         // Every worker Byzantine: verification rejects them all and the engine

@@ -136,6 +136,21 @@ impl<F: PrimeField> Polynomial<F> {
         Self::from_coefficients(self.coefficients.iter().map(|&x| x * c).collect())
     }
 
+    /// The formal derivative `p'(z) = Σ_i i·p_i·z^{i−1}`.
+    ///
+    /// Used by the subproduct-tree interpolation: the barycentric weight of
+    /// point `x_i` under the vanishing polynomial `Z` is `1 / Z'(x_i)`.
+    pub fn derivative(&self) -> Self {
+        let coefficients = self
+            .coefficients
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * F::from_u64(i as u64))
+            .collect();
+        Self::from_coefficients(coefficients)
+    }
+
     /// Polynomial long division, returning `(quotient, remainder)` such that
     /// `self = quotient · divisor + remainder` with
     /// `deg remainder < deg divisor`.
@@ -280,6 +295,17 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn division_by_zero_panics() {
         let _ = poly(&[1]).div_rem(&Polynomial::zero());
+    }
+
+    #[test]
+    fn derivative_matches_power_rule() {
+        // p(z) = 3 + 2z + 5z^2 + z^3 → p'(z) = 2 + 10z + 3z^2
+        let p = poly(&[3, 2, 5, 1]);
+        assert_eq!(p.derivative(), poly(&[2, 10, 3]));
+        assert!(Polynomial::<F25>::zero().derivative().is_zero());
+        assert!(Polynomial::constant(F25::from_u64(7))
+            .derivative()
+            .is_zero());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! NTT-backed fast polynomial arithmetic.
+//!
+//! [`Polynomial`]'s inherent `mul` / `div_rem` are schoolbook — the right
+//! choice for the tiny degrees of the Berlekamp–Welch `Q/E` chains. The
+//! subproduct-tree machinery ([`crate::subproduct`]) behind the decoder's
+//! straggler path multiplies and divides polynomials whose degrees grow with
+//! the recovery threshold, so this module adds quasi-linear alternatives for
+//! concrete [`Fp`] coefficients:
+//!
+//! * [`Polynomial::mul_fast`] — convolution as two forward NTTs, a pointwise
+//!   product and one inverse NTT (`O(n log n)`), selected whenever the result
+//!   is long enough to beat schoolbook and the field's two-adic subgroup can
+//!   hold it; schoolbook otherwise (including on fields with no declared NTT
+//!   metadata, where the methods are drop-in equivalents).
+//! * [`Polynomial::inverse_mod_power`] — the truncated power-series inverse
+//!   `f^{-1} mod z^n` by Newton iteration (`g ← g·(2 − f·g)`, doubling the
+//!   precision per step, every product a [`Polynomial::mul_fast`]).
+//! * [`Polynomial::div_rem_fast`] — division with remainder via the reversal
+//!   trick: `rev(q) = rev(f)·rev(g)^{-1} mod z^{deg f − deg g + 1}`, so one
+//!   Newton inverse and two multiplications replace the `O(n·m)` long
+//!   division.
+//!
+//! All three are bit-identical to their schoolbook counterparts (exact field
+//! arithmetic — proptested against them), so callers select purely on cost.
+
+use std::collections::BTreeMap;
+
+use avcc_field::{Fp, PrimeField, PrimeModulus};
+
+use crate::dense::Polynomial;
+use crate::ntt::NttPlan;
+
+/// A read-only pool of transform plans keyed by `log2` size — the
+/// subproduct tree pre-builds one per size it will need so that the many
+/// products and divisions of a tree build/descent reuse twiddle tables
+/// instead of re-deriving them per multiplication ([`Polynomial::mul_fast`]
+/// without a pool pays one `power_series` + inversion per call).
+pub(crate) type PlanPool<M> = BTreeMap<u32, NttPlan<M>>;
+
+/// Result length at which [`Polynomial::mul_fast`] switches from schoolbook
+/// convolution to NTT convolution. Below this the lazy-reduction dot-product
+/// windows of the schoolbook path win on constant factors; above it the
+/// `O(n log n)` transform wins asymptotically. The exact crossover is
+/// modulus-dependent; 32 is conservative for every backend (on the
+/// Goldilocks field, whose `WIDE_BATCH = 1` makes schoolbook pay a full
+/// reduction per product, the NTT wins earlier).
+pub const NTT_MUL_THRESHOLD: usize = 32;
+
+/// The `log2` NTT size for a convolution producing `result_len`
+/// coefficients, or `None` when the schoolbook path should be used instead
+/// (result too short, field without NTT metadata, or subgroup too small).
+fn convolution_log<M: PrimeModulus>(result_len: usize) -> Option<u32> {
+    if result_len < NTT_MUL_THRESHOLD || M::TWO_ADICITY == 0 {
+        return None;
+    }
+    let log = result_len.next_power_of_two().trailing_zeros();
+    (log <= M::TWO_ADICITY).then_some(log)
+}
+
+/// Truncates `p` to its first `n` coefficients (`p mod z^n`).
+fn truncate_mod_power<M: PrimeModulus>(p: &Polynomial<Fp<M>>, n: usize) -> Polynomial<Fp<M>> {
+    let len = p.coefficients().len().min(n);
+    Polynomial::from_coefficients(p.coefficients()[..len].to_vec())
+}
+
+/// Reverses `p` as a fixed-width coefficient list of length `len`
+/// (`z^{len−1}·p(1/z)`), zero-padding the high end first.
+fn reverse_fixed<M: PrimeModulus>(p: &Polynomial<Fp<M>>, len: usize) -> Polynomial<Fp<M>> {
+    debug_assert!(p.coefficients().len() <= len);
+    let mut coefficients = p.coefficients().to_vec();
+    coefficients.resize(len, Fp::<M>::ZERO);
+    coefficients.reverse();
+    Polynomial::from_coefficients(coefficients)
+}
+
+/// NTT convolution of two nonzero polynomials through an existing plan.
+fn ntt_convolve<M: PrimeModulus>(
+    a: &Polynomial<Fp<M>>,
+    b: &Polynomial<Fp<M>>,
+    plan: &NttPlan<M>,
+    result_len: usize,
+) -> Polynomial<Fp<M>> {
+    let n = plan.len();
+    let mut left = a.coefficients().to_vec();
+    left.resize(n, Fp::<M>::ZERO);
+    let mut right = b.coefficients().to_vec();
+    right.resize(n, Fp::<M>::ZERO);
+    plan.forward(&mut left);
+    plan.forward(&mut right);
+    for (x, &y) in left.iter_mut().zip(right.iter()) {
+        *x *= y;
+    }
+    plan.inverse(&mut left);
+    left.truncate(result_len);
+    Polynomial::from_coefficients(left)
+}
+
+/// [`Polynomial::mul_fast`] with an optional plan pool: a pooled plan is
+/// used when present, a transient one is built when not.
+pub(crate) fn mul_fast_pooled<M: PrimeModulus>(
+    a: &Polynomial<Fp<M>>,
+    b: &Polynomial<Fp<M>>,
+    plans: Option<&PlanPool<M>>,
+) -> Polynomial<Fp<M>> {
+    if a.is_zero() || b.is_zero() {
+        return Polynomial::zero();
+    }
+    let result_len = a.coefficients().len() + b.coefficients().len() - 1;
+    let Some(log_n) = convolution_log::<M>(result_len) else {
+        return a.mul(b);
+    };
+    match plans.and_then(|pool| pool.get(&log_n)) {
+        Some(plan) => ntt_convolve(a, b, plan, result_len),
+        None => ntt_convolve(a, b, &NttPlan::<M>::new(log_n), result_len),
+    }
+}
+
+/// [`Polynomial::inverse_mod_power`] with an optional plan pool.
+pub(crate) fn inverse_mod_power_pooled<M: PrimeModulus>(
+    f: &Polynomial<Fp<M>>,
+    precision: usize,
+    plans: Option<&PlanPool<M>>,
+) -> Polynomial<Fp<M>> {
+    assert!(precision > 0, "power-series inverse needs precision ≥ 1");
+    let constant = f.coefficient(0);
+    assert!(
+        !constant.is_zero(),
+        "power series with zero constant term has no inverse"
+    );
+    let two = Fp::<M>::ONE + Fp::<M>::ONE;
+    let mut inverse = Polynomial::constant(constant.inverse());
+    let mut current = 1usize;
+    while current < precision {
+        current = (current * 2).min(precision);
+        let truncated = truncate_mod_power(f, current);
+        let fg = truncate_mod_power(&mul_fast_pooled(&truncated, &inverse, plans), current);
+        let correction = Polynomial::constant(two).sub(&fg);
+        inverse = truncate_mod_power(&mul_fast_pooled(&inverse, &correction, plans), current);
+    }
+    inverse
+}
+
+/// [`Polynomial::div_rem_fast`] with an optional plan pool.
+pub(crate) fn div_rem_fast_pooled<M: PrimeModulus>(
+    dividend: &Polynomial<Fp<M>>,
+    divisor: &Polynomial<Fp<M>>,
+    plans: Option<&PlanPool<M>>,
+) -> (Polynomial<Fp<M>>, Polynomial<Fp<M>>) {
+    assert!(!divisor.is_zero(), "polynomial division by zero");
+    if dividend.is_zero() || dividend.coefficients().len() < divisor.coefficients().len() {
+        return (Polynomial::zero(), dividend.clone());
+    }
+    let quotient_len = dividend.coefficients().len() - divisor.coefficients().len() + 1;
+    if quotient_len.min(divisor.coefficients().len()) < NTT_MUL_THRESHOLD || M::TWO_ADICITY == 0 {
+        return dividend.div_rem(divisor);
+    }
+    let dividend_reversed = reverse_fixed(dividend, dividend.coefficients().len());
+    let divisor_reversed = reverse_fixed(divisor, divisor.coefficients().len());
+    let inverse = inverse_mod_power_pooled(&divisor_reversed, quotient_len, plans);
+    let quotient_reversed = truncate_mod_power(
+        &mul_fast_pooled(
+            &truncate_mod_power(&dividend_reversed, quotient_len),
+            &inverse,
+            plans,
+        ),
+        quotient_len,
+    );
+    let quotient = reverse_fixed(&quotient_reversed, quotient_len);
+    let remainder = dividend.sub(&mul_fast_pooled(&quotient, divisor, plans));
+    (quotient, remainder)
+}
+
+impl<M: PrimeModulus> Polynomial<Fp<M>> {
+    /// Polynomial multiplication through the field's NTT when the product is
+    /// long enough ([`NTT_MUL_THRESHOLD`]) and the two-adic subgroup can hold
+    /// it; falls back to the schoolbook [`Polynomial::mul`] otherwise. The
+    /// result is bit-identical either way.
+    pub fn mul_fast(&self, other: &Self) -> Self {
+        mul_fast_pooled(self, other, None)
+    }
+
+    /// The truncated power-series inverse: the unique `g` with
+    /// `self·g ≡ 1 (mod z^precision)`, computed by Newton iteration
+    /// (`g ← g·(2 − f·g)`), doubling the valid precision each step.
+    ///
+    /// # Panics
+    /// Panics if `precision` is zero or the constant term of `self` is zero
+    /// (the power series has no inverse).
+    pub fn inverse_mod_power(&self, precision: usize) -> Self {
+        inverse_mod_power_pooled(self, precision, None)
+    }
+
+    /// Division with remainder through the reversal trick and a Newton
+    /// power-series inverse: `O(n log n)` against long division's `O(n·m)`.
+    /// Falls back to the schoolbook [`Polynomial::div_rem`] when either the
+    /// quotient or the divisor is short (there the constant factors favor
+    /// long division). Quotient and remainder are bit-identical either way —
+    /// both satisfy `self = q·divisor + r` with `deg r < deg divisor`, which
+    /// determines them uniquely.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem_fast(&self, divisor: &Self) -> (Self, Self) {
+        div_rem_fast_pooled(self, divisor, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avcc_field::{F25, F64};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_poly(len: usize, seed: u64) -> Polynomial<F64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Polynomial::from_coefficients(avcc_field::random_vector(&mut rng, len))
+    }
+
+    #[test]
+    fn mul_fast_crosses_the_ntt_threshold() {
+        // 40 + 40 − 1 = 79 > threshold: this product takes the NTT path.
+        let a = random_poly(40, 1);
+        let b = random_poly(40, 2);
+        assert_eq!(a.mul_fast(&b), a.mul(&b));
+        // 4 + 4 − 1 = 7 < threshold: schoolbook path, still identical.
+        let c = random_poly(4, 3);
+        let d = random_poly(4, 4);
+        assert_eq!(c.mul_fast(&d), c.mul(&d));
+    }
+
+    #[test]
+    fn mul_fast_on_non_ntt_field_is_schoolbook() {
+        // P25 declares no two-adicity: mul_fast must silently fall back.
+        let a: Polynomial<F25> =
+            Polynomial::from_coefficients((1..60).map(F25::from_u64).collect());
+        let b: Polynomial<F25> =
+            Polynomial::from_coefficients((5..70).map(F25::from_u64).collect());
+        assert_eq!(a.mul_fast(&b), a.mul(&b));
+    }
+
+    #[test]
+    fn mul_fast_by_zero_is_zero() {
+        let a = random_poly(50, 5);
+        assert!(a.mul_fast(&Polynomial::zero()).is_zero());
+        assert!(Polynomial::<F64>::zero().mul_fast(&a).is_zero());
+    }
+
+    #[test]
+    fn inverse_mod_power_is_a_power_series_inverse() {
+        for precision in [1usize, 2, 3, 17, 64, 100] {
+            let f = random_poly(48, precision as u64 + 10);
+            prop_assert_inverse(&f, precision);
+        }
+    }
+
+    fn prop_assert_inverse(f: &Polynomial<F64>, precision: usize) {
+        let g = f.inverse_mod_power(precision);
+        let product = f.mul_fast(&g);
+        assert_eq!(product.coefficient(0), F64::ONE);
+        for i in 1..precision {
+            assert_eq!(product.coefficient(i), F64::ZERO, "coefficient {i}");
+        }
+        assert!(g.coefficients().len() <= precision);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero constant term")]
+    fn inverse_of_series_with_zero_constant_panics() {
+        let f: Polynomial<F64> = Polynomial::monomial(F64::ONE, 1);
+        let _ = f.inverse_mod_power(4);
+    }
+
+    #[test]
+    fn div_rem_fast_matches_long_division_at_size() {
+        // Both operands long enough for the Newton path.
+        let f = random_poly(150, 21);
+        let g = random_poly(70, 22);
+        let (q_fast, r_fast) = f.div_rem_fast(&g);
+        let (q, r) = f.div_rem(&g);
+        assert_eq!(q_fast, q);
+        assert_eq!(r_fast, r);
+    }
+
+    #[test]
+    fn div_rem_fast_small_cases_fall_back() {
+        let f = random_poly(10, 31);
+        let g = random_poly(4, 32);
+        assert_eq!(f.div_rem_fast(&g), f.div_rem(&g));
+        // Dividend shorter than divisor: quotient zero, remainder self.
+        let (q, r) = g.div_rem_fast(&f);
+        assert!(q.is_zero());
+        assert_eq!(r, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_rem_fast_by_zero_panics() {
+        let f = random_poly(10, 41);
+        let _ = f.div_rem_fast(&Polynomial::zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_mul_fast_matches_schoolbook(seed in any::<u64>(), la in 1usize..120, lb in 1usize..120) {
+            let a = random_poly(la, seed);
+            let b = random_poly(lb, seed ^ 0x9e3779b97f4a7c15);
+            prop_assert_eq!(a.mul_fast(&b), a.mul(&b));
+        }
+
+        #[test]
+        fn prop_div_rem_fast_matches_long_division(seed in any::<u64>(), lf in 1usize..160, lg in 1usize..160) {
+            let f = random_poly(lf, seed);
+            let g = random_poly(lg, seed ^ 0xdeadbeef);
+            prop_assume!(!g.is_zero());
+            let (q_fast, r_fast) = f.div_rem_fast(&g);
+            let (q, r) = f.div_rem(&g);
+            prop_assert_eq!(q_fast, q);
+            prop_assert_eq!(r_fast, r);
+        }
+
+        #[test]
+        fn prop_newton_inverse_inverts(seed in any::<u64>(), len in 1usize..80, precision in 1usize..90) {
+            let f = random_poly(len, seed);
+            prop_assume!(!f.coefficient(0).is_zero());
+            let g = f.inverse_mod_power(precision);
+            let product = f.mul_fast(&g);
+            prop_assert_eq!(product.coefficient(0), F64::ONE);
+            for i in 1..precision {
+                prop_assert_eq!(product.coefficient(i), F64::ZERO);
+            }
+        }
+    }
+}

@@ -215,6 +215,15 @@ impl<F: PrimeField> BerlekampWelch<F> {
 /// Solves the (possibly rectangular, typically overdetermined) system
 /// `A x = b` with `rows ≥ cols`, returning one solution with free variables
 /// set to zero, or `None` if the system is inconsistent.
+///
+/// The elimination is *division-free*: instead of normalizing each pivot row
+/// as it is found (one [`PrimeField::inverse`] per pivot — a Fermat
+/// exponentiation on every modulus without a Montgomery chain backend), the
+/// forward sweep multiplies through (`row ← p·row − a·pivot_row`, which only
+/// rescales rows by nonzero constants and so preserves the pivot structure
+/// and the solution set), and the back-substitution divides by all pivots at
+/// once through one shared [`PrimeField::batch_inverse`] — the
+/// Montgomery-chain-routed API on moduli that opt in.
 fn solve_rectangular<F: PrimeField>(
     matrix: &[F],
     rhs: &[F],
@@ -229,6 +238,7 @@ fn solve_rectangular<F: PrimeField>(
         augmented[row * width + cols] = rhs[row];
     }
 
+    // Forward sweep to row-echelon form, no divisions.
     let mut pivot_columns = Vec::new();
     let mut pivot_row = 0usize;
     for column in 0..cols {
@@ -244,21 +254,15 @@ fn solve_rectangular<F: PrimeField>(
                 augmented.swap(found * width + c, pivot_row * width + c);
             }
         }
-        let inverse = augmented[pivot_row * width + column].inverse();
-        for c in column..width {
-            augmented[pivot_row * width + c] *= inverse;
-        }
-        for r in 0..rows {
-            if r == pivot_row {
-                continue;
-            }
+        let pivot = augmented[pivot_row * width + column];
+        for r in (pivot_row + 1)..rows {
             let factor = augmented[r * width + column];
             if factor.is_zero() {
                 continue;
             }
             for c in column..width {
                 let value = augmented[pivot_row * width + c];
-                augmented[r * width + c] -= factor * value;
+                augmented[r * width + c] = pivot * augmented[r * width + c] - factor * value;
             }
         }
         pivot_columns.push(column);
@@ -273,9 +277,23 @@ fn solve_rectangular<F: PrimeField>(
         }
     }
 
+    // Back-substitution with free variables at zero: one batch inversion
+    // covers every pivot.
+    let pivot_values: Vec<F> = pivot_columns
+        .iter()
+        .enumerate()
+        .map(|(row, &column)| augmented[row * width + column])
+        .collect();
+    let pivot_inverses = F::batch_inverse(&pivot_values);
     let mut solution = vec![F::ZERO; cols];
-    for (row, &column) in pivot_columns.iter().enumerate() {
-        solution[column] = augmented[row * width + cols];
+    for (row, &column) in pivot_columns.iter().enumerate().rev() {
+        // x_column = (rhs_row − Σ_{c > column} a_row,c · x_c) / pivot; the
+        // trailing sum runs through the lazy-reduction dot kernel.
+        let tail = F::dot_product(
+            &augmented[row * width + column + 1..row * width + cols],
+            &solution[column + 1..cols],
+        );
+        solution[column] = (augmented[row * width + cols] - tail) * pivot_inverses[row];
     }
     Some(solution)
 }
@@ -401,6 +419,35 @@ mod tests {
     #[should_panic(expected = "distinct")]
     fn duplicate_points_panic() {
         let _ = BerlekampWelch::<F25>::new(vec![F25::ONE, F25::ONE], 1);
+    }
+
+    #[test]
+    fn solve_rectangular_division_free_elimination_solves_and_rejects() {
+        // Consistent overdetermined system: x = 3, y = 5 (third row is the
+        // sum of the first two). The division-free sweep plus the single
+        // batch-inverted back-substitution must recover the exact solution.
+        let f = F25::from_u64;
+        let matrix = vec![
+            f(2),
+            f(1), // 2x + y  = 11
+            f(1),
+            f(4), // x + 4y  = 23
+            f(3),
+            f(5), // 3x + 5y = 34
+        ];
+        let rhs = vec![f(11), f(23), f(34)];
+        let solution = solve_rectangular(&matrix, &rhs, 3, 2).unwrap();
+        assert_eq!(solution, vec![f(3), f(5)]);
+
+        // Perturbing the dependent row's RHS makes the system inconsistent.
+        let bad_rhs = vec![f(11), f(23), f(35)];
+        assert_eq!(solve_rectangular(&matrix, &bad_rhs, 3, 2), None);
+
+        // Rank-deficient but consistent: free variable pinned to zero.
+        let singular = vec![f(1), f(2), f(2), f(4)];
+        let singular_rhs = vec![f(5), f(10)];
+        let solution = solve_rectangular(&singular, &singular_rhs, 2, 2).unwrap();
+        assert_eq!(solution, vec![f(5), F25::ZERO]);
     }
 
     proptest! {

@@ -8,7 +8,7 @@ The bench harness (crates/shims/criterion) prints one line per benchmark:
     bench: <id> ... median <ns> ns/iter (<iters> iters)
 
 This script collects those lines into ``{"results_ns_per_iter": {id: ns}}``
-and enforces four regression gates:
+and enforces five regression gates:
 
 * the PR2 gate: for every ``encode_f64`` / ``decode_f64`` pair at
   ``K >= 64`` the ``ntt`` path must be strictly faster than the ``matrix``
@@ -26,7 +26,10 @@ and enforces four regression gates:
   ~core-count win;
 * the PR4 vector gate: for every ``dot_lanes/<field>/len<N>`` pair at
   ``N >= 4096`` the ``vectorized`` (lane-striped) dot must not lose to the
-  ``scalar`` PR1 single-accumulator kernel (same tolerance).
+  ``scalar`` PR1 single-accumulator kernel (same tolerance);
+* the PR5 straggler gate: for every ``decode_straggler/k<K>_miss<m>`` pair
+  at ``K >= 64`` the ``tree`` (subproduct-tree partial decode) path must
+  not lose to the ``dense`` Lagrange combination (same tolerance).
 
 With ``--baseline NAME=PATH`` (repeatable) the script also renders a
 markdown trajectory table comparing the current run against the committed
@@ -57,6 +60,10 @@ MONT_PAIR = re.compile(
 POOL_PAIR = re.compile(r"^(?P<group>mat_mat_512/p\d+)/(?P<path>serial|pooled)$")
 LANE_PAIR = re.compile(
     r"^(?P<group>dot_lanes/p\d+)/len(?P<len>\d+)/(?P<path>scalar|vectorized)$"
+)
+# Straggler decode: k<K> doubles as the gate's size key (the `len` group).
+STRAGGLER_PAIR = re.compile(
+    r"^(?P<group>decode_straggler)/k(?P<len>\d+)_miss\d+/(?P<path>dense|tree)$"
 )
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
@@ -261,13 +268,28 @@ def main():
         min_len=MIN_GATED_DOT_LEN,
         label="dot_lanes scalar-vs-vectorized",
     )
-    failures = ntt_failures + mont_failures + pool_failures + lane_failures
+    # The PR5 gate: with workers missing at K >= 64 the subproduct-tree
+    # partial decode must not lose to the dense Lagrange combination (it
+    # wins 1.6-2.4x on the committed capture; "not worse" keeps the gate
+    # robust to noisy smoke hosts).
+    straggler_checks, straggler_failures = gate_not_worse(
+        results,
+        STRAGGLER_PAIR,
+        "tree",
+        "dense",
+        min_len=MIN_GATED_K,
+        label="decode_straggler dense-vs-tree",
+    )
+    failures = (
+        ntt_failures + mont_failures + pool_failures + lane_failures + straggler_failures
+    )
     summary = {
         "results_ns_per_iter": results,
         "ntt_regression_checks": ntt_checks,
         "montgomery_chain_checks": mont_checks,
         "pool_mat_mat_checks": pool_checks,
         "dot_lane_checks": lane_checks,
+        "straggler_decode_checks": straggler_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)
