@@ -16,7 +16,8 @@
 use avcc_field::{Fp, PrimeModulus, F25, F61};
 use avcc_linalg::partition::chunk_ranges;
 use avcc_linalg::{
-    mat_mat, mat_mat_parallel, mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel, Matrix,
+    mat_mat, mat_mat_auto, mat_mat_parallel, mat_vec, mat_vec_parallel, matt_vec,
+    matt_vec_parallel, Matrix,
 };
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -142,11 +143,37 @@ fn bench_pool_fanout(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR6 autotune pair: the same 768×512 matrix–matrix product dispatched
+/// with the historical fixed 8-way fan-out versus the autotuned chunk count
+/// (`auto_chunk_count`: work size × global pool width, floor on chunk size).
+/// CI gates `auto` to never lose to `fixed8`; on hosts where 8 happens to be
+/// the right answer the pair ties, while narrow pools and small blocks see
+/// the autotuned side skip queueing costs the fixed count pays.
+fn bench_chunk_autotune(c: &mut Criterion) {
+    const ROWS: usize = 768;
+    const COLS: usize = 512;
+    let mut rng = StdRng::seed_from_u64(10);
+    let a: Matrix<F25> =
+        Matrix::from_vec(ROWS, COLS, avcc_field::random_matrix(&mut rng, ROWS, COLS));
+    let b: Matrix<F25> =
+        Matrix::from_vec(COLS, COLS, avcc_field::random_matrix(&mut rng, COLS, COLS));
+
+    let mut group = c.benchmark_group(format!("chunk_autotune/{ROWS}x{COLS}"));
+    group.bench_function(BenchmarkId::from_parameter("fixed8"), |bencher| {
+        bencher.iter(|| mat_mat_parallel(black_box(&a), black_box(&b), 8))
+    });
+    group.bench_function(BenchmarkId::from_parameter("auto"), |bencher| {
+        bencher.iter(|| mat_mat_auto(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_worker_kernel,
     bench_parallel_speedup,
     bench_mat_mat_512,
-    bench_pool_fanout
+    bench_pool_fanout,
+    bench_chunk_autotune
 );
 criterion_main!(benches);

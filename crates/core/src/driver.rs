@@ -22,7 +22,7 @@ use avcc_ml::logistic::LogisticModel;
 use avcc_ml::quantized::QuantizedProtocol;
 use avcc_sim::attack::ByzantineSpec;
 use avcc_sim::cluster::ClusterProfile;
-use avcc_sim::executor::VirtualExecutor;
+use avcc_sim::executor::{VirtualExecutor, WorkerOutcome};
 use avcc_verify::KeyGenConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,7 +32,7 @@ use crate::adaptive::AdaptiveController;
 use crate::engines::{AvccMatVec, LccMatVec, MatVecEngine, UncodedMatVec};
 use crate::problem::TrainingProblem;
 use crate::report::{IterationRecord, TrainingReport};
-use crate::rounds::SchemeFailure;
+use crate::rounds::{field_vector_bytes, RoundExecution, RoundTask, SchemeFailure};
 
 /// The four schemes the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,6 +103,25 @@ impl TrainerConfig {
     }
 }
 
+/// The two distributed rounds of one training iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingRound {
+    /// Round 1: `z = X w` over the quantized weights.
+    Round1,
+    /// Round 2: `g = Xᵀ e` over the quantized error vector.
+    Round2,
+}
+
+/// Master-side state of a partially executed iteration (the staged pipeline
+/// API: [`DistributedTrainer::encode_round1`] →
+/// [`DistributedTrainer::collect_round1`] →
+/// [`DistributedTrainer::collect_round2`]).
+struct InflightIteration<M: PrimeModulus> {
+    round1_input: Vec<Fp<M>>,
+    round1: Option<RoundExecution<M>>,
+    round2_input: Option<Vec<Fp<M>>>,
+}
+
 /// The distributed trainer.
 pub struct DistributedTrainer<M: PrimeModulus> {
     config: TrainerConfig,
@@ -119,6 +138,7 @@ pub struct DistributedTrainer<M: PrimeModulus> {
     current_coding: SchemeConfig,
     rng: StdRng,
     scenario_label: String,
+    inflight: Option<InflightIteration<M>>,
 }
 
 impl<M: PrimeModulus> DistributedTrainer<M> {
@@ -208,6 +228,7 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             round2_matrix,
             rng,
             scenario_label: scenario_label.into(),
+            inflight: None,
         }
     }
 
@@ -227,6 +248,49 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         &self.protocol
     }
 
+    /// The cluster profile the trainer currently executes against (shrinks
+    /// when the dynamic-coding controller evicts workers).
+    pub fn cluster(&self) -> &ClusterProfile {
+        self.executor.profile()
+    }
+
+    /// The Byzantine specification currently in effect.
+    pub fn byzantine(&self) -> &ByzantineSpec {
+        &self.byzantine
+    }
+
+    /// The configured number of training iterations.
+    pub fn iterations(&self) -> usize {
+        self.config.iterations
+    }
+
+    /// The scheme being trained.
+    pub fn scheme(&self) -> SchemeKind {
+        self.config.scheme
+    }
+
+    /// The scenario label reports are tagged with.
+    pub fn scenario_label(&self) -> &str {
+        &self.scenario_label
+    }
+
+    /// The number of workers the given round dispatches to.
+    pub fn round_workers(&self, round: TrainingRound) -> usize {
+        match round {
+            TrainingRound::Round1 => self.round1.workers(),
+            TrainingRound::Round2 => self.round2.workers(),
+        }
+    }
+
+    /// The minimum number of arrived results the given round's collect needs
+    /// before it can possibly succeed (see [`MatVecEngine::min_results`]).
+    pub fn round_min_results(&self, round: TrainingRound) -> usize {
+        match round {
+            TrainingRound::Round1 => self.round1.min_results(),
+            TrainingRound::Round2 => self.round2.min_results(),
+        }
+    }
+
     /// Runs the configured number of iterations and returns the full report.
     pub fn train(&mut self) -> Result<TrainingReport, SchemeFailure> {
         let mut report = TrainingReport::new(self.config.scheme.label(), &self.scenario_label);
@@ -240,33 +304,131 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
 
     /// Runs a single iteration, returning its record. Exposed so scenario
     /// scripts (e.g. Fig. 5) can change fault conditions between iterations.
+    ///
+    /// A thin wrapper over the staged pipeline API, driving both rounds on
+    /// the trainer's serial [`VirtualExecutor`]; it is the behaviour oracle
+    /// the serving scheduler's results are compared against.
     pub fn run_iteration(
         &mut self,
         iteration: usize,
         cumulative: &mut f64,
     ) -> Result<IterationRecord, SchemeFailure> {
-        // Round 1: z = X w.
-        let w_field = self.protocol.quantize_weights::<M>(&self.model.weights);
-        let round1 =
-            self.round1
-                .execute(&w_field, &self.executor, &self.byzantine, &mut self.rng)?;
+        let result = (|| {
+            let round1_tasks = self.encode_round1();
+            let round1_outcomes = self.run_virtual(round1_tasks);
+            let round2_tasks = self.collect_round1(&round1_outcomes)?;
+            let round2_outcomes = self.run_virtual(round2_tasks);
+            self.collect_round2(iteration, &round2_outcomes, cumulative)
+        })();
+        if result.is_err() {
+            self.reset_pipeline();
+        }
+        result
+    }
 
-        // Master-side: error vector in the real domain.
+    /// Stage 1 of the pipeline: quantizes the current weights and builds the
+    /// round-1 worker tasks. The caller owns executing them (on any executor
+    /// or fleet) and feeding the arrival-ordered outcomes to
+    /// [`DistributedTrainer::collect_round1`].
+    ///
+    /// # Panics
+    /// Panics if an iteration is already in flight — collect it or call
+    /// [`DistributedTrainer::reset_pipeline`] first.
+    pub fn encode_round1(&mut self) -> Vec<RoundTask<M>> {
+        assert!(
+            self.inflight.is_none(),
+            "an iteration is already in flight; collect it or reset the pipeline first"
+        );
+        let w_field = self.protocol.quantize_weights::<M>(&self.model.weights);
+        let tasks = self.round1.dispatch(&w_field);
+        self.inflight = Some(InflightIteration {
+            round1_input: w_field,
+            round1: None,
+            round2_input: None,
+        });
+        tasks
+    }
+
+    /// Stage 2: collects round 1 (`z = X w`), forms the quantized error
+    /// vector on the master and builds the round-2 tasks.
+    ///
+    /// On a *retryable* failure (e.g. [`SchemeFailure::NotEnoughResults`]
+    /// because a Byzantine payload sat inside an exactly-threshold prefix)
+    /// the in-flight state is preserved, so the caller may call again with
+    /// more outcomes.
+    ///
+    /// # Panics
+    /// Panics if no iteration is in flight or round 1 was already collected.
+    pub fn collect_round1(
+        &mut self,
+        outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
+    ) -> Result<Vec<RoundTask<M>>, SchemeFailure> {
+        let inflight = self
+            .inflight
+            .as_mut()
+            .expect("collect_round1 called with no iteration in flight");
+        assert!(
+            inflight.round1.is_none(),
+            "round 1 of the in-flight iteration was already collected"
+        );
+        let execution = self.round1.collect(
+            &inflight.round1_input,
+            outcomes,
+            &self.executor.profile().network,
+            self.executor.time_scale,
+            &mut self.rng,
+        )?;
         let errors = self
             .protocol
-            .error_vector(&round1.output, &self.problem.train_labels);
+            .error_vector(&execution.output, &self.problem.train_labels);
         let e_field = self.protocol.quantize_error::<M>(&errors);
+        let tasks = self.round2.dispatch(&e_field);
+        inflight.round1 = Some(execution);
+        inflight.round2_input = Some(e_field);
+        Ok(tasks)
+    }
 
-        // Round 2: g = Xᵀ e.
-        let round2 =
-            self.round2
-                .execute(&e_field, &self.executor, &self.byzantine, &mut self.rng)?;
+    /// Stage 3: collects round 2 (`g = Xᵀ e`), applies the gradient, runs the
+    /// adaptive controller and closes the iteration with its record.
+    ///
+    /// Retryable failures preserve the in-flight state exactly as in
+    /// [`DistributedTrainer::collect_round1`].
+    ///
+    /// # Panics
+    /// Panics if round 1 of the in-flight iteration has not been collected.
+    pub fn collect_round2(
+        &mut self,
+        iteration: usize,
+        outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
+        cumulative: &mut f64,
+    ) -> Result<IterationRecord, SchemeFailure> {
+        let inflight = self
+            .inflight
+            .as_ref()
+            .expect("collect_round2 called with no iteration in flight");
+        let e_field = inflight
+            .round2_input
+            .as_ref()
+            .expect("collect_round2 called before round 1 was collected");
+        let round2 = self.round2.collect(
+            e_field,
+            outcomes,
+            &self.executor.profile().network,
+            self.executor.time_scale,
+            &mut self.rng,
+        )?;
+        let round1 = self
+            .inflight
+            .take()
+            .and_then(|inflight| inflight.round1)
+            .expect("in-flight round 1 execution present");
         let gradient = self.protocol.dequantize_round2(&round2.output);
         self.model
             .apply_gradient(&gradient, self.config.learning_rate, self.problem.samples());
 
         // Bookkeeping.
         let mut costs = round1.costs.combined(&round2.costs);
+        let ops = round1.ops.combined(&round2.ops);
         let mut detected: Vec<usize> = round1
             .detected_byzantine
             .iter()
@@ -308,6 +470,7 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         Ok(IterationRecord {
             iteration,
             costs,
+            ops,
             cumulative_seconds: *cumulative,
             test_accuracy,
             train_loss,
@@ -315,6 +478,23 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             observed_stragglers: stragglers,
             reconfigured,
         })
+    }
+
+    /// Abandons any partially executed iteration, returning the trainer to a
+    /// state where [`DistributedTrainer::encode_round1`] may be called.
+    pub fn reset_pipeline(&mut self) {
+        self.inflight = None;
+    }
+
+    /// Runs round tasks on the trainer's own serial virtual executor with its
+    /// Byzantine spec applied — the synchronous compute stage.
+    fn run_virtual(&self, tasks: Vec<RoundTask<M>>) -> Vec<WorkerOutcome<Vec<Fp<M>>>> {
+        let jobs: Vec<_> = tasks.into_iter().map(|task| move || task.run()).collect();
+        self.executor.run_round(
+            jobs,
+            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
+            |worker, payload: &mut Vec<Fp<M>>| self.byzantine.corrupt(worker, payload),
+        )
     }
 
     /// Evicts workers, rebuilds the engines for the new configuration and
@@ -493,6 +673,76 @@ mod tests {
             .iterations
             .iter()
             .any(|r| r.costs.reconfiguration > 0.0));
+    }
+
+    #[test]
+    fn staged_pipeline_matches_run_iteration_bit_for_bit() {
+        // The staged API driven by hand must produce the exact model the
+        // synchronous wrapper produces: `train()` is the behaviour oracle for
+        // every scheduler built on the stages.
+        let make = || {
+            DistributedTrainer::<P25>::new(
+                small_problem(),
+                ClusterProfile::uniform(12).with_stragglers(&[0], 10.0),
+                ByzantineSpec::new([3], AttackModel::constant()),
+                quick_config(SchemeKind::Avcc, 2, 1),
+                "test",
+            )
+        };
+        let mut synchronous = make();
+        let report = synchronous.train().unwrap();
+
+        let mut staged = make();
+        let mut cumulative = 0.0;
+        for iteration in 0..staged.iterations() {
+            let round1_tasks = staged.encode_round1();
+            assert_eq!(
+                round1_tasks.len(),
+                staged.round_workers(TrainingRound::Round1)
+            );
+            let round1_outcomes = staged.run_virtual(round1_tasks);
+            let round2_tasks = staged.collect_round1(&round1_outcomes).unwrap();
+            let round2_outcomes = staged.run_virtual(round2_tasks);
+            let record = staged
+                .collect_round2(iteration, &round2_outcomes, &mut cumulative)
+                .unwrap();
+            assert!(record.ops.total() > 0, "op counts must be recorded");
+        }
+        assert_eq!(staged.model().weights, synchronous.model().weights);
+        let staged_accuracy = staged
+            .model()
+            .evaluate_accuracy(&staged.problem.test_features, &staged.problem.test_labels);
+        assert_eq!(staged_accuracy, report.final_accuracy());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in flight")]
+    fn double_encode_without_collect_panics() {
+        let mut trainer = DistributedTrainer::<P25>::new(
+            small_problem(),
+            ClusterProfile::uniform(12),
+            ByzantineSpec::none(),
+            quick_config(SchemeKind::Avcc, 2, 1),
+            "test",
+        );
+        let _ = trainer.encode_round1();
+        let _ = trainer.encode_round1();
+    }
+
+    #[test]
+    fn reset_pipeline_abandons_the_inflight_iteration() {
+        let mut trainer = DistributedTrainer::<P25>::new(
+            small_problem(),
+            ClusterProfile::uniform(12),
+            ByzantineSpec::none(),
+            quick_config(SchemeKind::Avcc, 2, 1),
+            "test",
+        );
+        let _ = trainer.encode_round1();
+        trainer.reset_pipeline();
+        // Encoding again after a reset must be allowed.
+        let tasks = trainer.encode_round1();
+        assert_eq!(tasks.len(), 12);
     }
 
     #[test]

@@ -9,20 +9,22 @@
 //! extra wait — the same as a straggler — instead of LCC's two (eq. 2 vs
 //! eq. 1).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use avcc_coding::{LagrangeDecoder, LagrangeEncoder, SchemeConfig};
 use avcc_field::{Fp, PrimeModulus};
-use avcc_linalg::{mat_vec, Matrix};
-use avcc_sim::attack::ByzantineSpec;
-use avcc_sim::executor::VirtualExecutor;
+use avcc_linalg::Matrix;
+use avcc_sim::cluster::NetworkModel;
+use avcc_sim::executor::WorkerOutcome;
+use avcc_sim::metrics::OpCounts;
 use avcc_verify::{KeyGenConfig, MatVecKey};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::engines::MatVecEngine;
 use crate::rounds::{
-    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, SchemeFailure,
+    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, RoundTask, SchemeFailure,
 };
 
 /// Pads a matrix with zero rows so its row count is a multiple of `parts`.
@@ -41,7 +43,7 @@ fn pad_rows_to_multiple<M: PrimeModulus>(matrix: &Matrix<Fp<M>>, parts: usize) -
 #[derive(Debug, Clone)]
 pub struct AvccMatVec<M: PrimeModulus> {
     config: SchemeConfig,
-    shares: Vec<Matrix<Fp<M>>>,
+    shares: Vec<Arc<Matrix<Fp<M>>>>,
     decoder: LagrangeDecoder<M>,
     keys: Vec<MatVecKey<M>>,
     block_rows: usize,
@@ -69,13 +71,13 @@ impl<M: PrimeModulus> AvccMatVec<M> {
         let blocks = padded.split_rows(config.partitions);
         let block_rows = blocks[0].rows();
         let encoder = LagrangeEncoder::<M>::new(config);
-        let shares: Vec<Matrix<Fp<M>>> = if config.colluding == 0 {
+        let shares: Vec<Arc<Matrix<Fp<M>>>> = if config.colluding == 0 {
             encoder.encode_deterministic(&blocks)
         } else {
             encoder.encode(&blocks, rng)
         }
         .into_iter()
-        .map(|s| s.block)
+        .map(|s| Arc::new(s.block))
         .collect();
         let keys = shares
             .iter()
@@ -116,40 +118,46 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         self.config.workers
     }
 
-    fn execute(
+    fn min_results(&self) -> usize {
+        self.config.recovery_threshold()
+    }
+
+    fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>> {
+        let input = Arc::new(input.to_vec());
+        self.shares
+            .iter()
+            .enumerate()
+            .map(|(worker, share)| RoundTask::new(worker, Arc::clone(share), Arc::clone(&input)))
+            .collect()
+    }
+
+    fn collect(
         &mut self,
         input: &[Fp<M>],
-        executor: &VirtualExecutor,
-        byzantine: &ByzantineSpec,
+        outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
+        network: &NetworkModel,
+        time_scale: f64,
         _rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
-        let shares = &self.shares;
-        let tasks: Vec<_> = shares
-            .iter()
-            .map(|block| move || mat_vec(block, input))
-            .collect();
-        let outcomes = executor.run_round(
-            tasks,
-            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
-            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
-        );
-        let observed_stragglers = detect_stragglers(&outcomes);
+        let observed_stragglers = detect_stragglers(outcomes);
         let threshold = self.config.recovery_threshold();
 
         // Verify results in arrival order and stop as soon as the threshold of
         // verified results is reached — the key property that lets AVCC start
         // decoding before the stragglers (and without LCC's 2M overhead).
         let mut verification_seconds = 0.0;
+        let mut verifications = 0usize;
         let mut verified: Vec<(usize, Vec<Fp<M>>)> = Vec::with_capacity(threshold);
         let mut verified_outcomes = Vec::with_capacity(threshold);
         let mut detected_byzantine = Vec::new();
-        for outcome in &outcomes {
+        for outcome in outcomes {
             if verified.len() >= threshold {
                 break;
             }
             let verify_start = Instant::now();
             let accepted = self.keys[outcome.worker].verify(input, &outcome.payload);
             verification_seconds += verify_start.elapsed().as_secs_f64();
+            verifications += 1;
             if accepted {
                 verified.push((outcome.worker, outcome.payload.clone()));
                 verified_outcomes.push(outcome);
@@ -166,11 +174,11 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
 
         let mut costs = waiting_costs(
             &verified_outcomes,
-            &executor.profile().network,
+            network,
             field_vector_bytes(input.len()),
             self.config.workers,
         );
-        costs.verification = verification_seconds * executor.time_scale;
+        costs.verification = verification_seconds * time_scale;
 
         let decode_start = Instant::now();
         let blocks =
@@ -179,16 +187,25 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
                 .map_err(|e| SchemeFailure::DecodeFailed {
                     details: e.to_string(),
                 })?;
-        costs.decoding = decode_start.elapsed().as_secs_f64() * executor.time_scale;
+        costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
 
         let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
         for block in blocks {
             output.extend(block);
         }
         output.truncate(self.output_rows);
+        // Freivalds checks one inner product over the payload plus one over
+        // the input per verification; the Lagrange erasure decode interpolates
+        // `partitions` blocks from `threshold` verified results.
+        let ops = OpCounts {
+            worker_macs: (self.block_rows * input.len()) as u64,
+            verify_macs: (verifications * (self.block_rows + input.len())) as u64,
+            decode_macs: (self.block_rows * threshold * self.config.partitions) as u64,
+        };
         Ok(RoundExecution {
             output,
             costs,
+            ops,
             used_workers: verified.iter().map(|(worker, _)| *worker).collect(),
             detected_byzantine,
             observed_stragglers,
@@ -200,8 +217,10 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
 mod tests {
     use super::*;
     use avcc_field::{F25, P25};
-    use avcc_sim::attack::AttackModel;
+    use avcc_linalg::mat_vec;
+    use avcc_sim::attack::{AttackModel, ByzantineSpec};
     use avcc_sim::cluster::ClusterProfile;
+    use avcc_sim::executor::VirtualExecutor;
     use rand::SeedableRng;
 
     fn setup() -> (Matrix<F25>, Vec<F25>, Vec<F25>) {

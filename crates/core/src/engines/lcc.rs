@@ -12,27 +12,29 @@
 //! corrupted) fastest results, which is what degrades the LCC accuracy curves
 //! in Fig. 3(b)/(d).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use avcc_coding::decoder::DecodeError;
 use avcc_coding::{LagrangeDecoder, LagrangeEncoder, SchemeConfig};
 use avcc_field::{Fp, PrimeModulus};
-use avcc_linalg::{mat_vec, Matrix};
-use avcc_sim::attack::ByzantineSpec;
-use avcc_sim::executor::VirtualExecutor;
+use avcc_linalg::Matrix;
+use avcc_sim::cluster::NetworkModel;
+use avcc_sim::executor::WorkerOutcome;
+use avcc_sim::metrics::OpCounts;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::engines::MatVecEngine;
 use crate::rounds::{
-    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, SchemeFailure,
+    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, RoundTask, SchemeFailure,
 };
 
 /// The LCC distributed matrix–vector engine.
 #[derive(Debug, Clone)]
 pub struct LccMatVec<M: PrimeModulus> {
     config: SchemeConfig,
-    shares: Vec<Matrix<Fp<M>>>,
+    shares: Vec<Arc<Matrix<Fp<M>>>>,
     decoder: LagrangeDecoder<M>,
     block_rows: usize,
 }
@@ -53,7 +55,7 @@ impl<M: PrimeModulus> LccMatVec<M> {
         };
         LccMatVec {
             config,
-            shares: shares.into_iter().map(|s| s.block).collect(),
+            shares: shares.into_iter().map(|s| Arc::new(s.block)).collect(),
             decoder: LagrangeDecoder::new(config),
             block_rows,
         }
@@ -79,24 +81,28 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
         self.config.workers
     }
 
-    fn execute(
+    fn min_results(&self) -> usize {
+        self.config.lcc_wait_count()
+    }
+
+    fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>> {
+        let input = Arc::new(input.to_vec());
+        self.shares
+            .iter()
+            .enumerate()
+            .map(|(worker, share)| RoundTask::new(worker, Arc::clone(share), Arc::clone(&input)))
+            .collect()
+    }
+
+    fn collect(
         &mut self,
         input: &[Fp<M>],
-        executor: &VirtualExecutor,
-        byzantine: &ByzantineSpec,
+        outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
+        network: &NetworkModel,
+        time_scale: f64,
         rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
-        let shares = &self.shares;
-        let tasks: Vec<_> = shares
-            .iter()
-            .map(|block| move || mat_vec(block, input))
-            .collect();
-        let outcomes = executor.run_round(
-            tasks,
-            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
-            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
-        );
-        let observed_stragglers = detect_stragglers(&outcomes);
+        let observed_stragglers = detect_stragglers(outcomes);
 
         // LCC can only start decoding once N - S results are in.
         let wait_count = self.config.lcc_wait_count().min(outcomes.len());
@@ -110,7 +116,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
         let used: Vec<_> = outcomes[..wait_count].iter().collect();
         let mut costs = waiting_costs(
             &used,
-            &executor.profile().network,
+            network,
             field_vector_bytes(input.len()),
             self.config.workers,
         );
@@ -141,15 +147,25 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
                 })
             }
         };
-        costs.decoding = decode_start.elapsed().as_secs_f64() * executor.time_scale;
+        costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
 
         let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
         for block in blocks {
             output.extend(block);
         }
+        // Reed–Solomon error decoding interpolates through all `wait_count`
+        // results (the syndrome/locator work is the extra `wait_count²` term
+        // LCC pays over an erasure decode).
+        let ops = OpCounts {
+            worker_macs: (self.block_rows * input.len()) as u64,
+            verify_macs: 0,
+            decode_macs: (self.block_rows * wait_count * self.config.partitions
+                + wait_count * wait_count) as u64,
+        };
         Ok(RoundExecution {
             output,
             costs,
+            ops,
             used_workers: used.iter().map(|o| o.worker).collect(),
             detected_byzantine: detected,
             observed_stragglers,
@@ -161,8 +177,10 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
 mod tests {
     use super::*;
     use avcc_field::{F25, P25};
-    use avcc_sim::attack::AttackModel;
+    use avcc_linalg::mat_vec;
+    use avcc_sim::attack::{AttackModel, ByzantineSpec};
     use avcc_sim::cluster::ClusterProfile;
+    use avcc_sim::executor::VirtualExecutor;
     use rand::SeedableRng;
 
     fn setup() -> (Matrix<F25>, Vec<F25>, Vec<F25>) {

@@ -3,16 +3,32 @@
 //! Each engine owns the data it distributed to its workers (raw blocks for the
 //! uncoded scheme, coded shares for LCC/AVCC) plus whatever master-side state
 //! the scheme needs (a Reed–Solomon decoder for LCC, Freivalds keys for AVCC)
-//! and knows how to run one distributed matrix–vector round end to end:
-//! dispatch tasks to the cluster executor, apply the Byzantine attack, wait
-//! for the scheme-specific number of results, establish integrity and decode.
+//! and knows how to run one distributed matrix–vector round end to end.
+//!
+//! Since PR6 the round is split into the master's two halves so a scheduler
+//! can interleave rounds from many jobs on one fleet:
+//!
+//! 1. [`MatVecEngine::dispatch`] — encode-side: build one [`RoundTask`] per
+//!    worker (cheap `Arc` handles onto the engine's shares plus the broadcast
+//!    input).
+//! 2. *compute* — somebody runs the tasks: the serial [`VirtualExecutor`]
+//!    inside [`MatVecEngine::execute`], or a multi-job fleet scheduler on
+//!    real threads.
+//! 3. [`MatVecEngine::collect`] — decode-side: given the arrival-ordered
+//!    outcomes, establish integrity (Freivalds for AVCC, error decoding for
+//!    LCC), reconstruct the product and account the round's costs.
+//!
+//! [`MatVecEngine::execute`] is a provided method gluing the three together
+//! on a `VirtualExecutor`; every experiment continues to go through it, and
+//! the split is bit-transparent to them.
 
 use avcc_field::{Fp, PrimeModulus};
 use avcc_sim::attack::ByzantineSpec;
-use avcc_sim::executor::VirtualExecutor;
+use avcc_sim::cluster::NetworkModel;
+use avcc_sim::executor::{VirtualExecutor, WorkerOutcome};
 use rand::rngs::StdRng;
 
-use crate::rounds::{RoundExecution, SchemeFailure};
+use crate::rounds::{field_vector_bytes, RoundExecution, RoundTask, SchemeFailure};
 
 pub mod avcc;
 pub mod lcc;
@@ -27,7 +43,9 @@ pub use uncoded::UncodedMatVec;
 /// The training driver holds two engines per scheme — one for round 1
 /// (`X`, row-partitioned) and one for round 2 (`Xᵀ`, row-partitioned) — and
 /// calls [`MatVecEngine::execute`] with the quantized weight vector and the
-/// quantized error vector respectively.
+/// quantized error vector respectively. A serving scheduler instead calls
+/// [`MatVecEngine::dispatch`] / [`MatVecEngine::collect`] around its own
+/// fleet execution.
 pub trait MatVecEngine<M: PrimeModulus> {
     /// Human-readable scheme name (for reports).
     fn name(&self) -> &'static str;
@@ -36,13 +54,61 @@ pub trait MatVecEngine<M: PrimeModulus> {
     /// cluster profile must have exactly this many workers.
     fn workers(&self) -> usize;
 
+    /// The minimum number of arrived results [`MatVecEngine::collect`] needs
+    /// before it can possibly succeed: the recovery threshold for AVCC, the
+    /// designed wait count for LCC, all workers for the uncoded scheme.
+    ///
+    /// `collect` may still fail with that many results (e.g. a Byzantine
+    /// payload among an exactly-threshold AVCC prefix); callers that stream
+    /// arrivals should retry with more results until all
+    /// [`MatVecEngine::workers`] have arrived.
+    fn min_results(&self) -> usize;
+
+    /// Builds the round's worker tasks for the given broadcast input, one per
+    /// worker, in worker order.
+    fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>>;
+
+    /// Reconstructs the round from arrival-ordered worker `outcomes` of the
+    /// tasks built by [`MatVecEngine::dispatch`] for the same `input`.
+    ///
+    /// `network` and `time_scale` feed the cost model (broadcast cost and
+    /// master-side work scaling). On `Err` the engine's state is unchanged, so
+    /// the call may be retried with more outcomes.
+    fn collect(
+        &mut self,
+        input: &[Fp<M>],
+        outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
+        network: &NetworkModel,
+        time_scale: f64,
+        rng: &mut StdRng,
+    ) -> Result<RoundExecution<M>, SchemeFailure>;
+
     /// Runs one distributed matrix–vector product of the engine's matrix with
-    /// `input`, under the given cluster and attack conditions.
+    /// `input`, under the given cluster and attack conditions: dispatch, run
+    /// every task on the serial virtual executor, collect.
     fn execute(
         &mut self,
         input: &[Fp<M>],
         executor: &VirtualExecutor,
         byzantine: &ByzantineSpec,
         rng: &mut StdRng,
-    ) -> Result<RoundExecution<M>, SchemeFailure>;
+    ) -> Result<RoundExecution<M>, SchemeFailure> {
+        let jobs: Vec<_> = self
+            .dispatch(input)
+            .into_iter()
+            .map(|task| move || task.run())
+            .collect();
+        let outcomes = executor.run_round(
+            jobs,
+            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
+            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
+        );
+        self.collect(
+            input,
+            &outcomes,
+            &executor.profile().network,
+            executor.time_scale,
+            rng,
+        )
+    }
 }

@@ -6,23 +6,25 @@
 //! worker's corrupted block flows straight into the reconstructed product,
 //! which is what degrades the uncoded accuracy curves in Fig. 3.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use avcc_field::{Fp, PrimeModulus};
-use avcc_linalg::{mat_vec, Matrix};
-use avcc_sim::attack::ByzantineSpec;
-use avcc_sim::executor::VirtualExecutor;
+use avcc_linalg::Matrix;
+use avcc_sim::cluster::NetworkModel;
+use avcc_sim::executor::WorkerOutcome;
+use avcc_sim::metrics::OpCounts;
 use rand::rngs::StdRng;
 
 use crate::engines::MatVecEngine;
 use crate::rounds::{
-    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, SchemeFailure,
+    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, RoundTask, SchemeFailure,
 };
 
 /// The uncoded distributed matrix–vector engine.
 #[derive(Debug, Clone)]
 pub struct UncodedMatVec<M: PrimeModulus> {
-    blocks: Vec<Matrix<Fp<M>>>,
+    blocks: Vec<Arc<Matrix<Fp<M>>>>,
     block_rows: usize,
 }
 
@@ -32,7 +34,11 @@ impl<M: PrimeModulus> UncodedMatVec<M> {
     /// # Panics
     /// Panics if the row count is not divisible by `partitions`.
     pub fn new(matrix: &Matrix<Fp<M>>, partitions: usize) -> Self {
-        let blocks = matrix.split_rows(partitions);
+        let blocks: Vec<Arc<Matrix<Fp<M>>>> = matrix
+            .split_rows(partitions)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let block_rows = blocks[0].rows();
         UncodedMatVec { blocks, block_rows }
     }
@@ -52,35 +58,39 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
         self.blocks.len()
     }
 
-    fn execute(
+    fn min_results(&self) -> usize {
+        self.blocks.len()
+    }
+
+    fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>> {
+        let input = Arc::new(input.to_vec());
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(worker, block)| RoundTask::new(worker, Arc::clone(block), Arc::clone(&input)))
+            .collect()
+    }
+
+    fn collect(
         &mut self,
         input: &[Fp<M>],
-        executor: &VirtualExecutor,
-        byzantine: &ByzantineSpec,
+        outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
+        network: &NetworkModel,
+        time_scale: f64,
         _rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
-        let blocks = &self.blocks;
-        let tasks: Vec<_> = blocks
-            .iter()
-            .map(|block| move || mat_vec(block, input))
-            .collect();
-        let outcomes = executor.run_round(
-            tasks,
-            |payload: &Vec<Fp<M>>| field_vector_bytes(payload.len()),
-            |worker, payload: &mut Vec<Fp<M>>| byzantine.corrupt(worker, payload),
-        );
         if outcomes.len() < self.blocks.len() {
             return Err(SchemeFailure::NotEnoughResults {
                 available: outcomes.len(),
                 required: self.blocks.len(),
             });
         }
-        let observed_stragglers = detect_stragglers(&outcomes);
+        let observed_stragglers = detect_stragglers(outcomes);
         // The master needs every result, so it pays for the slowest worker.
         let used: Vec<_> = outcomes.iter().collect();
         let mut costs = waiting_costs(
             &used,
-            &executor.profile().network,
+            network,
             field_vector_bytes(input.len()),
             self.blocks.len(),
         );
@@ -89,15 +99,23 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
         // it is nearly free but measured for completeness.
         let reassembly_start = Instant::now();
         let mut output = vec![Fp::<M>::ZERO; self.blocks.len() * self.block_rows];
-        for outcome in &outcomes {
+        for outcome in outcomes {
             let start = outcome.worker * self.block_rows;
             output[start..start + self.block_rows].copy_from_slice(&outcome.payload);
         }
-        costs.decoding = reassembly_start.elapsed().as_secs_f64() * executor.time_scale;
+        costs.decoding = reassembly_start.elapsed().as_secs_f64() * time_scale;
 
+        // No verification and no real decode: reassembly is data movement,
+        // not multiply–accumulate work.
+        let ops = OpCounts {
+            worker_macs: (self.block_rows * input.len()) as u64,
+            verify_macs: 0,
+            decode_macs: 0,
+        };
         Ok(RoundExecution {
             output,
             costs,
+            ops,
             used_workers: outcomes.iter().map(|o| o.worker).collect(),
             detected_byzantine: Vec::new(),
             observed_stragglers,
@@ -109,8 +127,10 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
 mod tests {
     use super::*;
     use avcc_field::{F25, P25};
-    use avcc_sim::attack::AttackModel;
+    use avcc_linalg::mat_vec;
+    use avcc_sim::attack::{AttackModel, ByzantineSpec};
     use avcc_sim::cluster::ClusterProfile;
+    use avcc_sim::executor::VirtualExecutor;
     use rand::SeedableRng;
 
     fn setup(rows: usize, cols: usize, partitions: usize) -> (Matrix<F25>, Vec<F25>) {
@@ -162,14 +182,23 @@ mod tests {
         let fast = VirtualExecutor::new(ClusterProfile::uniform(6)).with_time_scale(1.0);
         let slow = VirtualExecutor::new(ClusterProfile::uniform(6).with_stragglers(&[0], 200.0))
             .with_time_scale(1.0);
-        let fast_costs = engine
-            .execute(&input, &fast, &ByzantineSpec::none(), &mut rng)
-            .unwrap()
-            .costs;
+        // Wall-clock-derived virtual costs are noisy under parallel test
+        // load; take the fastest of a few unloaded runs as the baseline (a
+        // scheduling blip can only inflate a measurement, never deflate it)
+        // against the x200 straggler's round.
+        let fast_compute = (0..3)
+            .map(|_| {
+                engine
+                    .execute(&input, &fast, &ByzantineSpec::none(), &mut rng)
+                    .unwrap()
+                    .costs
+                    .compute
+            })
+            .fold(f64::INFINITY, f64::min);
         let slow_costs = engine
             .execute(&input, &slow, &ByzantineSpec::none(), &mut rng)
             .unwrap()
             .costs;
-        assert!(slow_costs.compute > fast_costs.compute * 5.0);
+        assert!(slow_costs.compute > fast_compute * 5.0);
     }
 }

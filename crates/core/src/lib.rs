@@ -68,10 +68,11 @@ pub mod report;
 pub mod rounds;
 
 pub use adaptive::{AdaptationDecision, AdaptiveController};
-pub use driver::{DistributedTrainer, SchemeKind, TrainerConfig};
+pub use driver::{DistributedTrainer, SchemeKind, TrainerConfig, TrainingRound};
+pub use engines::MatVecEngine;
 pub use experiment::{
     run_dynamic_coding_scenario, run_experiment, ExperimentConfig, FaultScenario,
 };
 pub use problem::TrainingProblem;
 pub use report::{IterationRecord, TrainingReport};
-pub use rounds::RoundExecution;
+pub use rounds::{RoundExecution, RoundTask, SchemeFailure};

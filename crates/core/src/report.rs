@@ -10,7 +10,7 @@
 //! * Fig. 5 compares cumulative execution time with and without dynamic
 //!   coding — [`TrainingReport::cumulative_timeline`].
 
-use avcc_sim::metrics::IterationCosts;
+use avcc_sim::metrics::{IterationCosts, OpCounts};
 use serde::{Deserialize, Serialize};
 
 /// Everything recorded about one training iteration.
@@ -20,6 +20,9 @@ pub struct IterationRecord {
     pub iteration: usize,
     /// Cost breakdown of this iteration.
     pub costs: IterationCosts,
+    /// Deterministic operation counts for both rounds of this iteration —
+    /// the noise-free counterpart of `costs` for comparisons on loaded hosts.
+    pub ops: OpCounts,
     /// Cumulative simulated time after this iteration.
     pub cumulative_seconds: f64,
     /// Test accuracy after this iteration's update.
@@ -214,6 +217,7 @@ mod tests {
                 compute: seconds,
                 ..IterationCosts::default()
             },
+            ops: OpCounts::default(),
             cumulative_seconds: cumulative,
             test_accuracy: accuracy,
             train_loss: 1.0 - accuracy,

@@ -7,10 +7,57 @@
 //! who was used, who straggled, what each phase cost — is common and lives
 //! here.
 
+use std::sync::Arc;
+
 use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::{mat_vec, Matrix};
 use avcc_sim::executor::WorkerOutcome;
-use avcc_sim::metrics::IterationCosts;
+use avcc_sim::metrics::{IterationCosts, OpCounts};
 use avcc_sim::NetworkModel;
+
+/// One worker's share of a dispatched round: the (coded or raw) matrix block
+/// the worker holds plus the broadcast input vector.
+///
+/// Both halves sit behind [`Arc`]s, so the task is cheap to clone and `Send`
+/// — an engine can hand the same round out to a [`crate::driver`]'s serial
+/// executor or to a multi-job fleet scheduler that runs it on another
+/// thread, without the task borrowing the engine (the master needs the
+/// engine back, mutably, to collect the results while the tasks are still
+/// in flight).
+#[derive(Debug, Clone)]
+pub struct RoundTask<M: PrimeModulus> {
+    /// The worker this task is addressed to.
+    pub worker: usize,
+    matrix: Arc<Matrix<Fp<M>>>,
+    input: Arc<Vec<Fp<M>>>,
+}
+
+impl<M: PrimeModulus> RoundTask<M> {
+    /// A task multiplying `matrix` by `input` at `worker`.
+    pub fn new(worker: usize, matrix: Arc<Matrix<Fp<M>>>, input: Arc<Vec<Fp<M>>>) -> Self {
+        RoundTask {
+            worker,
+            matrix,
+            input,
+        }
+    }
+
+    /// Runs the worker's computation: the block–vector product.
+    pub fn run(&self) -> Vec<Fp<M>> {
+        mat_vec(&self.matrix, &self.input)
+    }
+
+    /// Rows of this worker's block — the length of the payload [`RoundTask::run`]
+    /// produces.
+    pub fn output_rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// First-order MAC count of this task's product.
+    pub fn macs(&self) -> u64 {
+        (self.matrix.rows() * self.matrix.cols()) as u64
+    }
+}
 
 /// The outcome of one distributed matrix–vector round.
 #[derive(Debug, Clone)]
@@ -19,6 +66,10 @@ pub struct RoundExecution<M: PrimeModulus> {
     pub output: Vec<Fp<M>>,
     /// Cost breakdown charged to this round.
     pub costs: IterationCosts,
+    /// Deterministic operation counts for this round (see
+    /// [`avcc_sim::metrics::OpCounts`]): dimension-derived, identical across
+    /// executors and hosts, the noise-free counterpart of `costs`.
+    pub ops: OpCounts,
     /// Workers whose results the master actually used for reconstruction.
     pub used_workers: Vec<usize>,
     /// Workers identified as Byzantine during this round (by verification for

@@ -33,7 +33,7 @@ use avcc_field::batch::assert_wide_batch;
 use avcc_field::{Fp, PrimeModulus, WideAccumulator};
 
 use crate::matrix::Matrix;
-use crate::partition::{chunk_ranges, pool_map};
+use crate::partition::{auto_chunk_count, chunk_ranges, pool_map};
 
 /// Number of output rows that share one streaming pass over `B` (or over `x`)
 /// in the blocked kernels. Chosen so a strip of `u128` accumulator lanes for
@@ -225,6 +225,24 @@ pub fn mat_mat_parallel<M: PrimeModulus>(
     Matrix::from_vec(rows, b.cols(), partials.into_iter().flatten().collect())
 }
 
+/// Matrix–vector product with autotuned fan-out: the chunk count comes from
+/// [`crate::partition::auto_chunk_count`] (work size × global pool width)
+/// instead of a caller-fixed thread count.
+pub fn mat_vec_auto<M: PrimeModulus>(a: &Matrix<Fp<M>>, x: &[Fp<M>]) -> Vec<Fp<M>> {
+    mat_vec_parallel(a, x, auto_chunk_count(a.rows(), a.cols()))
+}
+
+/// Transpose–vector product with autotuned fan-out (see [`mat_vec_auto`]).
+pub fn matt_vec_auto<M: PrimeModulus>(a: &Matrix<Fp<M>>, y: &[Fp<M>]) -> Vec<Fp<M>> {
+    matt_vec_parallel(a, y, auto_chunk_count(a.rows(), a.cols()))
+}
+
+/// Matrix–matrix product with autotuned fan-out; per output row the work is
+/// a `cols × B.cols` pass, which is what the chunk sizing weighs.
+pub fn mat_mat_auto<M: PrimeModulus>(a: &Matrix<Fp<M>>, b: &Matrix<Fp<M>>) -> Matrix<Fp<M>> {
+    mat_mat_parallel(a, b, auto_chunk_count(a.rows(), a.cols() * b.cols()))
+}
+
 /// Left vector–matrix product `rᵀ·A` over the field — the kernel of Freivalds
 /// key generation (`s = r · X̃`).
 pub fn vec_mat<M: PrimeModulus>(r: &[Fp<M>], a: &Matrix<Fp<M>>) -> Vec<Fp<M>> {
@@ -378,6 +396,18 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             assert_eq!(mat_mat_parallel(&a, &b, threads), mat_mat(&a, &b));
         }
+    }
+
+    #[test]
+    fn auto_kernels_match_serial() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = random_matrix(&mut rng, 200, 96);
+        let x = random_vector(&mut rng, 96);
+        let y = random_vector(&mut rng, 200);
+        let b = random_matrix(&mut rng, 96, 40);
+        assert_eq!(mat_vec_auto(&a, &x), mat_vec(&a, &x));
+        assert_eq!(matt_vec_auto(&a, &y), matt_vec(&a, &y));
+        assert_eq!(mat_mat_auto(&a, &b), mat_mat(&a, &b));
     }
 
     #[test]

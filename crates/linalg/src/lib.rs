@@ -27,7 +27,9 @@ pub mod partition;
 pub mod real_ops;
 
 pub use field_ops::{
-    mat_mat, mat_mat_parallel, mat_vec, mat_vec_parallel, matt_vec, matt_vec_parallel, vec_mat,
+    mat_mat, mat_mat_auto, mat_mat_parallel, mat_vec, mat_vec_auto, mat_vec_parallel, matt_vec,
+    matt_vec_auto, matt_vec_parallel, vec_mat,
 };
 pub use matrix::Matrix;
+pub use partition::auto_chunk_count;
 pub use real_ops::{dequantize_matrix, quantize_matrix, real_mat_vec, real_matt_vec};

@@ -17,6 +17,31 @@
 
 use core::ops::Range;
 
+/// Minimum field elements of work per chunk below which further splitting
+/// costs more in task queueing than it recovers in parallelism. Calibrated
+/// against the pool-fan-out benchmarks: a chunk this size runs for a few
+/// microseconds, comfortably above the pool's per-task overhead.
+pub const MIN_CHUNK_ELEMENTS: usize = 1 << 13;
+
+/// Picks how many chunks to split `rows` output rows into, given
+/// `elements_per_row` field elements of work per row.
+///
+/// Replaces the fixed 8-chunk dispatch of earlier revisions with a count
+/// derived from the work size and the global pool's width: up to 2× the pool
+/// parallelism (oversubscription lets work stealing smooth uneven chunk
+/// costs), but never so many that a chunk falls under [`MIN_CHUNK_ELEMENTS`]
+/// and never more than one chunk per row. On a single-threaded pool (or for
+/// small work) this is 1, so the caller's fallback to the serial kernel
+/// kicks in and no queueing cost is paid at all.
+pub fn auto_chunk_count(rows: usize, elements_per_row: usize) -> usize {
+    let parallelism = avcc_pool::global().parallelism();
+    if parallelism <= 1 || rows == 0 || elements_per_row == 0 {
+        return 1;
+    }
+    let by_work = (rows * elements_per_row) / MIN_CHUNK_ELEMENTS;
+    (parallelism * 2).min(by_work).clamp(1, rows)
+}
+
 /// Splits `0..total` into at most `parts` contiguous, non-empty,
 /// near-equal-length ranges covering the whole span in order.
 pub fn chunk_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
@@ -81,5 +106,30 @@ mod tests {
     fn single_range_runs_inline() {
         let results = pool_map(chunk_ranges(5, 1), |range| range.len());
         assert_eq!(results, vec![5]);
+    }
+
+    #[test]
+    fn auto_chunk_count_respects_bounds() {
+        let parallelism = avcc_pool::global().parallelism();
+        // Large work: bounded by pool width × oversubscription and by rows.
+        let large = auto_chunk_count(4096, 4096);
+        assert!(large >= 1);
+        assert!(large <= parallelism * 2);
+        assert!(large <= 4096);
+        // Tiny work never splits.
+        assert_eq!(auto_chunk_count(4, 4), 1);
+        // A huge-but-narrow split is still capped by the row count.
+        assert!(auto_chunk_count(2, 1 << 20) <= 2);
+        // Degenerate shapes.
+        assert_eq!(auto_chunk_count(0, 100), 1);
+        assert_eq!(auto_chunk_count(100, 0), 1);
+    }
+
+    #[test]
+    fn auto_chunk_count_scales_with_work() {
+        // More work never yields fewer chunks (monotone in the work size).
+        let small = auto_chunk_count(64, MIN_CHUNK_ELEMENTS / 16);
+        let big = auto_chunk_count(64, MIN_CHUNK_ELEMENTS);
+        assert!(small <= big);
     }
 }

@@ -1,0 +1,67 @@
+//! Job descriptions and results for the serving layer.
+//!
+//! A job is a complete unit of master-side work: either a full training run
+//! (many iterations, each two distributed rounds) or a one-shot coded
+//! matrix–vector product (a single round). The scheduler interleaves the
+//! *rounds* of different jobs on the fleet; the job is the unit of admission,
+//! completion and accounting.
+
+use avcc_coding::SchemeConfig;
+use avcc_core::{ExperimentConfig, SchemeFailure, TrainingReport};
+use avcc_field::{Fp, PrimeModulus};
+use avcc_linalg::Matrix;
+use avcc_sim::metrics::JobMetrics;
+
+/// Identifier assigned at submission, unique within one [`crate::Scheduler`].
+pub type JobId = usize;
+
+/// One unit of work submitted to the serving layer.
+#[derive(Debug, Clone)]
+pub enum JobSpec<M: PrimeModulus> {
+    /// A full distributed training run: every iteration's two rounds pass
+    /// through the fleet, exactly as `DistributedTrainer::train` would run
+    /// them on its own executor.
+    Training(ExperimentConfig),
+    /// A one-shot AVCC-coded matrix–vector product: encode, one round on the
+    /// fleet, verify and decode.
+    CodedMatVec {
+        /// The matrix to encode across the fleet's workers.
+        matrix: Matrix<Fp<M>>,
+        /// The broadcast input vector (`matrix.cols()` entries).
+        input: Vec<Fp<M>>,
+        /// The coding configuration `(N, K, S, M, T, deg f)`.
+        coding: SchemeConfig,
+        /// RNG seed for encoding pads and verification keys.
+        seed: u64,
+    },
+}
+
+/// What a finished job produced.
+#[derive(Debug, Clone)]
+pub enum JobOutput<M: PrimeModulus> {
+    /// The training report of a [`JobSpec::Training`] job.
+    Training(Box<TrainingReport>),
+    /// The decoded product of a [`JobSpec::CodedMatVec`] job.
+    MatVec(Vec<Fp<M>>),
+    /// The job aborted with a scheme-level failure (e.g. a round could not be
+    /// decoded even with every dispatched result in hand).
+    Failed(SchemeFailure),
+}
+
+impl<M: PrimeModulus> JobOutput<M> {
+    /// `true` iff the job aborted instead of completing.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutput::Failed(_))
+    }
+}
+
+/// A job the scheduler has finished with, successfully or not.
+#[derive(Debug, Clone)]
+pub struct CompletedJob<M: PrimeModulus> {
+    /// The id [`crate::Scheduler::submit`] returned for this job.
+    pub id: JobId,
+    /// The job's result.
+    pub output: JobOutput<M>,
+    /// Queue-wait and throughput accounting for this job.
+    pub metrics: JobMetrics,
+}

@@ -156,6 +156,15 @@ impl VirtualExecutor {
     }
 }
 
+/// Real seconds of sleep charged to a worker with the given effective
+/// slowdown, at `per_unit` seconds per slowdown unit above 1.0. This is how
+/// both the [`ThreadedExecutor`] and the `avcc-serve` fleet realize a
+/// profile's stragglers on live threads: a nominal worker (slowdown 1.0)
+/// sleeps nothing, a 6× straggler sleeps `5 × per_unit`.
+pub fn slowdown_sleep_seconds(slowdown: f64, per_unit: f64) -> f64 {
+    (slowdown - 1.0).max(0.0) * per_unit
+}
+
 /// A real-concurrency executor: every worker runs as a task on the shared
 /// work-stealing pool and sends its result back over a channel. Straggler
 /// slowdowns are realized as actual (scaled-down) sleeps so the arrival
@@ -222,7 +231,7 @@ impl ThreadedExecutor {
             for (worker, task) in tasks.into_iter().enumerate() {
                 let sender = sender.clone();
                 let slowdown = self.profile.worker(worker).effective_slowdown();
-                let extra_sleep = (slowdown - 1.0).max(0.0) * self.sleep_per_slowdown_unit;
+                let extra_sleep = slowdown_sleep_seconds(slowdown, self.sleep_per_slowdown_unit);
                 scope.spawn(move || {
                     // Compute time is the task's own execution span; on a
                     // pool smaller than the worker count the task may also

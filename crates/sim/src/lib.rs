@@ -61,5 +61,5 @@ pub mod metrics;
 
 pub use attack::{AttackModel, ByzantineSpec};
 pub use cluster::{ClusterProfile, NetworkModel, WorkerProfile};
-pub use executor::{ThreadedExecutor, VirtualExecutor, WorkerOutcome};
-pub use metrics::{CostAccumulator, IterationCosts};
+pub use executor::{slowdown_sleep_seconds, ThreadedExecutor, VirtualExecutor, WorkerOutcome};
+pub use metrics::{CostAccumulator, IterationCosts, JobMetrics, OpCounts, ServingMetrics};

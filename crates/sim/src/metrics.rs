@@ -16,6 +16,18 @@
 //! [`IterationCosts`] holds one iteration's breakdown in simulated seconds;
 //! [`CostAccumulator`] aggregates across iterations for the cumulative curves
 //! of Fig. 3 and Fig. 5.
+//!
+//! Two further families serve the PR6 serving layer:
+//!
+//! * [`OpCounts`] — *deterministic* field-operation counts recorded alongside
+//!   the wall-clock numbers. Wall clock on a loaded host is noisy; the
+//!   operation counts depend only on the problem dimensions and the coding
+//!   configuration, so scheme and scheduler comparisons stay meaningful even
+//!   when the timings do not. This is the first piece of the calibrated cost
+//!   model: a later PR fits seconds-per-MAC coefficients to these counts.
+//! * [`JobMetrics`] / [`ServingMetrics`] — per-job and per-fleet throughput
+//!   accounting (queue wait, rounds/sec, jobs/sec, pipeline occupancy) for
+//!   the multi-job scheduler in `avcc-serve`.
 
 use serde::{Deserialize, Serialize};
 
@@ -129,6 +141,143 @@ impl CostAccumulator {
     }
 }
 
+/// Deterministic field-operation counts for one round, iteration or job.
+///
+/// All counts are first-order multiply–accumulate (MAC) estimates derived
+/// from the problem dimensions — *not* measured — so they are bit-identical
+/// across runs, executors and hosts. `worker_macs` models the critical path
+/// (one worker's share product, since the shares compute in parallel);
+/// `verify_macs` and `decode_macs` model the master-side Freivalds checks
+/// and decode/reassembly work that the serving layer overlaps with worker
+/// compute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// MACs on the worker critical path (one share/block product).
+    pub worker_macs: u64,
+    /// Master-side MACs spent verifying results (AVCC/Static VCC only).
+    pub verify_macs: u64,
+    /// Master-side MACs spent decoding or reassembling the product.
+    pub decode_macs: u64,
+}
+
+impl OpCounts {
+    /// Total MACs across all categories.
+    pub fn total(&self) -> u64 {
+        self.worker_macs + self.verify_macs + self.decode_macs
+    }
+
+    /// Element-wise sum of two counts.
+    pub fn combined(&self, other: &OpCounts) -> OpCounts {
+        OpCounts {
+            worker_macs: self.worker_macs + other.worker_macs,
+            verify_macs: self.verify_macs + other.verify_macs,
+            decode_macs: self.decode_macs + other.decode_macs,
+        }
+    }
+}
+
+/// Per-job accounting recorded by the serving scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Real seconds the job spent queued before a fleet slot admitted it.
+    pub queue_wait_seconds: f64,
+    /// Real seconds between admission and completion.
+    pub active_seconds: f64,
+    /// Distributed rounds the job completed.
+    pub rounds: usize,
+    /// Deterministic operation counts accumulated across the job's rounds.
+    pub ops: OpCounts,
+}
+
+impl JobMetrics {
+    /// Round throughput over the job's active window.
+    pub fn rounds_per_second(&self) -> f64 {
+        if self.active_seconds > 0.0 {
+            self.rounds as f64 / self.active_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fleet-level accounting for one scheduler run over many jobs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServingMetrics {
+    /// Worker slots the fleet multiplexes the jobs onto.
+    pub fleet_width: usize,
+    /// Real seconds from run start to the last job's completion.
+    pub span_seconds: f64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Jobs that failed (scheme failure surfaced by a round).
+    pub jobs_failed: usize,
+    /// Distributed rounds completed across all jobs.
+    pub rounds_total: usize,
+    /// Summed real seconds the worker slots spent executing tasks (straggler
+    /// sleeps included — a sleeping worker occupies its slot).
+    pub busy_worker_seconds: f64,
+    /// Summed queue wait across all jobs.
+    pub queue_wait_total_seconds: f64,
+    /// Deterministic operation counts accumulated across all jobs.
+    pub ops: OpCounts,
+}
+
+impl ServingMetrics {
+    /// Folds one finished job into the fleet totals.
+    pub fn record_job(&mut self, job: &JobMetrics, failed: bool) {
+        if failed {
+            self.jobs_failed += 1;
+        } else {
+            self.jobs_completed += 1;
+        }
+        self.rounds_total += job.rounds;
+        self.queue_wait_total_seconds += job.queue_wait_seconds;
+        self.ops = self.ops.combined(&job.ops);
+    }
+
+    /// Completed-job throughput — the serving bench's headline number.
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.span_seconds > 0.0 {
+            self.jobs_completed as f64 / self.span_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Round throughput across the whole fleet.
+    pub fn rounds_per_second(&self) -> f64 {
+        if self.span_seconds > 0.0 {
+            self.rounds_total as f64 / self.span_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the fleet's slot-seconds spent executing worker tasks.
+    /// 1.0 means every slot was busy for the whole span; a synchronous
+    /// one-job-at-a-time schedule leaves slots idle during master-side
+    /// stages and straggler waits, which is exactly what pipelining claws
+    /// back.
+    pub fn pipeline_occupancy(&self) -> f64 {
+        let capacity = self.span_seconds * self.fleet_width as f64;
+        if capacity > 0.0 {
+            (self.busy_worker_seconds / capacity).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean per-job queue wait.
+    pub fn mean_queue_wait_seconds(&self) -> f64 {
+        let jobs = self.jobs_completed + self.jobs_failed;
+        if jobs > 0 {
+            self.queue_wait_total_seconds / jobs as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +347,76 @@ mod tests {
     #[test]
     fn empty_accumulator_has_zero_average() {
         assert_eq!(CostAccumulator::new().average(), IterationCosts::default());
+    }
+
+    #[test]
+    fn op_counts_total_and_combine() {
+        let a = OpCounts {
+            worker_macs: 100,
+            verify_macs: 10,
+            decode_macs: 5,
+        };
+        let b = OpCounts {
+            worker_macs: 50,
+            verify_macs: 1,
+            decode_macs: 2,
+        };
+        assert_eq!(a.total(), 115);
+        let c = a.combined(&b);
+        assert_eq!(c.worker_macs, 150);
+        assert_eq!(c.verify_macs, 11);
+        assert_eq!(c.decode_macs, 7);
+        assert_eq!(OpCounts::default().total(), 0);
+    }
+
+    #[test]
+    fn job_metrics_round_throughput() {
+        let job = JobMetrics {
+            queue_wait_seconds: 0.5,
+            active_seconds: 2.0,
+            rounds: 10,
+            ops: OpCounts::default(),
+        };
+        assert!((job.rounds_per_second() - 5.0).abs() < 1e-12);
+        assert_eq!(JobMetrics::default().rounds_per_second(), 0.0);
+    }
+
+    #[test]
+    fn serving_metrics_aggregate_jobs() {
+        let mut fleet = ServingMetrics {
+            fleet_width: 4,
+            span_seconds: 2.0,
+            busy_worker_seconds: 4.0,
+            ..ServingMetrics::default()
+        };
+        let job = JobMetrics {
+            queue_wait_seconds: 0.25,
+            active_seconds: 1.0,
+            rounds: 6,
+            ops: OpCounts {
+                worker_macs: 7,
+                ..OpCounts::default()
+            },
+        };
+        fleet.record_job(&job, false);
+        fleet.record_job(&job, false);
+        fleet.record_job(&job, true);
+        assert_eq!(fleet.jobs_completed, 2);
+        assert_eq!(fleet.jobs_failed, 1);
+        assert_eq!(fleet.rounds_total, 18);
+        assert_eq!(fleet.ops.worker_macs, 21);
+        assert!((fleet.jobs_per_second() - 1.0).abs() < 1e-12);
+        assert!((fleet.rounds_per_second() - 9.0).abs() < 1e-12);
+        assert!((fleet.pipeline_occupancy() - 0.5).abs() < 1e-12);
+        assert!((fleet.mean_queue_wait_seconds() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serving_metrics_empty_fleet_is_well_behaved() {
+        let fleet = ServingMetrics::default();
+        assert_eq!(fleet.jobs_per_second(), 0.0);
+        assert_eq!(fleet.rounds_per_second(), 0.0);
+        assert_eq!(fleet.pipeline_occupancy(), 0.0);
+        assert_eq!(fleet.mean_queue_wait_seconds(), 0.0);
     }
 }

@@ -29,7 +29,17 @@ and enforces five regression gates:
   ``scalar`` PR1 single-accumulator kernel (same tolerance);
 * the PR5 straggler gate: for every ``decode_straggler/k<K>_miss<m>`` pair
   at ``K >= 64`` the ``tree`` (subproduct-tree partial decode) path must
-  not lose to the ``dense`` Lagrange combination (same tolerance).
+  not lose to the ``dense`` Lagrange combination (same tolerance);
+* the PR6 serving gate: for every ``serving/jobs<J>_fleet<W>`` pair at
+  ``J >= 4`` the ``pipelined`` schedule must beat the ``synchronous``
+  schedule by at least ``SERVING_MIN_SPEEDUP`` (1.3×). This one is a
+  *strict win* gate, not a not-worse gate: the pipelined win comes from
+  overlapping deterministic straggler sleeps across jobs, which does not
+  depend on host core count;
+* the PR6 autotune gate: for every ``chunk_autotune/<R>x<C>`` pair the
+  ``auto`` chunk count must not lose to the historical ``fixed8`` fan-out
+  (``NOT_WORSE_TOLERANCE`` applies — on hosts where 8 is the right count
+  the pair ties).
 
 With ``--baseline NAME=PATH`` (repeatable) the script also renders a
 markdown trajectory table comparing the current run against the committed
@@ -65,6 +75,12 @@ LANE_PAIR = re.compile(
 STRAGGLER_PAIR = re.compile(
     r"^(?P<group>decode_straggler)/k(?P<len>\d+)_miss\d+/(?P<path>dense|tree)$"
 )
+SERVING_PAIR = re.compile(
+    r"^(?P<group>serving)/jobs(?P<len>\d+)_fleet\d+/(?P<path>synchronous|pipelined)$"
+)
+AUTOTUNE_PAIR = re.compile(
+    r"^(?P<group>chunk_autotune)/\d+x\d+/(?P<path>fixed8|auto)$"
+)
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
 MIN_GATED_DOT_LEN = 4096
@@ -72,6 +88,10 @@ MIN_GATED_DOT_LEN = 4096
 # unavailable (a 1-core runner cannot show a pool speedup); allow this much
 # run-to-run noise before calling a tie a loss.
 NOT_WORSE_TOLERANCE = 1.10
+# The PR6 serving gate's minimum pipelined-over-synchronous speedup with
+# >= MIN_GATED_JOBS concurrent jobs on a fixed-width fleet.
+SERVING_MIN_SPEEDUP = 1.3
+MIN_GATED_JOBS = 4
 
 
 def parse(lines):
@@ -190,6 +210,46 @@ def gate_not_worse(results, pattern, fast_path, slow_path, min_len=None, label="
     return checks, failures
 
 
+def gate_serving(results):
+    """Returns (checks, failures) for the pipelined-vs-synchronous serving
+    pairs at >= MIN_GATED_JOBS concurrent jobs: the pipelined schedule must
+    win by at least SERVING_MIN_SPEEDUP."""
+    pairs = {}
+    for bench_id in results:
+        match = SERVING_PAIR.match(bench_id)
+        if match and int(match.group("len")) >= MIN_GATED_JOBS:
+            key = bench_id.rsplit("/", 1)[0]
+            pairs.setdefault(key, {})[match.group("path")] = results[bench_id]
+    checks, failures = [], []
+    for key, paths in sorted(pairs.items()):
+        if "synchronous" not in paths or "pipelined" not in paths:
+            failures.append(
+                f"{key}: missing one side of the synchronous/pipelined pair"
+            )
+            continue
+        speedup = paths["synchronous"] / paths["pipelined"]
+        ok = speedup >= SERVING_MIN_SPEEDUP
+        check = {
+            "pair": key,
+            "synchronous_ns": paths["synchronous"],
+            "pipelined_ns": paths["pipelined"],
+            "speedup": round(speedup, 2),
+            "ok": ok,
+        }
+        checks.append(check)
+        if not ok:
+            failures.append(
+                f"{key}: pipelined schedule ({paths['pipelined']:.0f} ns) beats the "
+                f"synchronous schedule ({paths['synchronous']:.0f} ns) only "
+                f"{speedup:.2f}x, below the required {SERVING_MIN_SPEEDUP:.1f}x"
+            )
+    if not checks:
+        failures.append(
+            "no serving synchronous-vs-pipelined pairs found in bench output"
+        )
+    return checks, failures
+
+
 def load_baselines(specs):
     """Parses repeated NAME=PATH specs into [(name, {bench_id: ns})]."""
     baselines = []
@@ -280,8 +340,24 @@ def main():
         min_len=MIN_GATED_K,
         label="decode_straggler dense-vs-tree",
     )
+    # The PR6 gates: the pipelined serving schedule must win outright, and
+    # the autotuned kernel fan-out must not lose to the fixed 8-way split.
+    serving_checks, serving_failures = gate_serving(results)
+    autotune_checks, autotune_failures = gate_not_worse(
+        results,
+        AUTOTUNE_PAIR,
+        "auto",
+        "fixed8",
+        label="chunk_autotune fixed8-vs-auto",
+    )
     failures = (
-        ntt_failures + mont_failures + pool_failures + lane_failures + straggler_failures
+        ntt_failures
+        + mont_failures
+        + pool_failures
+        + lane_failures
+        + straggler_failures
+        + serving_failures
+        + autotune_failures
     )
     summary = {
         "results_ns_per_iter": results,
@@ -290,6 +366,8 @@ def main():
         "pool_mat_mat_checks": pool_checks,
         "dot_lane_checks": lane_checks,
         "straggler_decode_checks": straggler_checks,
+        "serving_pipeline_checks": serving_checks,
+        "chunk_autotune_checks": autotune_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)

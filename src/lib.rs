@@ -70,3 +70,6 @@ pub use avcc_ml as ml;
 
 /// The AVCC framework: schemes, adaptive coding, training driver, reports.
 pub use avcc_core as core;
+
+/// The pipelined multi-job serving layer (fleet, scheduler, admission).
+pub use avcc_serve as serve;
