@@ -20,6 +20,12 @@
 //!    worker fingerprints (what the LCC baseline needs to identify Byzantine
 //!    workers without verification).
 //!
+//! A fourth concern sits on top: **how often is the dataset encoded?**
+//! [`dataset::EncodedDataset`] owns the coded partitions (and the shared
+//! decoder with its basis cache) once, so many per-function engine sessions —
+//! and the multi-function batched rounds built on them — amortize a single
+//! encode instead of re-encoding per computation.
+//!
 //! # Encode/decode path selection
 //!
 //! Every encode and decode picks between algebraically identical
@@ -54,12 +60,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dataset;
 pub mod decoder;
 pub mod encoder;
 pub mod mds;
 pub mod points;
 pub mod scheme;
 
+pub use dataset::EncodedDataset;
 pub use decoder::{DecodeError, LagrangeDecoder};
 pub use encoder::{EncodedShare, LagrangeEncoder};
 pub use mds::MdsCode;

@@ -15,7 +15,9 @@
 //!    workers and re-encode if the straggler slack went negative, charging the
 //!    one-time re-encoding and re-distribution cost to this iteration.
 
-use avcc_coding::SchemeConfig;
+use std::sync::Arc;
+
+use avcc_coding::{EncodedDataset, SchemeConfig};
 use avcc_field::{Fp, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_ml::logistic::LogisticModel;
@@ -178,37 +180,49 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
                 let participants = config.coding.partitions;
                 let executor = VirtualExecutor::new(cluster.truncated(participants))
                     .with_time_scale(config.time_scale);
+                let dataset1 = Arc::new(EncodedDataset::partitioned(&round1_matrix, participants));
+                let dataset2 = Arc::new(EncodedDataset::partitioned(&round2_matrix, participants));
                 (
-                    Box::new(UncodedMatVec::new(&round1_matrix, participants)),
-                    Box::new(UncodedMatVec::new(&round2_matrix, participants)),
+                    Box::new(UncodedMatVec::over(dataset1)),
+                    Box::new(UncodedMatVec::over(dataset2)),
                     executor,
                 )
             }
             SchemeKind::Lcc => {
                 let executor = VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
+                let dataset1 = Arc::new(EncodedDataset::encode(
+                    &round1_matrix,
+                    config.coding,
+                    &mut rng,
+                ));
+                let dataset2 = Arc::new(EncodedDataset::encode(
+                    &round2_matrix,
+                    config.coding,
+                    &mut rng,
+                ));
                 (
-                    Box::new(LccMatVec::new(&round1_matrix, config.coding, &mut rng)),
-                    Box::new(LccMatVec::new(&round2_matrix, config.coding, &mut rng)),
+                    Box::new(LccMatVec::over(dataset1)),
+                    Box::new(LccMatVec::over(dataset2)),
                     executor,
                 )
             }
             SchemeKind::Avcc | SchemeKind::StaticVcc => {
                 let executor = VirtualExecutor::new(cluster).with_time_scale(config.time_scale);
-                (
-                    Box::new(AvccMatVec::new(
-                        &round1_matrix,
-                        config.coding,
-                        key_config,
-                        &mut rng,
-                    )),
-                    Box::new(AvccMatVec::new(
-                        &round2_matrix,
-                        config.coding,
-                        key_config,
-                        &mut rng,
-                    )),
-                    executor,
-                )
+                // Dataset then keys, per round, to keep the rng stream
+                // identical to the pre-dataset construction order.
+                let dataset1 = Arc::new(EncodedDataset::encode(
+                    &round1_matrix,
+                    config.coding,
+                    &mut rng,
+                ));
+                let engine1 = AvccMatVec::over(dataset1, key_config, &mut rng);
+                let dataset2 = Arc::new(EncodedDataset::encode(
+                    &round2_matrix,
+                    config.coding,
+                    &mut rng,
+                ));
+                let engine2 = AvccMatVec::over(dataset2, key_config, &mut rng);
+                (Box::new(engine1), Box::new(engine2), executor)
             }
         };
 
@@ -272,6 +286,15 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
     /// The scenario label reports are tagged with.
     pub fn scenario_label(&self) -> &str {
         &self.scenario_label
+    }
+
+    /// Combined `(hits, misses)` of both round engines' decoder basis caches
+    /// (see [`MatVecEngine::decode_cache_stats`]); zeros for schemes that do
+    /// not decode.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        let (h1, m1) = self.round1.decode_cache_stats();
+        let (h2, m2) = self.round2.decode_cache_stats();
+        (h1 + h2, m1 + m2)
     }
 
     /// The number of workers the given round dispatches to.
@@ -520,10 +543,18 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         let key_config = KeyGenConfig {
             repetitions: self.config.key_repetitions.max(1),
         };
-        let engine1 =
-            AvccMatVec::<M>::new(&self.round1_matrix, new_config, key_config, &mut self.rng);
-        let engine2 =
-            AvccMatVec::<M>::new(&self.round2_matrix, new_config, key_config, &mut self.rng);
+        let dataset1 = Arc::new(EncodedDataset::<M>::encode(
+            &self.round1_matrix,
+            new_config,
+            &mut self.rng,
+        ));
+        let engine1 = AvccMatVec::over(dataset1, key_config, &mut self.rng);
+        let dataset2 = Arc::new(EncodedDataset::<M>::encode(
+            &self.round2_matrix,
+            new_config,
+            &mut self.rng,
+        ));
+        let engine2 = AvccMatVec::over(dataset2, key_config, &mut self.rng);
         let redistribution_seconds = if reencode {
             let shipped_bytes = engine1.encoded_bytes() + engine2.encoded_bytes();
             // The master pushes every worker its new share over its single

@@ -12,49 +12,62 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use avcc_coding::{LagrangeDecoder, LagrangeEncoder, SchemeConfig};
+use avcc_coding::{EncodedDataset, SchemeConfig};
 use avcc_field::{Fp, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_sim::cluster::NetworkModel;
 use avcc_sim::executor::WorkerOutcome;
 use avcc_sim::metrics::OpCounts;
-use avcc_verify::{KeyGenConfig, MatVecKey};
+use avcc_verify::{combine_with_powers, KeyGenConfig, MatVecKey};
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::engines::MatVecEngine;
 use crate::rounds::{
-    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, RoundTask, SchemeFailure,
+    detect_stragglers, field_vector_bytes, waiting_costs, BatchExecution, BatchRoundTask,
+    RoundExecution, RoundTask, SchemeFailure,
 };
 
-/// Pads a matrix with zero rows so its row count is a multiple of `parts`.
-fn pad_rows_to_multiple<M: PrimeModulus>(matrix: &Matrix<Fp<M>>, parts: usize) -> Matrix<Fp<M>> {
-    let remainder = matrix.rows() % parts;
-    if remainder == 0 {
-        return matrix.clone();
-    }
-    let extra = parts - remainder;
-    let mut data = matrix.data().to_vec();
-    data.extend(std::iter::repeat_n(Fp::<M>::ZERO, extra * matrix.cols()));
-    Matrix::from_vec(matrix.rows() + extra, matrix.cols(), data)
-}
-
-/// The AVCC distributed matrix–vector engine.
+/// The AVCC distributed matrix–vector engine: a per-function session over a
+/// shared [`EncodedDataset`], plus the per-worker Freivalds keys.
+///
+/// Cloning the session clones the `Arc` onto the dataset, so clones keep
+/// sharing one encode (and one decoder basis cache).
 #[derive(Debug, Clone)]
 pub struct AvccMatVec<M: PrimeModulus> {
-    config: SchemeConfig,
-    shares: Vec<Arc<Matrix<Fp<M>>>>,
-    decoder: LagrangeDecoder<M>,
+    dataset: Arc<EncodedDataset<M>>,
     keys: Vec<MatVecKey<M>>,
-    block_rows: usize,
-    /// Rows of the original (unpadded) matrix; the decoded output is trimmed
-    /// back to this length.
-    output_rows: usize,
 }
 
 impl<M: PrimeModulus> AvccMatVec<M> {
+    /// Opens an AVCC session over an already-encoded dataset, generating one
+    /// Freivalds verification key per worker (§IV-A step 2). The expensive
+    /// step 1 — encoding — was paid once when the dataset was built, and is
+    /// shared with every other session over the same `Arc`.
+    ///
+    /// # Panics
+    /// Panics if the dataset is not Lagrange-coded.
+    pub fn over<R: Rng + ?Sized>(
+        dataset: Arc<EncodedDataset<M>>,
+        key_config: KeyGenConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            dataset.is_coded(),
+            "AVCC requires a Lagrange-coded dataset; use EncodedDataset::encode"
+        );
+        let keys = dataset
+            .shares()
+            .iter()
+            .map(|share| MatVecKey::generate(share, key_config, rng))
+            .collect();
+        AvccMatVec { dataset, keys }
+    }
+
     /// Encodes the matrix and generates one Freivalds verification key per
-    /// worker (the one-time preprocessing of §IV-A steps 1–2).
+    /// worker (the one-time preprocessing of §IV-A steps 1–2) — the
+    /// single-function convenience wrapper around [`EncodedDataset::encode`]
+    /// plus [`AvccMatVec::over`].
     ///
     /// If the row count is not divisible by `config.partitions` — which
     /// happens when the dynamic-coding controller switches to a smaller `K` —
@@ -66,46 +79,28 @@ impl<M: PrimeModulus> AvccMatVec<M> {
         key_config: KeyGenConfig,
         rng: &mut R,
     ) -> Self {
-        let output_rows = matrix.rows();
-        let padded = pad_rows_to_multiple(matrix, config.partitions);
-        let blocks = padded.split_rows(config.partitions);
-        let block_rows = blocks[0].rows();
-        let encoder = LagrangeEncoder::<M>::new(config);
-        let shares: Vec<Arc<Matrix<Fp<M>>>> = if config.colluding == 0 {
-            encoder.encode_deterministic(&blocks)
-        } else {
-            encoder.encode(&blocks, rng)
-        }
-        .into_iter()
-        .map(|s| Arc::new(s.block))
-        .collect();
-        let keys = shares
-            .iter()
-            .map(|share| MatVecKey::generate(share, key_config, rng))
-            .collect();
-        AvccMatVec {
-            config,
-            shares,
-            decoder: LagrangeDecoder::new(config),
-            keys,
-            block_rows,
-            output_rows,
-        }
+        let dataset = Arc::new(EncodedDataset::encode(matrix, config, rng));
+        Self::over(dataset, key_config, rng)
+    }
+
+    /// The shared encoded dataset this session dispatches against.
+    pub fn dataset(&self) -> &Arc<EncodedDataset<M>> {
+        &self.dataset
     }
 
     /// The scheme configuration.
     pub fn config(&self) -> &SchemeConfig {
-        &self.config
+        self.dataset.scheme().expect("AVCC dataset is coded")
     }
 
     /// Total size of the encoded data shipped to the workers, in bytes.
     pub fn encoded_bytes(&self) -> usize {
-        self.shares.iter().map(|s| s.len() * 8).sum()
+        self.dataset.encoded_bytes()
     }
 
     /// The recovery threshold (number of verified results needed to decode).
     pub fn recovery_threshold(&self) -> usize {
-        self.config.recovery_threshold()
+        self.dataset.recovery_threshold()
     }
 }
 
@@ -115,16 +110,17 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
     }
 
     fn workers(&self) -> usize {
-        self.config.workers
+        self.dataset.workers()
     }
 
     fn min_results(&self) -> usize {
-        self.config.recovery_threshold()
+        self.dataset.recovery_threshold()
     }
 
     fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>> {
         let input = Arc::new(input.to_vec());
-        self.shares
+        self.dataset
+            .shares()
             .iter()
             .enumerate()
             .map(|(worker, share)| RoundTask::new(worker, Arc::clone(share), Arc::clone(&input)))
@@ -140,7 +136,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         _rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
         let observed_stragglers = detect_stragglers(outcomes);
-        let threshold = self.config.recovery_threshold();
+        let threshold = self.dataset.recovery_threshold();
 
         // Verify results in arrival order and stop as soon as the threshold of
         // verified results is reached — the key property that lets AVCC start
@@ -172,35 +168,37 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
             });
         }
 
+        let block_rows = self.dataset.block_rows();
         let mut costs = waiting_costs(
             &verified_outcomes,
             network,
             field_vector_bytes(input.len()),
-            self.config.workers,
+            self.dataset.workers(),
         );
         costs.verification = verification_seconds * time_scale;
 
+        let decoder = self.dataset.decoder().expect("AVCC dataset is coded");
         let decode_start = Instant::now();
         let blocks =
-            self.decoder
+            decoder
                 .decode_erasure(&verified)
                 .map_err(|e| SchemeFailure::DecodeFailed {
                     details: e.to_string(),
                 })?;
         costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
 
-        let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
+        let mut output = Vec::with_capacity(self.dataset.partitions() * block_rows);
         for block in blocks {
             output.extend(block);
         }
-        output.truncate(self.output_rows);
+        output.truncate(self.dataset.output_rows());
         // Freivalds checks one inner product over the payload plus one over
         // the input per verification; the Lagrange erasure decode interpolates
         // `partitions` blocks from `threshold` verified results.
         let ops = OpCounts {
-            worker_macs: (self.block_rows * input.len()) as u64,
-            verify_macs: (verifications * (self.block_rows + input.len())) as u64,
-            decode_macs: (self.block_rows * threshold * self.config.partitions) as u64,
+            worker_macs: (block_rows * input.len()) as u64,
+            verify_macs: (verifications * (block_rows + input.len())) as u64,
+            decode_macs: (block_rows * threshold * self.dataset.partitions()) as u64,
         };
         Ok(RoundExecution {
             output,
@@ -210,6 +208,139 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
             detected_byzantine,
             observed_stragglers,
         })
+    }
+
+    fn dispatch_batch(&self, inputs: &[Vec<Fp<M>>]) -> Vec<BatchRoundTask<M>> {
+        let inputs = Arc::new(inputs.to_vec());
+        self.dataset
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(worker, share)| {
+                BatchRoundTask::new(worker, Arc::clone(share), Arc::clone(&inputs))
+            })
+            .collect()
+    }
+
+    fn collect_batch(
+        &mut self,
+        inputs: &[Vec<Fp<M>>],
+        outcomes: &[WorkerOutcome<Vec<Vec<Fp<M>>>>],
+        network: &NetworkModel,
+        time_scale: f64,
+        rng: &mut StdRng,
+    ) -> Result<BatchExecution<M>, SchemeFailure> {
+        assert!(!inputs.is_empty(), "batched round needs at least one input");
+        let functions = inputs.len();
+        let cols = inputs[0].len();
+        let observed_stragglers = detect_stragglers(outcomes);
+        let threshold = self.dataset.recovery_threshold();
+        let block_rows = self.dataset.block_rows();
+
+        // One scalar σ batches the whole round: the master combines the m
+        // inputs into x_c = Σ σ^j x_j once, combines each arrival's m claims
+        // into y_c = Σ σ^j y_j, and runs a single Freivalds check per arrival
+        // — verifying m products costs barely more than one. A failed
+        // combined check falls back to the m per-function checks to localize
+        // which function(s) the worker corrupted.
+        let sigma: Fp<M> = avcc_field::random_element(rng);
+        let verify_setup = Instant::now();
+        let combined_input = combine_with_powers(sigma, inputs);
+        let mut verification_seconds = verify_setup.elapsed().as_secs_f64();
+        let mut verifications = 0usize;
+        let mut fallback_checks = 0usize;
+        let mut verified: Vec<&WorkerOutcome<Vec<Vec<Fp<M>>>>> = Vec::with_capacity(threshold);
+        let mut detected_byzantine = Vec::new();
+        let mut corrupted_functions = Vec::new();
+        for outcome in outcomes {
+            if verified.len() >= threshold {
+                break;
+            }
+            debug_assert_eq!(outcome.payload.len(), functions);
+            let verify_start = Instant::now();
+            let combined_claim = combine_with_powers(sigma, &outcome.payload);
+            let accepted = self.keys[outcome.worker].verify(&combined_input, &combined_claim);
+            verifications += 1;
+            if accepted {
+                verified.push(outcome);
+            } else {
+                for (function, (input, claim)) in inputs.iter().zip(&outcome.payload).enumerate() {
+                    fallback_checks += 1;
+                    if !self.keys[outcome.worker].verify(input, claim)
+                        && !corrupted_functions.contains(&function)
+                    {
+                        corrupted_functions.push(function);
+                    }
+                }
+                detected_byzantine.push(outcome.worker);
+            }
+            verification_seconds += verify_start.elapsed().as_secs_f64();
+        }
+        corrupted_functions.sort_unstable();
+        if verified.len() < threshold {
+            return Err(SchemeFailure::NotEnoughResults {
+                available: verified.len(),
+                required: threshold,
+            });
+        }
+
+        let mut costs = waiting_costs(
+            &verified,
+            network,
+            field_vector_bytes(functions * cols),
+            self.dataset.workers(),
+        );
+        costs.verification = verification_seconds * time_scale;
+
+        // m per-function erasure decodes over one survivor set: the first
+        // pays for the Lagrange basis, the remaining m − 1 hit the dataset's
+        // basis cache.
+        let decoder = self.dataset.decoder().expect("AVCC dataset is coded");
+        let decode_start = Instant::now();
+        let mut outputs = Vec::with_capacity(functions);
+        for function in 0..functions {
+            let results: Vec<(usize, Vec<Fp<M>>)> = verified
+                .iter()
+                .map(|o| (o.worker, o.payload[function].clone()))
+                .collect();
+            let blocks =
+                decoder
+                    .decode_erasure(&results)
+                    .map_err(|e| SchemeFailure::DecodeFailed {
+                        details: e.to_string(),
+                    })?;
+            let mut output = Vec::with_capacity(self.dataset.partitions() * block_rows);
+            for block in blocks {
+                output.extend(block);
+            }
+            output.truncate(self.dataset.output_rows());
+            outputs.push(output);
+        }
+        costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
+
+        // Combining costs `m` MACs per coordinate (inputs once, plus each
+        // examined arrival's claims); each combined check is one ordinary
+        // Freivalds check; fallbacks are ordinary per-function checks.
+        let ops = OpCounts {
+            worker_macs: (block_rows * functions * cols) as u64,
+            verify_macs: (functions * cols
+                + verifications * (functions * block_rows + block_rows + cols)
+                + fallback_checks * (block_rows + cols)) as u64,
+            decode_macs: (functions * block_rows * threshold * self.dataset.partitions()) as u64,
+        };
+        Ok(BatchExecution {
+            outputs,
+            costs,
+            ops,
+            used_workers: verified.iter().map(|o| o.worker).collect(),
+            detected_byzantine,
+            observed_stragglers,
+            corrupted_functions,
+        })
+    }
+
+    fn decode_cache_stats(&self) -> (u64, u64) {
+        self.dataset.basis_cache_stats()
     }
 }
 
@@ -340,7 +471,7 @@ mod tests {
         let config = SchemeConfig::linear(16, 8, 4, 0).unwrap();
         let mut engine = AvccMatVec::<P64>::new(&matrix, config, KeyGenConfig::default(), &mut rng);
         // Sanity: this geometry really is the NTT layout with both fast paths.
-        let decoder = LagrangeDecoder::<P64>::new(config);
+        let decoder = avcc_coding::LagrangeDecoder::<P64>::new(config);
         assert!(decoder.supports_ntt());
         assert!(decoder.supports_partial_ntt());
         let profile = ClusterProfile::uniform(16).with_stragglers(&[0, 5, 11, 13], 300.0);

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use avcc_coding::decoder::DecodeError;
-use avcc_coding::{LagrangeDecoder, LagrangeEncoder, SchemeConfig};
+use avcc_coding::{EncodedDataset, SchemeConfig};
 use avcc_field::{Fp, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_sim::cluster::NetworkModel;
@@ -27,48 +27,53 @@ use rand::Rng;
 
 use crate::engines::MatVecEngine;
 use crate::rounds::{
-    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, RoundTask, SchemeFailure,
+    detect_stragglers, field_vector_bytes, waiting_costs, BatchExecution, BatchRoundTask,
+    RoundExecution, RoundTask, SchemeFailure,
 };
 
-/// The LCC distributed matrix–vector engine.
+/// The LCC distributed matrix–vector engine: a per-function session over a
+/// shared [`EncodedDataset`].
 #[derive(Debug, Clone)]
 pub struct LccMatVec<M: PrimeModulus> {
-    config: SchemeConfig,
-    shares: Vec<Arc<Matrix<Fp<M>>>>,
-    decoder: LagrangeDecoder<M>,
-    block_rows: usize,
+    dataset: Arc<EncodedDataset<M>>,
 }
 
 impl<M: PrimeModulus> LccMatVec<M> {
-    /// Encodes the matrix for the given scheme configuration.
+    /// Opens an LCC session over an already-encoded dataset; the encode was
+    /// paid once when the dataset was built and is shared with every other
+    /// session over the same `Arc`.
     ///
     /// # Panics
-    /// Panics if the matrix rows are not divisible by `config.partitions`.
+    /// Panics if the dataset is not Lagrange-coded.
+    pub fn over(dataset: Arc<EncodedDataset<M>>) -> Self {
+        assert!(
+            dataset.is_coded(),
+            "LCC requires a Lagrange-coded dataset; use EncodedDataset::encode"
+        );
+        LccMatVec { dataset }
+    }
+
+    /// Encodes the matrix for the given scheme configuration — the
+    /// single-function convenience wrapper around [`EncodedDataset::encode`]
+    /// plus [`LccMatVec::over`]. Rows not divisible by `config.partitions`
+    /// are zero-padded and the decoded output trimmed back.
     pub fn new<R: Rng + ?Sized>(matrix: &Matrix<Fp<M>>, config: SchemeConfig, rng: &mut R) -> Self {
-        let blocks = matrix.split_rows(config.partitions);
-        let block_rows = blocks[0].rows();
-        let encoder = LagrangeEncoder::<M>::new(config);
-        let shares = if config.colluding == 0 {
-            encoder.encode_deterministic(&blocks)
-        } else {
-            encoder.encode(&blocks, rng)
-        };
-        LccMatVec {
-            config,
-            shares: shares.into_iter().map(|s| Arc::new(s.block)).collect(),
-            decoder: LagrangeDecoder::new(config),
-            block_rows,
-        }
+        Self::over(Arc::new(EncodedDataset::encode(matrix, config, rng)))
+    }
+
+    /// The shared encoded dataset this session dispatches against.
+    pub fn dataset(&self) -> &Arc<EncodedDataset<M>> {
+        &self.dataset
     }
 
     /// The scheme configuration.
     pub fn config(&self) -> &SchemeConfig {
-        &self.config
+        self.dataset.scheme().expect("LCC dataset is coded")
     }
 
     /// Total size of the encoded data shipped to the workers, in bytes.
     pub fn encoded_bytes(&self) -> usize {
-        self.shares.iter().map(|s| s.len() * 8).sum()
+        self.dataset.encoded_bytes()
     }
 }
 
@@ -78,16 +83,17 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
     }
 
     fn workers(&self) -> usize {
-        self.config.workers
+        self.dataset.workers()
     }
 
     fn min_results(&self) -> usize {
-        self.config.lcc_wait_count()
+        self.config().lcc_wait_count()
     }
 
     fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>> {
         let input = Arc::new(input.to_vec());
-        self.shares
+        self.dataset
+            .shares()
             .iter()
             .enumerate()
             .map(|(worker, share)| RoundTask::new(worker, Arc::clone(share), Arc::clone(&input)))
@@ -103,10 +109,12 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
         rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
         let observed_stragglers = detect_stragglers(outcomes);
+        let config = *self.config();
+        let block_rows = self.dataset.block_rows();
 
         // LCC can only start decoding once N - S results are in.
-        let wait_count = self.config.lcc_wait_count().min(outcomes.len());
-        let threshold = self.config.recovery_threshold();
+        let wait_count = config.lcc_wait_count().min(outcomes.len());
+        let threshold = config.recovery_threshold();
         if wait_count < threshold {
             return Err(SchemeFailure::NotEnoughResults {
                 available: wait_count,
@@ -118,27 +126,25 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
             &used,
             network,
             field_vector_bytes(input.len()),
-            self.config.workers,
+            config.workers,
         );
 
         let results: Vec<(usize, Vec<Fp<M>>)> =
             used.iter().map(|o| (o.worker, o.payload.clone())).collect();
+        let decoder = self.dataset.decoder().expect("LCC dataset is coded");
         let decode_start = Instant::now();
-        let decoded = self
-            .decoder
-            .decode_with_errors(&results, self.config.byzantine, rng);
+        let decoded = decoder.decode_with_errors(&results, config.byzantine, rng);
         let (blocks, detected) = match decoded {
             Ok(outcome) => outcome,
             Err(DecodeError::TooManyErrors) => {
                 // Beyond the designed correction capability: a real decoder
                 // emits an incorrect reconstruction. Erasure-decode the fastest
                 // threshold results, corrupted or not.
-                let fallback = self
-                    .decoder
-                    .decode_erasure(&results[..threshold])
-                    .map_err(|e| SchemeFailure::DecodeFailed {
+                let fallback = decoder.decode_erasure(&results[..threshold]).map_err(|e| {
+                    SchemeFailure::DecodeFailed {
                         details: e.to_string(),
-                    })?;
+                    }
+                })?;
                 (fallback, Vec::new())
             }
             Err(other) => {
@@ -149,18 +155,19 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
         };
         costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
 
-        let mut output = Vec::with_capacity(self.config.partitions * self.block_rows);
+        let mut output = Vec::with_capacity(config.partitions * block_rows);
         for block in blocks {
             output.extend(block);
         }
+        output.truncate(self.dataset.output_rows());
         // Reed–Solomon error decoding interpolates through all `wait_count`
         // results (the syndrome/locator work is the extra `wait_count²` term
         // LCC pays over an erasure decode).
         let ops = OpCounts {
-            worker_macs: (self.block_rows * input.len()) as u64,
+            worker_macs: (block_rows * input.len()) as u64,
             verify_macs: 0,
-            decode_macs: (self.block_rows * wait_count * self.config.partitions
-                + wait_count * wait_count) as u64,
+            decode_macs: (block_rows * wait_count * config.partitions + wait_count * wait_count)
+                as u64,
         };
         Ok(RoundExecution {
             output,
@@ -170,6 +177,117 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
             detected_byzantine: detected,
             observed_stragglers,
         })
+    }
+
+    fn dispatch_batch(&self, inputs: &[Vec<Fp<M>>]) -> Vec<BatchRoundTask<M>> {
+        let inputs = Arc::new(inputs.to_vec());
+        self.dataset
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(worker, share)| {
+                BatchRoundTask::new(worker, Arc::clone(share), Arc::clone(&inputs))
+            })
+            .collect()
+    }
+
+    fn collect_batch(
+        &mut self,
+        inputs: &[Vec<Fp<M>>],
+        outcomes: &[WorkerOutcome<Vec<Vec<Fp<M>>>>],
+        network: &NetworkModel,
+        time_scale: f64,
+        rng: &mut StdRng,
+    ) -> Result<BatchExecution<M>, SchemeFailure> {
+        assert!(!inputs.is_empty(), "batched round needs at least one input");
+        let functions = inputs.len();
+        let cols = inputs[0].len();
+        let observed_stragglers = detect_stragglers(outcomes);
+        let config = *self.config();
+        let block_rows = self.dataset.block_rows();
+
+        let wait_count = config.lcc_wait_count().min(outcomes.len());
+        let threshold = config.recovery_threshold();
+        if wait_count < threshold {
+            return Err(SchemeFailure::NotEnoughResults {
+                available: wait_count,
+                required: threshold,
+            });
+        }
+        let used: Vec<_> = outcomes[..wait_count].iter().collect();
+        let mut costs = waiting_costs(
+            &used,
+            network,
+            field_vector_bytes(functions * cols),
+            config.workers,
+        );
+
+        // LCC has no per-arrival check to batch: each function is error-
+        // decoded independently (Byzantine identification is a decode-side
+        // by-product), with detections unioned across the batch.
+        let decoder = self.dataset.decoder().expect("LCC dataset is coded");
+        let decode_start = Instant::now();
+        let mut outputs = Vec::with_capacity(functions);
+        let mut detected_byzantine: Vec<usize> = Vec::new();
+        for function in 0..functions {
+            let results: Vec<(usize, Vec<Fp<M>>)> = used
+                .iter()
+                .map(|o| (o.worker, o.payload[function].clone()))
+                .collect();
+            let decoded = decoder.decode_with_errors(&results, config.byzantine, rng);
+            let (blocks, detected) = match decoded {
+                Ok(outcome) => outcome,
+                Err(DecodeError::TooManyErrors) => {
+                    let fallback = decoder.decode_erasure(&results[..threshold]).map_err(|e| {
+                        SchemeFailure::DecodeFailed {
+                            details: e.to_string(),
+                        }
+                    })?;
+                    (fallback, Vec::new())
+                }
+                Err(other) => {
+                    return Err(SchemeFailure::DecodeFailed {
+                        details: other.to_string(),
+                    })
+                }
+            };
+            for worker in detected {
+                if !detected_byzantine.contains(&worker) {
+                    detected_byzantine.push(worker);
+                }
+            }
+            let mut output = Vec::with_capacity(config.partitions * block_rows);
+            for block in blocks {
+                output.extend(block);
+            }
+            output.truncate(self.dataset.output_rows());
+            outputs.push(output);
+        }
+        detected_byzantine.sort_unstable();
+        costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
+
+        let ops = OpCounts {
+            worker_macs: (block_rows * functions * cols) as u64,
+            verify_macs: 0,
+            decode_macs: (functions
+                * (block_rows * wait_count * config.partitions + wait_count * wait_count))
+                as u64,
+        };
+        Ok(BatchExecution {
+            outputs,
+            costs,
+            ops,
+            used_workers: used.iter().map(|o| o.worker).collect(),
+            detected_byzantine,
+            observed_stragglers,
+            // LCC decoding identifies workers, not functions: localization is
+            // a verification-side capability AVCC adds.
+            corrupted_functions: Vec::new(),
+        })
+    }
+
+    fn decode_cache_stats(&self) -> (u64, u64) {
+        self.dataset.basis_cache_stats()
     }
 }
 

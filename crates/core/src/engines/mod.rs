@@ -21,6 +21,15 @@
 //! [`MatVecEngine::execute`] is a provided method gluing the three together
 //! on a `VirtualExecutor`; every experiment continues to go through it, and
 //! the split is bit-transparent to them.
+//!
+//! Since PR7 the engines are lightweight *sessions* over a shared
+//! [`avcc_coding::EncodedDataset`]: the `::over` constructors take an
+//! `Arc`'d dataset encoded once, and a second, batched round shape —
+//! [`MatVecEngine::dispatch_batch`] / [`MatVecEngine::collect_batch`] —
+//! carries `m` input vectors per worker task so `m` matrix–vector products
+//! amortize one encode (and, for AVCC, one batched Freivalds pass). The
+//! original `::new` constructors remain as thin wrappers that build a private
+//! dataset, so existing experiments are untouched.
 
 use avcc_field::{Fp, PrimeModulus};
 use avcc_sim::attack::ByzantineSpec;
@@ -28,7 +37,9 @@ use avcc_sim::cluster::NetworkModel;
 use avcc_sim::executor::{VirtualExecutor, WorkerOutcome};
 use rand::rngs::StdRng;
 
-use crate::rounds::{field_vector_bytes, RoundExecution, RoundTask, SchemeFailure};
+use crate::rounds::{
+    field_vector_bytes, BatchExecution, BatchRoundTask, RoundExecution, RoundTask, SchemeFailure,
+};
 
 pub mod avcc;
 pub mod lcc;
@@ -83,6 +94,36 @@ pub trait MatVecEngine<M: PrimeModulus> {
         rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure>;
 
+    /// Builds the batched round's worker tasks for `m` broadcast inputs, one
+    /// task per worker (each carrying all `m` inputs), in worker order.
+    fn dispatch_batch(&self, inputs: &[Vec<Fp<M>>]) -> Vec<BatchRoundTask<M>>;
+
+    /// Reconstructs a batched round from arrival-ordered worker `outcomes` of
+    /// the tasks built by [`MatVecEngine::dispatch_batch`] for the same
+    /// `inputs`: `m` products over one dispatch, one wait, and (for AVCC) one
+    /// batched Freivalds pass per arrival with per-function fallback.
+    ///
+    /// The outputs are bit-identical to `m` independent
+    /// [`MatVecEngine::collect`] rounds over the same dataset — all decode
+    /// paths are exact over the field. On `Err` the engine's state is
+    /// unchanged, so the call may be retried with more outcomes.
+    fn collect_batch(
+        &mut self,
+        inputs: &[Vec<Fp<M>>],
+        outcomes: &[WorkerOutcome<Vec<Vec<Fp<M>>>>],
+        network: &NetworkModel,
+        time_scale: f64,
+        rng: &mut StdRng,
+    ) -> Result<BatchExecution<M>, SchemeFailure>;
+
+    /// `(hits, misses)` of the engine's shared decoder basis cache — `(0, 0)`
+    /// for engines with nothing to decode. Counters are cumulative over the
+    /// dataset's lifetime and shared with every other session over the same
+    /// [`avcc_coding::EncodedDataset`].
+    fn decode_cache_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Runs one distributed matrix–vector product of the engine's matrix with
     /// `input`, under the given cluster and attack conditions: dispatch, run
     /// every task on the serial virtual executor, collect.
@@ -105,6 +146,44 @@ pub trait MatVecEngine<M: PrimeModulus> {
         );
         self.collect(
             input,
+            &outcomes,
+            &executor.profile().network,
+            executor.time_scale,
+            rng,
+        )
+    }
+
+    /// Runs one *batched* round — `m` products of the engine's matrix with
+    /// `inputs` — on the serial virtual executor: dispatch-batch, run, collect.
+    /// Byzantine workers corrupt every function of their payload (a corrupted
+    /// node does not selectively spare sub-results).
+    fn execute_batch(
+        &mut self,
+        inputs: &[Vec<Fp<M>>],
+        executor: &VirtualExecutor,
+        byzantine: &ByzantineSpec,
+        rng: &mut StdRng,
+    ) -> Result<BatchExecution<M>, SchemeFailure> {
+        let jobs: Vec<_> = self
+            .dispatch_batch(inputs)
+            .into_iter()
+            .map(|task| move || task.run())
+            .collect();
+        let outcomes = executor.run_round(
+            jobs,
+            |payload: &Vec<Vec<Fp<M>>>| {
+                field_vector_bytes(payload.iter().map(Vec::len).sum::<usize>())
+            },
+            |worker, payload: &mut Vec<Vec<Fp<M>>>| {
+                let mut any = false;
+                for part in payload.iter_mut() {
+                    any |= byzantine.corrupt(worker, part);
+                }
+                any
+            },
+        );
+        self.collect_batch(
+            inputs,
             &outcomes,
             &executor.profile().network,
             executor.time_scale,

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use avcc_coding::EncodedDataset;
 use avcc_field::{Fp, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_sim::cluster::NetworkModel;
@@ -18,34 +19,49 @@ use rand::rngs::StdRng;
 
 use crate::engines::MatVecEngine;
 use crate::rounds::{
-    detect_stragglers, field_vector_bytes, waiting_costs, RoundExecution, RoundTask, SchemeFailure,
+    detect_stragglers, field_vector_bytes, waiting_costs, BatchExecution, BatchRoundTask,
+    RoundExecution, RoundTask, SchemeFailure,
 };
 
-/// The uncoded distributed matrix–vector engine.
+/// The uncoded distributed matrix–vector engine: a per-function session over
+/// a shared raw-partitioned [`EncodedDataset`].
 #[derive(Debug, Clone)]
 pub struct UncodedMatVec<M: PrimeModulus> {
-    blocks: Vec<Arc<Matrix<Fp<M>>>>,
-    block_rows: usize,
+    dataset: Arc<EncodedDataset<M>>,
 }
 
 impl<M: PrimeModulus> UncodedMatVec<M> {
-    /// Splits the full matrix into `partitions` raw row blocks.
+    /// Opens an uncoded session over an already-partitioned dataset.
+    ///
+    /// # Panics
+    /// Panics if the dataset is coded (the uncoded baseline reassembles raw
+    /// blocks by position; coded shares would decode to garbage).
+    pub fn over(dataset: Arc<EncodedDataset<M>>) -> Self {
+        assert!(
+            !dataset.is_coded(),
+            "the uncoded engine needs raw partitions; use EncodedDataset::partitioned"
+        );
+        UncodedMatVec { dataset }
+    }
+
+    /// Splits the full matrix into `partitions` raw row blocks — the
+    /// single-function convenience wrapper around
+    /// [`EncodedDataset::partitioned`] plus [`UncodedMatVec::over`].
     ///
     /// # Panics
     /// Panics if the row count is not divisible by `partitions`.
     pub fn new(matrix: &Matrix<Fp<M>>, partitions: usize) -> Self {
-        let blocks: Vec<Arc<Matrix<Fp<M>>>> = matrix
-            .split_rows(partitions)
-            .into_iter()
-            .map(Arc::new)
-            .collect();
-        let block_rows = blocks[0].rows();
-        UncodedMatVec { blocks, block_rows }
+        Self::over(Arc::new(EncodedDataset::partitioned(matrix, partitions)))
+    }
+
+    /// The shared dataset this session dispatches against.
+    pub fn dataset(&self) -> &Arc<EncodedDataset<M>> {
+        &self.dataset
     }
 
     /// The per-block row count.
     pub fn block_rows(&self) -> usize {
-        self.block_rows
+        self.dataset.block_rows()
     }
 }
 
@@ -55,16 +71,17 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
     }
 
     fn workers(&self) -> usize {
-        self.blocks.len()
+        self.dataset.workers()
     }
 
     fn min_results(&self) -> usize {
-        self.blocks.len()
+        self.dataset.workers()
     }
 
     fn dispatch(&self, input: &[Fp<M>]) -> Vec<RoundTask<M>> {
         let input = Arc::new(input.to_vec());
-        self.blocks
+        self.dataset
+            .shares()
             .iter()
             .enumerate()
             .map(|(worker, block)| RoundTask::new(worker, Arc::clone(block), Arc::clone(&input)))
@@ -79,36 +96,33 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
         time_scale: f64,
         _rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
-        if outcomes.len() < self.blocks.len() {
+        let workers = self.dataset.workers();
+        let block_rows = self.dataset.block_rows();
+        if outcomes.len() < workers {
             return Err(SchemeFailure::NotEnoughResults {
                 available: outcomes.len(),
-                required: self.blocks.len(),
+                required: workers,
             });
         }
         let observed_stragglers = detect_stragglers(outcomes);
         // The master needs every result, so it pays for the slowest worker.
         let used: Vec<_> = outcomes.iter().collect();
-        let mut costs = waiting_costs(
-            &used,
-            network,
-            field_vector_bytes(input.len()),
-            self.blocks.len(),
-        );
+        let mut costs = waiting_costs(&used, network, field_vector_bytes(input.len()), workers);
 
         // Reassembly (concatenation in block order) is the uncoded "decode";
         // it is nearly free but measured for completeness.
         let reassembly_start = Instant::now();
-        let mut output = vec![Fp::<M>::ZERO; self.blocks.len() * self.block_rows];
+        let mut output = vec![Fp::<M>::ZERO; workers * block_rows];
         for outcome in outcomes {
-            let start = outcome.worker * self.block_rows;
-            output[start..start + self.block_rows].copy_from_slice(&outcome.payload);
+            let start = outcome.worker * block_rows;
+            output[start..start + block_rows].copy_from_slice(&outcome.payload);
         }
         costs.decoding = reassembly_start.elapsed().as_secs_f64() * time_scale;
 
         // No verification and no real decode: reassembly is data movement,
         // not multiply–accumulate work.
         let ops = OpCounts {
-            worker_macs: (self.block_rows * input.len()) as u64,
+            worker_macs: (block_rows * input.len()) as u64,
             verify_macs: 0,
             decode_macs: 0,
         };
@@ -119,6 +133,72 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
             used_workers: outcomes.iter().map(|o| o.worker).collect(),
             detected_byzantine: Vec::new(),
             observed_stragglers,
+        })
+    }
+
+    fn dispatch_batch(&self, inputs: &[Vec<Fp<M>>]) -> Vec<BatchRoundTask<M>> {
+        let inputs = Arc::new(inputs.to_vec());
+        self.dataset
+            .shares()
+            .iter()
+            .enumerate()
+            .map(|(worker, block)| {
+                BatchRoundTask::new(worker, Arc::clone(block), Arc::clone(&inputs))
+            })
+            .collect()
+    }
+
+    fn collect_batch(
+        &mut self,
+        inputs: &[Vec<Fp<M>>],
+        outcomes: &[WorkerOutcome<Vec<Vec<Fp<M>>>>],
+        network: &NetworkModel,
+        time_scale: f64,
+        _rng: &mut StdRng,
+    ) -> Result<BatchExecution<M>, SchemeFailure> {
+        assert!(!inputs.is_empty(), "batched round needs at least one input");
+        let functions = inputs.len();
+        let cols = inputs[0].len();
+        let workers = self.dataset.workers();
+        let block_rows = self.dataset.block_rows();
+        if outcomes.len() < workers {
+            return Err(SchemeFailure::NotEnoughResults {
+                available: outcomes.len(),
+                required: workers,
+            });
+        }
+        let observed_stragglers = detect_stragglers(outcomes);
+        let used: Vec<_> = outcomes.iter().collect();
+        let mut costs = waiting_costs(
+            &used,
+            network,
+            field_vector_bytes(functions * cols),
+            workers,
+        );
+
+        let reassembly_start = Instant::now();
+        let mut outputs = vec![vec![Fp::<M>::ZERO; workers * block_rows]; functions];
+        for outcome in outcomes {
+            let start = outcome.worker * block_rows;
+            for (function, part) in outcome.payload.iter().enumerate() {
+                outputs[function][start..start + block_rows].copy_from_slice(part);
+            }
+        }
+        costs.decoding = reassembly_start.elapsed().as_secs_f64() * time_scale;
+
+        let ops = OpCounts {
+            worker_macs: (block_rows * functions * cols) as u64,
+            verify_macs: 0,
+            decode_macs: 0,
+        };
+        Ok(BatchExecution {
+            outputs,
+            costs,
+            ops,
+            used_workers: outcomes.iter().map(|o| o.worker).collect(),
+            detected_byzantine: Vec::new(),
+            observed_stragglers,
+            corrupted_functions: Vec::new(),
         })
     }
 }

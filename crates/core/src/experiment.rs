@@ -11,6 +11,13 @@
 //! * AVCC uses the same 12 workers with `S + M = 3` split per sub-experiment:
 //!   `(S = 2, M = 1)` or `(S = 1, M = 2)`.
 //! * The uncoded baseline uses 9 of the 12 workers with no redundancy.
+//!
+//! Engine construction goes through [`DistributedTrainer`], which since PR7
+//! encodes each round's matrix into a shared
+//! [`avcc_coding::EncodedDataset`] and opens lightweight per-function
+//! engine sessions over it — an experiment's per-iteration costs are
+//! unchanged, but multi-function serving (`avcc-serve`) can amortize one
+//! encode across many products.
 
 use avcc_coding::SchemeConfig;
 use avcc_field::PrimeModulus;

@@ -69,10 +69,10 @@ pub mod rounds;
 
 pub use adaptive::{AdaptationDecision, AdaptiveController};
 pub use driver::{DistributedTrainer, SchemeKind, TrainerConfig, TrainingRound};
-pub use engines::MatVecEngine;
+pub use engines::{AvccMatVec, LccMatVec, MatVecEngine, UncodedMatVec};
 pub use experiment::{
     run_dynamic_coding_scenario, run_experiment, ExperimentConfig, FaultScenario,
 };
 pub use problem::TrainingProblem;
 pub use report::{IterationRecord, TrainingReport};
-pub use rounds::{RoundExecution, RoundTask, SchemeFailure};
+pub use rounds::{BatchExecution, BatchRoundTask, RoundExecution, RoundTask, SchemeFailure};

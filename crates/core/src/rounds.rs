@@ -59,6 +59,55 @@ impl<M: PrimeModulus> RoundTask<M> {
     }
 }
 
+/// One worker's share of a dispatched *batched* round: the same (coded or
+/// raw) block applied to `m` broadcast input vectors at once — the
+/// multi-function shape `X̃·w₁ … X̃·wₘ` that amortizes a single encode.
+///
+/// Like [`RoundTask`], both halves sit behind [`Arc`]s so the task is cheap
+/// to clone and `Send`.
+#[derive(Debug, Clone)]
+pub struct BatchRoundTask<M: PrimeModulus> {
+    /// The worker this task is addressed to.
+    pub worker: usize,
+    matrix: Arc<Matrix<Fp<M>>>,
+    inputs: Arc<Vec<Vec<Fp<M>>>>,
+}
+
+impl<M: PrimeModulus> BatchRoundTask<M> {
+    /// A task multiplying `matrix` by each of `inputs` at `worker`.
+    pub fn new(worker: usize, matrix: Arc<Matrix<Fp<M>>>, inputs: Arc<Vec<Vec<Fp<M>>>>) -> Self {
+        BatchRoundTask {
+            worker,
+            matrix,
+            inputs,
+        }
+    }
+
+    /// Runs the worker's computation: one block–vector product per function,
+    /// in function order.
+    pub fn run(&self) -> Vec<Vec<Fp<M>>> {
+        self.inputs
+            .iter()
+            .map(|input| mat_vec(&self.matrix, input))
+            .collect()
+    }
+
+    /// Number of functions (input vectors) in the batch.
+    pub fn functions(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Rows of this worker's block — the length of each per-function payload.
+    pub fn output_rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// First-order MAC count of this task's `m` products.
+    pub fn macs(&self) -> u64 {
+        (self.matrix.rows() * self.matrix.cols() * self.inputs.len()) as u64
+    }
+}
+
 /// The outcome of one distributed matrix–vector round.
 #[derive(Debug, Clone)]
 pub struct RoundExecution<M: PrimeModulus> {
@@ -78,6 +127,31 @@ pub struct RoundExecution<M: PrimeModulus> {
     /// Workers observed to straggle in this round (arrived far later than the
     /// median, or had not arrived when reconstruction became possible).
     pub observed_stragglers: Vec<usize>,
+}
+
+/// The outcome of one *batched* round: `m` reconstructed products over the
+/// shared encoded dataset, plus the common round bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BatchExecution<M: PrimeModulus> {
+    /// The reconstructed per-function products, in function order (each of
+    /// length = rows of the full matrix).
+    pub outputs: Vec<Vec<Fp<M>>>,
+    /// Cost breakdown charged to this round. Compute and communication are
+    /// paid once for the whole batch; verification and decoding reflect the
+    /// batched check and the `m` per-function decodes.
+    pub costs: IterationCosts,
+    /// Deterministic operation counts for this round.
+    pub ops: OpCounts,
+    /// Workers whose results the master actually used for reconstruction.
+    pub used_workers: Vec<usize>,
+    /// Workers identified as Byzantine during this round.
+    pub detected_byzantine: Vec<usize>,
+    /// Workers observed to straggle in this round.
+    pub observed_stragglers: Vec<usize>,
+    /// Function indices localized as corrupted by the per-function fallback
+    /// after a batched check failed (sorted, deduplicated). Empty whenever
+    /// every examined worker passed the batched check.
+    pub corrupted_functions: Vec<usize>,
 }
 
 /// Errors an engine can produce.

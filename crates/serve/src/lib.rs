@@ -7,8 +7,12 @@
 //!
 //! * a [`Fleet`] — a fixed number of worker slots backed by the
 //!   [`avcc_pool`] work-stealing pool, shared by every admitted job;
-//! * [`JobSpec`]s — full training runs or one-shot coded matrix–vector
-//!   products, submitted to a queue with admission control; and
+//! * [`JobSpec`]s — full training runs, one-shot coded matrix–vector
+//!   products, or multi-function matmul batches built with
+//!   [`JobSpec::matmul`] that serve `m` inputs over **one** shared encoded
+//!   dataset (one encode, one batched Freivalds pass, `m` decodes through a
+//!   shared Lagrange-basis cache) — submitted to a queue with admission
+//!   control; and
 //! * a [`Scheduler`] — the master loop that multiplexes worker slots across
 //!   jobs and overlaps the stages of *different* jobs: while one job's round
 //!   computes on the fleet, the scheduler verifies/decodes another job's
@@ -57,5 +61,5 @@ pub mod job;
 pub mod scheduler;
 
 pub use fleet::Fleet;
-pub use job::{CompletedJob, JobId, JobOutput, JobSpec};
+pub use job::{CompletedJob, JobId, JobOutput, JobSpec, MatMulJobBuilder};
 pub use scheduler::{AdmissionError, Scheduler, SchedulerConfig, ServingReport};

@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use avcc_core::engines::AvccMatVec;
 use avcc_core::rounds::field_vector_bytes;
-use avcc_core::{DistributedTrainer, MatVecEngine, RoundTask, TrainingReport, TrainingRound};
+use avcc_core::{
+    BatchRoundTask, DistributedTrainer, MatVecEngine, RoundTask, TrainingReport, TrainingRound,
+};
 use avcc_field::{Fp, PrimeModulus};
 use avcc_pool::Scope;
 use avcc_sim::cluster::{ClusterProfile, NetworkModel};
@@ -153,6 +155,46 @@ enum JobEngine<M: PrimeModulus> {
         network: NetworkModel,
         rng: StdRng,
     },
+    MatVecBatch {
+        engine: Box<AvccMatVec<M>>,
+        inputs: Vec<Vec<Fp<M>>>,
+        network: NetworkModel,
+        rng: StdRng,
+    },
+}
+
+/// One worker task on the fleet: a single-function share product or a batch
+/// of `m` of them over the same share.
+enum FleetTask<M: PrimeModulus> {
+    Single(RoundTask<M>),
+    Batch(BatchRoundTask<M>),
+}
+
+impl<M: PrimeModulus> FleetTask<M> {
+    fn worker(&self) -> usize {
+        match self {
+            FleetTask::Single(task) => task.worker,
+            FleetTask::Batch(task) => task.worker,
+        }
+    }
+
+    /// Runs the task. A batch flattens its per-function outputs into one
+    /// function-major wire payload; [`split_functions`] reverses this at
+    /// collect time.
+    fn run(&self) -> Vec<Fp<M>> {
+        match self {
+            FleetTask::Single(task) => task.run(),
+            FleetTask::Batch(task) => task.run().into_iter().flatten().collect(),
+        }
+    }
+}
+
+/// Splits a flattened batch payload back into its `functions` per-function
+/// parts (the inverse of [`FleetTask::run`]'s flattening).
+fn split_functions<M: PrimeModulus>(payload: &[Fp<M>], functions: usize) -> Vec<Vec<Fp<M>>> {
+    debug_assert_eq!(payload.len() % functions, 0);
+    let part = payload.len() / functions;
+    payload.chunks(part).map(<[Fp<M>]>::to_vec).collect()
 }
 
 /// A job occupying an in-flight slot, with its current round's bookkeeping.
@@ -173,20 +215,33 @@ struct ActiveJob<M: PrimeModulus> {
     round_started_at: Instant,
     admitted_at: Instant,
     metrics: JobMetrics,
+    /// Decoder basis-cache counters at admission; the job's metrics report
+    /// the delta at completion.
+    cache_baseline: (u64, u64),
 }
 
 impl<M: PrimeModulus> ActiveJob<M> {
     fn network(&self) -> NetworkModel {
         match &self.engine {
             JobEngine::Training { trainer, .. } => trainer.cluster().network,
-            JobEngine::MatVec { network, .. } => *network,
+            JobEngine::MatVec { network, .. } | JobEngine::MatVecBatch { network, .. } => *network,
         }
     }
 
     fn corrupt(&self, worker: usize, payload: &mut [Fp<M>]) -> bool {
         match &self.engine {
             JobEngine::Training { trainer, .. } => trainer.byzantine().corrupt(worker, payload),
-            JobEngine::MatVec { .. } => false,
+            JobEngine::MatVec { .. } | JobEngine::MatVecBatch { .. } => false,
+        }
+    }
+
+    /// Cumulative Lagrange-basis cache counters of this job's decoder(s).
+    fn decode_cache_stats(&self) -> (u64, u64) {
+        match &self.engine {
+            JobEngine::Training { trainer, .. } => trainer.decode_cache_stats(),
+            JobEngine::MatVec { engine, .. } | JobEngine::MatVecBatch { engine, .. } => {
+                engine.decode_cache_stats()
+            }
         }
     }
 }
@@ -194,7 +249,7 @@ impl<M: PrimeModulus> ActiveJob<M> {
 /// What one master step did to a collectable job.
 enum Step<M: PrimeModulus> {
     /// The round was collected and the next round's tasks are ready.
-    Continue(Vec<RoundTask<M>>, Vec<f64>),
+    Continue(Vec<FleetTask<M>>, Vec<f64>),
     /// The collect failed on a short prefix; wait for one more arrival.
     Wait,
     /// The job finished (successfully or not).
@@ -338,6 +393,10 @@ impl<M: PrimeModulus> Scheduler<M> {
                         *entry = Some(job);
                     }
                     Step::Done(output) => {
+                        let (hits, misses) = job.decode_cache_stats();
+                        job.metrics.decode_cache_hits = hits.saturating_sub(job.cache_baseline.0);
+                        job.metrics.decode_cache_misses =
+                            misses.saturating_sub(job.cache_baseline.1);
                         job.metrics.active_seconds = job.admitted_at.elapsed().as_secs_f64();
                         metrics.record_job(&job.metrics, output.is_failed());
                         jobs.push(CompletedJob {
@@ -381,7 +440,7 @@ impl<M: PrimeModulus> Scheduler<M> {
 fn start_job<M: PrimeModulus>(
     pending: PendingJob<M>,
     serial: u64,
-) -> Result<(ActiveJob<M>, Vec<RoundTask<M>>, Vec<f64>), CompletedJob<M>> {
+) -> Result<(ActiveJob<M>, Vec<FleetTask<M>>, Vec<f64>), CompletedJob<M>> {
     let queue_wait_seconds = pending.submitted_at.elapsed().as_secs_f64();
     let metrics = JobMetrics {
         queue_wait_seconds,
@@ -403,7 +462,11 @@ fn start_job<M: PrimeModulus>(
                 trainer.scheme().label(),
                 trainer.scenario_label(),
             ));
-            let tasks = trainer.encode_round1();
+            let tasks = trainer
+                .encode_round1()
+                .into_iter()
+                .map(FleetTask::Single)
+                .collect();
             let needed = trainer.round_min_results(TrainingRound::Round1);
             let slowdowns = effective_slowdowns(trainer.cluster());
             (
@@ -432,7 +495,11 @@ fn start_job<M: PrimeModulus>(
                 KeyGenConfig { repetitions: 1 },
                 &mut rng,
             ));
-            let tasks = engine.dispatch(&input);
+            let tasks = engine
+                .dispatch(&input)
+                .into_iter()
+                .map(FleetTask::Single)
+                .collect::<Vec<_>>();
             let needed = engine.min_results();
             // One-shot products run on nominal workers; stragglers and
             // attacks are the training scenarios' concern.
@@ -449,23 +516,56 @@ fn start_job<M: PrimeModulus>(
                 slowdowns,
             )
         }
+        JobSpec::MatMulBatch {
+            matrix,
+            inputs,
+            coding,
+            seed,
+        } => {
+            // Same construction (and rng stream) as CodedMatVec: one encode,
+            // one key set — the whole point is that the m functions share it.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let engine = Box::new(AvccMatVec::new(
+                &matrix,
+                coding,
+                KeyGenConfig { repetitions: 1 },
+                &mut rng,
+            ));
+            let tasks = engine
+                .dispatch_batch(&inputs)
+                .into_iter()
+                .map(FleetTask::Batch)
+                .collect::<Vec<_>>();
+            let needed = engine.min_results();
+            let slowdowns = vec![1.0; tasks.len()];
+            (
+                JobEngine::MatVecBatch {
+                    engine,
+                    inputs,
+                    network: NetworkModel::default(),
+                    rng,
+                },
+                tasks,
+                needed,
+                slowdowns,
+            )
+        }
     };
     let now = Instant::now();
-    Ok((
-        ActiveJob {
-            id: pending.id,
-            engine,
-            serial,
-            dispatched: tasks.len(),
-            needed,
-            outcomes: Vec::new(),
-            round_started_at: now,
-            admitted_at: now,
-            metrics,
-        },
-        tasks,
-        slowdowns,
-    ))
+    let mut job = ActiveJob {
+        id: pending.id,
+        engine,
+        serial,
+        dispatched: tasks.len(),
+        needed,
+        outcomes: Vec::new(),
+        round_started_at: now,
+        admitted_at: now,
+        metrics,
+        cache_baseline: (0, 0),
+    };
+    job.cache_baseline = job.decode_cache_stats();
+    Ok((job, tasks, slowdowns))
 }
 
 /// Spawns one round's tasks onto the fleet. Each task computes its share
@@ -477,13 +577,14 @@ fn dispatch_round<'scope, M: PrimeModulus>(
     slot: usize,
     serial: u64,
     sleep_per_unit: f64,
-    tasks: Vec<RoundTask<M>>,
+    tasks: Vec<FleetTask<M>>,
     slowdowns: &[f64],
 ) -> usize {
     let count = tasks.len();
     for task in tasks {
         let tx = tx.clone();
-        let slowdown = slowdowns.get(task.worker).copied().unwrap_or(1.0);
+        let worker = task.worker();
+        let slowdown = slowdowns.get(worker).copied().unwrap_or(1.0);
         let sleep = slowdown_sleep_seconds(slowdown, sleep_per_unit);
         scope.spawn(move || {
             let started = Instant::now();
@@ -497,7 +598,7 @@ fn dispatch_round<'scope, M: PrimeModulus>(
             let _ = tx.send(TaskMessage {
                 slot,
                 serial,
-                worker: task.worker,
+                worker,
                 payload,
                 compute_seconds,
             });
@@ -560,7 +661,10 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                     *round = TrainingRound::Round2;
                     job.needed = trainer.round_min_results(TrainingRound::Round2);
                     let slowdowns = effective_slowdowns(trainer.cluster());
-                    Step::Continue(tasks, slowdowns)
+                    Step::Continue(
+                        tasks.into_iter().map(FleetTask::Single).collect(),
+                        slowdowns,
+                    )
                 }
                 Err(failure) => {
                     if job.outcomes.len() < job.dispatched {
@@ -587,7 +691,10 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                             *round = TrainingRound::Round1;
                             job.needed = trainer.round_min_results(TrainingRound::Round1);
                             let slowdowns = effective_slowdowns(trainer.cluster());
-                            Step::Continue(tasks, slowdowns)
+                            Step::Continue(
+                                tasks.into_iter().map(FleetTask::Single).collect(),
+                                slowdowns,
+                            )
                         }
                     }
                     Err(failure) => {
@@ -621,6 +728,43 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                 }
             }
         },
+        JobEngine::MatVecBatch {
+            engine,
+            inputs,
+            network,
+            rng,
+        } => {
+            // Un-flatten each wire payload back into its m per-function
+            // parts before handing the arrivals to the batched collect.
+            let functions = inputs.len();
+            let outcomes: Vec<WorkerOutcome<Vec<Vec<Fp<M>>>>> = job
+                .outcomes
+                .iter()
+                .map(|outcome| WorkerOutcome {
+                    worker: outcome.worker,
+                    payload: split_functions(&outcome.payload, functions),
+                    compute_seconds: outcome.compute_seconds,
+                    network_seconds: outcome.network_seconds,
+                    arrival_seconds: outcome.arrival_seconds,
+                    corrupted: outcome.corrupted,
+                })
+                .collect();
+            match engine.collect_batch(inputs, &outcomes, network, 1.0, rng) {
+                Ok(execution) => {
+                    job.metrics.rounds += 1;
+                    job.metrics.ops = job.metrics.ops.combined(&execution.ops);
+                    Step::Done(JobOutput::MatVecBatch(execution.outputs))
+                }
+                Err(failure) => {
+                    if job.outcomes.len() < job.dispatched {
+                        job.needed = job.outcomes.len() + 1;
+                        Step::Wait
+                    } else {
+                        Step::Done(JobOutput::Failed(failure))
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //! model weights, so exact equality across every iteration certifies
 //! bit-identical models without reaching into the trainer.
 
+use avcc_coding::SchemeConfig;
 use avcc_core::{ExperimentConfig, FaultScenario, SchemeKind};
 use avcc_field::{PrimeField, F25, P25};
 use avcc_linalg::{mat_vec, Matrix};
@@ -281,4 +282,82 @@ fn scheduler_completes_inside_a_nested_pool_scope() {
         });
     });
     assert_eq!(completed.lock().unwrap().unwrap(), 1);
+}
+
+/// Builds a deterministic test matrix and `m` input vectors from a seed.
+fn batch_problem(seed: u64, functions: usize) -> (Matrix<F25>, Vec<Vec<F25>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = 24;
+    let cols = 10;
+    let matrix = Matrix::from_vec(rows, cols, avcc_field::random_matrix(&mut rng, rows, cols));
+    let inputs = (0..functions)
+        .map(|_| avcc_field::random_vector(&mut rng, cols))
+        .collect();
+    (matrix, inputs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A multi-function matmul job is bit-identical to `m` independent
+    /// single-function jobs over the same seed — and both match the plain
+    /// `mat_vec` oracle. This is the serve-level face of the amortization
+    /// contract: batching changes the cost, never the answer.
+    #[test]
+    fn batched_job_matches_independent_single_jobs(
+        seed in 0u64..1000,
+        functions in 2usize..7,
+    ) {
+        let (matrix, inputs) = batch_problem(seed, functions);
+        let oracle: Vec<Vec<F25>> = inputs.iter().map(|input| mat_vec(&matrix, input)).collect();
+        let coding = SchemeConfig::linear(12, 8, 2, 1).unwrap();
+        let fleet = Fleet::new(2);
+
+        let mut scheduler = Scheduler::<P25>::new(SchedulerConfig::default());
+        let batch_id = scheduler
+            .submit(
+                JobSpec::matmul(matrix.clone(), inputs[0].clone())
+                    .with_batch(inputs.clone())
+                    .with_scheme(coding)
+                    .with_seed(seed)
+                    .build(),
+            )
+            .unwrap();
+        let single_ids: Vec<_> = inputs
+            .iter()
+            .map(|input| {
+                scheduler
+                    .submit(
+                        JobSpec::matmul(matrix.clone(), input.clone())
+                            .with_scheme(coding)
+                            .with_seed(seed)
+                            .build(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let report = scheduler.run(&fleet);
+
+        let batch_job = report.job(batch_id).unwrap();
+        let JobOutput::MatVecBatch(batch_outputs) = &batch_job.output else {
+            panic!("batched job must produce a MatVecBatch output");
+        };
+        prop_assert_eq!(batch_outputs, &oracle);
+        for (function, id) in single_ids.iter().enumerate() {
+            let JobOutput::MatVec(single) = &report.job(*id).unwrap().output else {
+                panic!("single job must produce a MatVec output");
+            };
+            prop_assert_eq!(single, &oracle[function]);
+            prop_assert_eq!(single, &batch_outputs[function]);
+        }
+
+        // The batch decodes m functions over one survivor set: the first
+        // pays the Lagrange basis, the remaining m − 1 hit the shared cache.
+        prop_assert_eq!(
+            (batch_job.metrics.decode_cache_hits, batch_job.metrics.decode_cache_misses),
+            (functions as u64 - 1, 1)
+        );
+        prop_assert_eq!(report.metrics.jobs_completed, functions + 1);
+        prop_assert!(report.metrics.decode_cache_hits >= functions as u64 - 1);
+    }
 }

@@ -96,6 +96,45 @@ pub fn power_key_soundness_error(modulus: u64, length: usize, repetitions: u32) 
     ((length.saturating_sub(1)) as f64 / modulus as f64).powi(repetitions as i32)
 }
 
+/// Folds `m` same-length vectors into the random linear combination
+/// `Σ_j σ^j · v_j` — the master-side half of the *batched* Freivalds check.
+///
+/// To verify `m` claimed products `y_j ≐ Ã·x_j` against one key, the master
+/// draws a single scalar `σ`, combines the inputs into `x_c = Σ σ^j x_j`
+/// (once, shared by every worker) and each worker's claims into
+/// `y_c = Σ σ^j y_j`, and runs **one** check `verify(x_c, y_c)` — linearity
+/// makes the combined claim correct whenever every individual claim is.
+/// If any individual claim is wrong, the combined check still catches it
+/// except with probability `(m − 1)/q` (Schwartz–Zippel on the degree-`< m`
+/// polynomial `σ ↦ Σ_j Δ_j σ^j` per coordinate), on top of the key's own
+/// soundness error — see [`batch_soundness_error`]. A failed combined check
+/// is then localized by falling back to the `m` per-function checks.
+///
+/// # Panics
+/// Panics if `vectors` is empty or the lengths disagree.
+pub fn combine_with_powers<M: PrimeModulus>(sigma: Fp<M>, vectors: &[Vec<Fp<M>>]) -> Vec<Fp<M>> {
+    assert!(!vectors.is_empty(), "cannot combine an empty batch");
+    let length = vectors[0].len();
+    let powers = power_series(sigma, vectors.len());
+    let mut combined = vec![Fp::<M>::ZERO; length];
+    for (power, vector) in powers.iter().zip(vectors) {
+        assert_eq!(vector.len(), length, "batch vectors must share one length");
+        for (acc, &value) in combined.iter_mut().zip(vector) {
+            *acc += *power * value;
+        }
+    }
+    combined
+}
+
+/// Upper bound on the probability that a batch of `functions` claimed
+/// products containing at least one wrong result passes the batched check:
+/// the `(functions − 1)/q` failure of the random power combination (the
+/// wrong results may cancel in `Σ σ^j Δ_j`) plus the underlying key's own
+/// soundness error at `repetitions` repetitions.
+pub fn batch_soundness_error(modulus: u64, functions: usize, repetitions: u32) -> f64 {
+    (functions.saturating_sub(1) as f64 / modulus as f64) + soundness_error(modulus, repetitions)
+}
+
 /// The paper's comparison of verification cost against recomputation: a
 /// Freivalds check needs about `rows + cols` multiply-accumulates while
 /// recomputing the product needs `rows · cols`; the ratio is the speedup of
@@ -219,6 +258,66 @@ mod tests {
             rate < 3.0 * bound + 1e-3,
             "false-acceptance rate {rate} too far above (m-1)/q = {bound}"
         );
+    }
+
+    #[test]
+    fn power_combination_is_the_explicit_sum() {
+        let sigma = F25::from_u64(3);
+        let batch = vec![
+            vec![F25::from_u64(1), F25::from_u64(2)],
+            vec![F25::from_u64(4), F25::from_u64(5)],
+            vec![F25::from_u64(6), F25::from_u64(0)],
+        ];
+        let combined = combine_with_powers(sigma, &batch);
+        let sigma2 = sigma * sigma;
+        assert_eq!(
+            combined,
+            vec![
+                batch[0][0] + sigma * batch[1][0] + sigma2 * batch[2][0],
+                batch[0][1] + sigma * batch[1][1] + sigma2 * batch[2][1],
+            ]
+        );
+    }
+
+    /// The batched check accepts iff all `m` individual checks accept
+    /// (completeness side — exactly, by linearity), and a corrupted batch is
+    /// rejected w.h.p. (soundness side, exercised statistically over σ).
+    #[test]
+    fn batched_check_matches_individual_checks() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let block = Matrix::from_vec(8, 5, avcc_field::random_matrix(&mut rng, 8, 5));
+        let key = MatVecKey::<avcc_field::P25>::generate(&block, KeyGenConfig::default(), &mut rng);
+        let inputs: Vec<Vec<F25>> = (0..4)
+            .map(|_| avcc_field::random_vector(&mut rng, 5))
+            .collect();
+        let claims: Vec<Vec<F25>> = inputs.iter().map(|w| mat_vec(&block, w)).collect();
+        for _ in 0..10 {
+            let sigma: F25 = avcc_field::random_element(&mut rng);
+            let x_c = combine_with_powers(sigma, &inputs);
+            let y_c = combine_with_powers(sigma, &claims);
+            assert!(key.verify(&x_c, &y_c), "honest batch must always pass");
+            assert!(inputs.iter().zip(&claims).all(|(w, z)| key.verify(w, z)));
+
+            let mut corrupted = claims.clone();
+            corrupted[2][0] += F25::ONE;
+            let y_bad = combine_with_powers(sigma, &corrupted);
+            assert!(!key.verify(&x_c, &y_bad), "corrupted batch must be caught");
+            // The per-function fallback localizes function 2.
+            let failing: Vec<usize> = corrupted
+                .iter()
+                .enumerate()
+                .filter(|(j, z)| !key.verify(&inputs[*j], z))
+                .map(|(j, _)| j)
+                .collect();
+            assert_eq!(failing, vec![2]);
+        }
+    }
+
+    #[test]
+    fn batch_soundness_adds_the_combination_term() {
+        assert_eq!(batch_soundness_error(251, 1, 1), soundness_error(251, 1));
+        let m8 = batch_soundness_error(33_554_393, 8, 1);
+        assert!((m8 - (7.0 + 1.0) / 33_554_393.0).abs() < 1e-12);
     }
 
     #[test]

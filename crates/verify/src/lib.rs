@@ -27,8 +27,8 @@ pub mod keys;
 pub mod verifier;
 
 pub use freivalds::{
-    check_mat_vec, check_with_power_key, expand_power_key, power_key_soundness_error,
-    soundness_error, FreivaldsCheck,
+    batch_soundness_error, check_mat_vec, check_with_power_key, combine_with_powers,
+    expand_power_key, power_key_soundness_error, soundness_error, FreivaldsCheck,
 };
 pub use keys::{KeyGenConfig, MatVecKey, RoundKeys};
 pub use verifier::{VerdictStats, VerifierSet, WorkerVerifier};

@@ -11,17 +11,30 @@
 //! jobs/sec and occupancy numbers — while every job's result stays
 //! bit-identical between the two schedules.
 //!
+//! A second act shows *encode amortization*: eight matvec functions served
+//! as one [`JobSpec::MatMulBatch`] (built with the `JobSpec::matmul(...)`
+//! builder) against a single shared encoded dataset, versus the same eight
+//! functions as independent jobs that each re-encode the matrix. The batch
+//! pays one encode, one batched Freivalds pass and reuses one cached
+//! Lagrange basis across its decodes — with bit-identical outputs.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example serving
 //! ```
 
+use std::time::Instant;
+
+use avcc::coding::SchemeConfig;
 use avcc::core::{ExperimentConfig, FaultScenario, SchemeKind};
 use avcc::field::P25;
+use avcc::linalg::Matrix;
 use avcc::ml::dataset::DatasetConfig;
 use avcc::serve::{Fleet, JobOutput, JobSpec, Scheduler, SchedulerConfig};
 use avcc::sim::attack::AttackModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// A short training job: three iterations on a small synthetic dataset.
 fn job(scheme: SchemeKind, stragglers: usize, byzantine: usize, seed: u64) -> ExperimentConfig {
@@ -99,4 +112,80 @@ fn main() {
 
     let speedup = synchronous.metrics.span_seconds / pipelined.metrics.span_seconds.max(1e-9);
     println!("\npipelining speedup on this fleet: {speedup:.2}x (identical results)");
+
+    serve_batched_matmuls(&fleet);
+}
+
+/// Encode amortization: one multi-function job vs independent re-encoding
+/// jobs, same functions, same fleet, bit-identical outputs.
+fn serve_batched_matmuls(fleet: &Fleet) {
+    let functions = 8;
+    let mut rng = StdRng::seed_from_u64(42);
+    let rows = 240;
+    let cols = 128;
+    let matrix = Matrix::from_vec(
+        rows,
+        cols,
+        avcc::field::random_matrix::<P25, _>(&mut rng, rows, cols),
+    );
+    let inputs: Vec<Vec<avcc::field::F25>> = (0..functions)
+        .map(|_| avcc::field::random_vector(&mut rng, cols))
+        .collect();
+    let coding = SchemeConfig::linear(12, 8, 2, 1).expect("feasible coding");
+    println!("\nserving {functions} matvec functions over one {rows}x{cols} matrix");
+
+    // Independent: every function re-encodes the matrix from scratch.
+    let started = Instant::now();
+    let mut scheduler = Scheduler::<P25>::new(SchedulerConfig::default());
+    for input in &inputs {
+        scheduler
+            .submit(
+                JobSpec::matmul(matrix.clone(), input.clone())
+                    .with_scheme(coding)
+                    .with_seed(7)
+                    .build(),
+            )
+            .expect("queue has room");
+    }
+    let independent = scheduler.run(fleet);
+    let independent_seconds = started.elapsed().as_secs_f64();
+
+    // Batched: one shared encoded dataset, one batched Freivalds pass.
+    let started = Instant::now();
+    let mut scheduler = Scheduler::<P25>::new(SchedulerConfig::default());
+    let id = scheduler
+        .submit(
+            JobSpec::matmul(matrix.clone(), inputs[0].clone())
+                .with_batch(inputs.clone())
+                .with_scheme(coding)
+                .with_seed(7)
+                .build(),
+        )
+        .expect("queue has room");
+    let batched = scheduler.run(fleet);
+    let batched_seconds = started.elapsed().as_secs_f64();
+
+    let JobOutput::MatVecBatch(batch_outputs) = &batched.job(id).unwrap().output else {
+        panic!("batched job must produce a MatVecBatch output");
+    };
+    for (job, batch_output) in independent.jobs.iter().zip(batch_outputs) {
+        let JobOutput::MatVec(single) = &job.output else {
+            panic!("independent jobs must produce MatVec outputs");
+        };
+        assert_eq!(single, batch_output, "batching must not change the answer");
+    }
+
+    let metrics = &batched.job(id).unwrap().metrics;
+    println!(
+        "  independent: {independent_seconds:.3}s  ({} encodes)",
+        functions
+    );
+    println!(
+        "  batched:     {batched_seconds:.3}s  (1 encode, basis cache {} hits / {} misses)",
+        metrics.decode_cache_hits, metrics.decode_cache_misses
+    );
+    println!(
+        "  amortization speedup: {:.2}x (identical outputs)",
+        independent_seconds / batched_seconds.max(1e-9)
+    );
 }

@@ -39,7 +39,14 @@ and enforces five regression gates:
 * the PR6 autotune gate: for every ``chunk_autotune/<R>x<C>`` pair the
   ``auto`` chunk count must not lose to the historical ``fixed8`` fan-out
   (``NOT_WORSE_TOLERANCE`` applies — on hosts where 8 is the right count
-  the pair ties).
+  the pair ties);
+* the PR7 batched-matmul gate: for every ``batched_matmul/m<F>`` pair the
+  ``shared``-encode path (one ``MatMulBatch`` job) must not lose to the
+  ``independent`` path (``F`` separately-encoded jobs) at any ``F``, and
+  must beat it by at least ``BATCHED_MIN_SPEEDUP`` (2×) at
+  ``F >= MIN_GATED_FUNCTIONS``. The win is structural: the shared path
+  encodes, generates keys and interpolates the Lagrange basis once where
+  the independent path pays all three per function.
 
 With ``--baseline NAME=PATH`` (repeatable) the script also renders a
 markdown trajectory table comparing the current run against the committed
@@ -81,6 +88,9 @@ SERVING_PAIR = re.compile(
 AUTOTUNE_PAIR = re.compile(
     r"^(?P<group>chunk_autotune)/\d+x\d+/(?P<path>fixed8|auto)$"
 )
+BATCHED_PAIR = re.compile(
+    r"^(?P<group>batched_matmul)/m(?P<len>\d+)/(?P<path>independent|shared)$"
+)
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
 MIN_GATED_DOT_LEN = 4096
@@ -92,6 +102,12 @@ NOT_WORSE_TOLERANCE = 1.10
 # >= MIN_GATED_JOBS concurrent jobs on a fixed-width fleet.
 SERVING_MIN_SPEEDUP = 1.3
 MIN_GATED_JOBS = 4
+# The PR7 batched-matmul gate: serving m >= MIN_GATED_FUNCTIONS functions
+# over one shared encoded dataset must beat m independently-encoded jobs by
+# at least this much (the shared path pays 1 encode, 1 key generation and 1
+# Lagrange-basis interpolation where the independent path pays m of each).
+BATCHED_MIN_SPEEDUP = 2.0
+MIN_GATED_FUNCTIONS = 8
 
 
 def parse(lines):
@@ -250,6 +266,56 @@ def gate_serving(results):
     return checks, failures
 
 
+def gate_batched(results):
+    """Returns (checks, failures) for the shared-vs-independent batched
+    matmul pairs: shared must never lose (any m, with the usual noise
+    tolerance) and must win by at least BATCHED_MIN_SPEEDUP once the batch
+    reaches MIN_GATED_FUNCTIONS functions."""
+    pairs = {}
+    for bench_id in results:
+        match = BATCHED_PAIR.match(bench_id)
+        if match:
+            key = (bench_id.rsplit("/", 1)[0], int(match.group("len")))
+            pairs.setdefault(key, {})[match.group("path")] = results[bench_id]
+    checks, failures = [], []
+    for (key, functions), paths in sorted(pairs.items()):
+        if "independent" not in paths or "shared" not in paths:
+            failures.append(f"{key}: missing one side of the independent/shared pair")
+            continue
+        speedup = paths["independent"] / paths["shared"]
+        strict = functions >= MIN_GATED_FUNCTIONS
+        if strict:
+            ok = speedup >= BATCHED_MIN_SPEEDUP
+        else:
+            ok = paths["shared"] <= paths["independent"] * NOT_WORSE_TOLERANCE
+        check = {
+            "pair": key,
+            "independent_ns": paths["independent"],
+            "shared_ns": paths["shared"],
+            "speedup": round(speedup, 2),
+            "ok": ok,
+        }
+        checks.append(check)
+        if not ok:
+            if strict:
+                failures.append(
+                    f"{key}: shared-encode path ({paths['shared']:.0f} ns) beats the "
+                    f"independent path ({paths['independent']:.0f} ns) only "
+                    f"{speedup:.2f}x, below the required {BATCHED_MIN_SPEEDUP:.1f}x"
+                )
+            else:
+                failures.append(
+                    f"{key}: shared-encode path ({paths['shared']:.0f} ns) loses to "
+                    f"the independent path ({paths['independent']:.0f} ns) beyond "
+                    f"the {NOT_WORSE_TOLERANCE:.2f}x noise tolerance"
+                )
+    if not checks:
+        failures.append(
+            "no batched_matmul independent-vs-shared pairs found in bench output"
+        )
+    return checks, failures
+
+
 def load_baselines(specs):
     """Parses repeated NAME=PATH specs into [(name, {bench_id: ns})]."""
     baselines = []
@@ -350,6 +416,9 @@ def main():
         "fixed8",
         label="chunk_autotune fixed8-vs-auto",
     )
+    # The PR7 gate: one shared encode serving m functions must beat m
+    # independent encodes — strictly (2x) at m >= 8, never-worse below.
+    batched_checks, batched_failures = gate_batched(results)
     failures = (
         ntt_failures
         + mont_failures
@@ -358,6 +427,7 @@ def main():
         + straggler_failures
         + serving_failures
         + autotune_failures
+        + batched_failures
     )
     summary = {
         "results_ns_per_iter": results,
@@ -368,6 +438,7 @@ def main():
         "straggler_decode_checks": straggler_checks,
         "serving_pipeline_checks": serving_checks,
         "chunk_autotune_checks": autotune_checks,
+        "batched_matmul_checks": batched_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)
