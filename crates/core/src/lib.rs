@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod distributed;
 pub mod driver;
 pub mod engines;
 pub mod experiment;
@@ -68,6 +69,7 @@ pub mod report;
 pub mod rounds;
 
 pub use adaptive::{AdaptationDecision, AdaptiveController};
+pub use distributed::{train_distributed, DistributedError, WireRunner};
 pub use driver::{DistributedTrainer, SchemeKind, TrainerConfig, TrainingRound};
 pub use engines::{AvccMatVec, LccMatVec, MatVecEngine, UncodedMatVec};
 pub use experiment::{

@@ -57,6 +57,22 @@ impl<M: PrimeModulus> RoundTask<M> {
     pub fn macs(&self) -> u64 {
         (self.matrix.rows() * self.matrix.cols()) as u64
     }
+
+    /// The worker's (coded or raw) matrix block, behind the engine's `Arc`.
+    ///
+    /// The shared handle (rather than the matrix itself) is exposed so a wire
+    /// bridge can both serialize the block *and* fingerprint it by pointer
+    /// identity — two dispatches over the same encoded dataset share the
+    /// `Arc`, so an unchanged fingerprint proves the blocks already installed
+    /// on remote workers are still current.
+    pub fn matrix(&self) -> &Arc<Matrix<Fp<M>>> {
+        &self.matrix
+    }
+
+    /// The broadcast input vector of this task.
+    pub fn input(&self) -> &[Fp<M>] {
+        &self.input
+    }
 }
 
 /// One worker's share of a dispatched *batched* round: the same (coded or
@@ -105,6 +121,17 @@ impl<M: PrimeModulus> BatchRoundTask<M> {
     /// First-order MAC count of this task's `m` products.
     pub fn macs(&self) -> u64 {
         (self.matrix.rows() * self.matrix.cols() * self.inputs.len()) as u64
+    }
+
+    /// The worker's (coded or raw) matrix block, behind the engine's `Arc`
+    /// (see [`RoundTask::matrix`] for why the handle itself is exposed).
+    pub fn matrix(&self) -> &Arc<Matrix<Fp<M>>> {
+        &self.matrix
+    }
+
+    /// The `m` broadcast input vectors of this task, in function order.
+    pub fn inputs(&self) -> &[Vec<Fp<M>>] {
+        &self.inputs
     }
 }
 

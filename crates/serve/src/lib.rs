@@ -56,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod distributed;
 pub mod fleet;
 pub mod job;
 pub mod scheduler;
 
+pub use distributed::serve_distributed;
 pub use fleet::Fleet;
 pub use job::{CompletedJob, JobId, JobOutput, JobSpec, MatMulJobBuilder};
 pub use scheduler::{AdmissionError, Scheduler, SchedulerConfig, ServingReport};

@@ -1,13 +1,18 @@
 //! Offline stand-in for `serde`.
 //!
-//! The build environment has no access to crates.io. Nothing in the AVCC
-//! workspace actually serializes data yet (reports are printed as
-//! tab-separated text; `BENCH_*.json` files are written by the bench harness
-//! directly), but the types are annotated with `#[derive(Serialize,
-//! Deserialize)]` so they are ready for a real serializer. This crate provides
-//! the trait skeletons and a derive that emits structurally trivial impls, so
-//! those annotations compile without the real dependency. Swapping the real
-//! `serde` back in requires only a `Cargo.toml` change.
+//! The build environment has no access to crates.io. This crate provides the
+//! trait skeletons and a derive that emits structurally trivial impls, so
+//! `#[derive(Serialize, Deserialize)]` annotations compile without the real
+//! dependency. Since PR8 the workspace *does* serialize data for real: the
+//! wire format in `avcc-wire` moves every master/worker frame as explicit
+//! little-endian bytes (spec in `docs/WIRE_FORMAT.md`), and its `WireWriter`
+//! implements this crate's [`Serializer`] trait (the no-op `serialize_unit`
+//! path is rejected there, so a derived no-op impl can never silently drop
+//! data on the wire). Reports still print as tab-separated text and
+//! `BENCH_*.json` files are written by the bench harness directly. Swapping
+//! the real `serde` back in is a `Cargo.toml` change plus widening
+//! `WireWriter`'s `Serializer` impl in `crates/wire/src/codec.rs` to the full
+//! trait surface.
 
 #![forbid(unsafe_code)]
 

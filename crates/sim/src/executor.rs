@@ -28,9 +28,11 @@
 //! running tasks concurrently would let them contend and corrupt each
 //! other's measurements.
 
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-use std::sync::mpsc;
+use avcc_wire::{result_frame_bytes, Block, TypedBlock, WireError};
 
 use crate::cluster::ClusterProfile;
 
@@ -55,6 +57,144 @@ pub struct WorkerOutcome<T> {
     pub corrupted: bool,
 }
 
+/// Why an executor dropped a worker from a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionReason {
+    /// The worker's frame failed its CRC-32C check (or had bad magic) —
+    /// evidence of corruption, counted like a Byzantine worker.
+    CorruptFrame,
+    /// The worker spoke an unsupported protocol version.
+    VersionMismatch,
+    /// The connection died (EOF, reset, or a truncated frame followed by
+    /// hang-up).
+    Disconnected,
+    /// The worker sent nothing before the round deadline — a straggler
+    /// beyond the tolerated horizon.
+    TimedOut,
+    /// The worker answered with an `ERROR` frame or otherwise violated the
+    /// protocol state machine.
+    Protocol,
+}
+
+/// One worker dropped from one round. Missing outcomes are exactly what the
+/// engines' straggler machinery already tolerates; the reason is what the
+/// master's metrics record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The worker index.
+    pub worker: usize,
+    /// The round serial the eviction happened in.
+    pub round: u64,
+    /// Why.
+    pub reason: EvictionReason,
+}
+
+/// A failure of the execution substrate itself (as opposed to a per-worker
+/// fault, which surfaces as a missing outcome plus an [`Eviction`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutorError {
+    /// `execute_round` was called for a job with no installed blocks.
+    UnknownJob {
+        /// The offending job id.
+        job: u64,
+    },
+    /// More per-worker inputs (or blocks) than the executor has workers.
+    TooManyTasks {
+        /// Inputs supplied.
+        tasks: usize,
+        /// Workers available.
+        workers: usize,
+    },
+    /// A block failed wire-level validation at install time.
+    BadBlock {
+        /// Index of the offending block.
+        worker: usize,
+        /// The wire-level failure.
+        error: WireError,
+    },
+    /// The runtime could not launch or connect its workers.
+    Spawn {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownJob { job } => write!(f, "no blocks installed for job {job}"),
+            Self::TooManyTasks { tasks, workers } => {
+                write!(f, "{tasks} per-worker inputs but only {workers} workers")
+            }
+            Self::BadBlock { worker, error } => {
+                write!(f, "block for worker {worker} rejected: {error}")
+            }
+            Self::Spawn { context } => write!(f, "failed to launch workers: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// The object-safe execution interface every master-side driver can run on:
+/// in-process virtual timelines, in-process real threads, or real sockets to
+/// real worker processes — same trait, bit-identical payloads.
+///
+/// The data model is deliberately modulus-erased (`u64` canonical residues)
+/// and closure-free, because a closure cannot cross a process boundary:
+///
+/// * [`install_blocks`](Executor::install_blocks) ships each worker its coded
+///   matrix block **once per job** — the paper's real-system economics, where
+///   the encoded dataset is distributed ahead of time and rounds only move
+///   inputs and outputs.
+/// * [`execute_round`](Executor::execute_round) sends worker `i` the round's
+///   `inputs[i]` (one vector per function) and returns the outcomes that
+///   made it back, in arrival order. A worker with no outcome is a straggler
+///   or was evicted — exactly the shape the decode layer already handles.
+/// * Byzantine corruption is applied by the *master* on arrival (as the
+///   scheduler's `deliver` does), never by this trait: a real network cannot
+///   be asked to corrupt payloads on cue.
+pub trait Executor {
+    /// Fleet width.
+    fn workers(&self) -> usize;
+
+    /// The cluster profile (straggler slowdowns, network model).
+    fn profile(&self) -> &ClusterProfile;
+
+    /// Installs `blocks[i]` as worker `i`'s resident block for `job`,
+    /// replacing any previous block for that job. `blocks.len()` may be less
+    /// than the fleet width (a job may use a sub-fleet after adaptation).
+    fn install_blocks(&mut self, job: u64, blocks: &[Block]) -> Result<(), ExecutorError>;
+
+    /// Runs one round of `job`: worker `i` multiplies its resident block by
+    /// each vector in `inputs[i]`. Returns outcomes in arrival order;
+    /// workers that failed mid-round are simply absent (see
+    /// [`round_evictions`](Executor::round_evictions)).
+    fn execute_round(
+        &mut self,
+        job: u64,
+        round: u64,
+        inputs: &[Vec<Vec<u64>>],
+    ) -> Result<Vec<WorkerOutcome<Vec<Vec<u64>>>>, ExecutorError>;
+
+    /// The workers evicted during the most recent
+    /// [`execute_round`](Executor::execute_round) call, with reasons.
+    fn round_evictions(&self) -> &[Eviction] {
+        &[]
+    }
+}
+
+/// Installs wire blocks as typed blocks, validating each against its modulus.
+fn type_blocks(blocks: &[Block]) -> Result<Vec<TypedBlock>, ExecutorError> {
+    blocks
+        .iter()
+        .enumerate()
+        .map(|(worker, block)| {
+            TypedBlock::from_block(block).map_err(|error| ExecutorError::BadBlock { worker, error })
+        })
+        .collect()
+}
+
 /// The virtual-timeline executor.
 #[derive(Debug, Clone)]
 pub struct VirtualExecutor {
@@ -64,6 +204,8 @@ pub struct VirtualExecutor {
     /// development machine; the default of 40 puts per-iteration times in the
     /// same ballpark as the paper's seconds-per-iteration scale).
     pub time_scale: f64,
+    /// Per-job resident blocks for the modulus-erased [`Executor`] path.
+    blocks: HashMap<u64, Vec<TypedBlock>>,
 }
 
 impl VirtualExecutor {
@@ -73,6 +215,7 @@ impl VirtualExecutor {
         VirtualExecutor {
             profile,
             time_scale: 40.0,
+            blocks: HashMap::new(),
         }
     }
 
@@ -185,6 +328,9 @@ pub struct ThreadedExecutor {
     /// Seconds of real sleep charged per unit of effective slowdown above 1.0
     /// (kept small so examples finish quickly).
     pub sleep_per_slowdown_unit: f64,
+    /// Per-job resident blocks for the modulus-erased [`Executor`] path
+    /// (`Arc` so pool tasks can share them without cloning matrices).
+    blocks: HashMap<u64, Vec<Arc<TypedBlock>>>,
 }
 
 impl ThreadedExecutor {
@@ -193,6 +339,7 @@ impl ThreadedExecutor {
         ThreadedExecutor {
             profile,
             sleep_per_slowdown_unit: 0.01,
+            blocks: HashMap::new(),
         }
     }
 
@@ -271,6 +418,159 @@ impl ThreadedExecutor {
             })
             .collect();
         outcomes
+    }
+}
+
+impl Executor for VirtualExecutor {
+    fn workers(&self) -> usize {
+        self.profile.len()
+    }
+
+    fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    fn install_blocks(&mut self, job: u64, blocks: &[Block]) -> Result<(), ExecutorError> {
+        if blocks.len() > self.profile.len() {
+            return Err(ExecutorError::TooManyTasks {
+                tasks: blocks.len(),
+                workers: self.profile.len(),
+            });
+        }
+        self.blocks.insert(job, type_blocks(blocks)?);
+        Ok(())
+    }
+
+    fn execute_round(
+        &mut self,
+        job: u64,
+        _round: u64,
+        inputs: &[Vec<Vec<u64>>],
+    ) -> Result<Vec<WorkerOutcome<Vec<Vec<u64>>>>, ExecutorError> {
+        let blocks = self
+            .blocks
+            .get(&job)
+            .ok_or(ExecutorError::UnknownJob { job })?;
+        if inputs.len() > blocks.len() {
+            return Err(ExecutorError::TooManyTasks {
+                tasks: inputs.len(),
+                workers: blocks.len(),
+            });
+        }
+        let mut outcomes: Vec<WorkerOutcome<Vec<Vec<u64>>>> = Vec::with_capacity(inputs.len());
+        for (worker, worker_inputs) in inputs.iter().enumerate() {
+            let started = Instant::now();
+            let payload = blocks[worker]
+                .execute(worker_inputs)
+                .map_err(|error| ExecutorError::BadBlock { worker, error })?;
+            let measured = started.elapsed().as_secs_f64();
+            let compute_seconds =
+                measured * self.time_scale * self.profile.worker(worker).effective_slowdown();
+            let functions = payload.len();
+            let output_len = payload.first().map_or(0, Vec::len);
+            // Charge the *true* wire size of the result frame, so the
+            // virtual network cost matches what the socket runtime ships.
+            let network_seconds = self
+                .profile
+                .network
+                .transfer_seconds(result_frame_bytes(functions, output_len));
+            outcomes.push(WorkerOutcome {
+                worker,
+                arrival_seconds: compute_seconds + network_seconds,
+                compute_seconds,
+                network_seconds,
+                payload,
+                corrupted: false,
+            });
+        }
+        outcomes.sort_by(|a, b| {
+            a.arrival_seconds
+                .partial_cmp(&b.arrival_seconds)
+                .expect("arrival times are finite")
+        });
+        Ok(outcomes)
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn workers(&self) -> usize {
+        self.profile.len()
+    }
+
+    fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    fn install_blocks(&mut self, job: u64, blocks: &[Block]) -> Result<(), ExecutorError> {
+        if blocks.len() > self.profile.len() {
+            return Err(ExecutorError::TooManyTasks {
+                tasks: blocks.len(),
+                workers: self.profile.len(),
+            });
+        }
+        self.blocks.insert(
+            job,
+            type_blocks(blocks)?.into_iter().map(Arc::new).collect(),
+        );
+        Ok(())
+    }
+
+    fn execute_round(
+        &mut self,
+        job: u64,
+        _round: u64,
+        inputs: &[Vec<Vec<u64>>],
+    ) -> Result<Vec<WorkerOutcome<Vec<Vec<u64>>>>, ExecutorError> {
+        let blocks = self
+            .blocks
+            .get(&job)
+            .ok_or(ExecutorError::UnknownJob { job })?;
+        if inputs.len() > blocks.len() {
+            return Err(ExecutorError::TooManyTasks {
+                tasks: inputs.len(),
+                workers: blocks.len(),
+            });
+        }
+        let (sender, receiver) = mpsc::channel();
+        let round_start = Instant::now();
+        avcc_pool::scope(|scope| {
+            for (worker, worker_inputs) in inputs.iter().enumerate() {
+                let sender = sender.clone();
+                let block = Arc::clone(&blocks[worker]);
+                let slowdown = self.profile.worker(worker).effective_slowdown();
+                let extra_sleep = slowdown_sleep_seconds(slowdown, self.sleep_per_slowdown_unit);
+                scope.spawn(move || {
+                    let task_start = Instant::now();
+                    let payload = block.execute(worker_inputs);
+                    if extra_sleep > 0.0 {
+                        std::thread::sleep(std::time::Duration::from_secs_f64(extra_sleep));
+                    }
+                    let compute = task_start.elapsed().as_secs_f64();
+                    let sent_at = round_start.elapsed().as_secs_f64();
+                    let _ = sender.send((worker, payload, compute, sent_at));
+                });
+            }
+        });
+        drop(sender);
+        let mut outcomes = Vec::with_capacity(inputs.len());
+        for (worker, payload, compute_seconds, sent_at) in receiver.iter() {
+            let payload = payload.map_err(|error| ExecutorError::BadBlock { worker, error })?;
+            let functions = payload.len();
+            let output_len = payload.first().map_or(0, Vec::len);
+            let network_seconds = self
+                .profile
+                .network
+                .transfer_seconds(result_frame_bytes(functions, output_len));
+            outcomes.push(WorkerOutcome {
+                worker,
+                compute_seconds,
+                network_seconds,
+                arrival_seconds: sent_at + network_seconds,
+                payload,
+                corrupted: false,
+            });
+        }
+        Ok(outcomes)
     }
 }
 

@@ -15,13 +15,15 @@
 //! * [`cluster`] — worker profiles, straggler injection and the network model.
 //! * [`attack`] — the paper's Byzantine attack models (reverse-value and
 //!   constant), applied to field-vector payloads.
-//! * [`executor`] — the two execution engines, see the table below.
+//! * [`executor`] — the in-process execution engines, see the table below.
+//! * [`socket`] — the TCP/UDS multi-process runtime behind the same
+//!   [`executor::Executor`] trait (frames specified in `docs/WIRE_FORMAT.md`).
 //! * [`metrics`] — per-iteration cost breakdown (compute / communication /
 //!   verification / decoding), the quantity plotted in Fig. 4.
 //!
 //! # Executor selection
 //!
-//! Both engines run one task per simulated worker and return
+//! All engines run one task per simulated worker and return
 //! [`executor::WorkerOutcome`]s in arrival order; they differ in what
 //! "time" means and on what the tasks run:
 //!
@@ -29,6 +31,7 @@
 //! |---|---|---|---|
 //! | [`executor::VirtualExecutor`] | the calling thread, serially | measured wall-clock per task × profile slowdown + modeled network transfer | every experiment: deterministic-enough orderings, seconds of real time for a 50-iteration × 12-worker run |
 //! | [`executor::ThreadedExecutor`] | the global [`avcc_pool`] work-stealing pool, concurrently | real elapsed time (straggler slowdowns realized as scaled-down sleeps) + modeled transfer | the examples: demonstrates the same master logic driving real concurrency |
+//! | [`socket::SocketExecutor`] | worker threads or spawned `avcc-worker` processes, over TCP loopback or Unix domain sockets | real elapsed time; network time measured as arrival − compute, not modeled | end-to-end protocol validation, wire-fault injection, the multi-process deployment shape |
 //!
 //! The split is deliberate. The virtual engine must stay serial because its
 //! cost model *measures* each task with a monotonic clock — concurrent
@@ -58,8 +61,17 @@ pub mod attack;
 pub mod cluster;
 pub mod executor;
 pub mod metrics;
+pub mod socket;
+
+/// The wire-format crate, re-exported so downstream crates address blocks,
+/// frames and faults without a separate dependency edge.
+pub use avcc_wire as wire;
 
 pub use attack::{AttackModel, ByzantineSpec};
 pub use cluster::{ClusterProfile, NetworkModel, WorkerProfile};
-pub use executor::{slowdown_sleep_seconds, ThreadedExecutor, VirtualExecutor, WorkerOutcome};
+pub use executor::{
+    slowdown_sleep_seconds, Eviction, EvictionReason, Executor, ExecutorError, ThreadedExecutor,
+    VirtualExecutor, WorkerOutcome,
+};
 pub use metrics::{CostAccumulator, IterationCosts, JobMetrics, OpCounts, ServingMetrics};
+pub use socket::{SocketConfig, SocketExecutor, SocketMetrics, Transport, WorkerBackend};

@@ -1,0 +1,904 @@
+//! The socket runtime: a master/worker executor over real TCP or Unix-domain
+//! sockets, speaking the `avcc-wire` protocol.
+//!
+//! [`SocketExecutor`] implements the same [`Executor`] trait as the
+//! in-process engines, so every engine, the trainer and the scheduler run
+//! over real sockets unchanged — but here `network_seconds` is *measured*
+//! (arrival minus compute), not modeled, and worker failure is a real
+//! connection event, not a simulated flag.
+//!
+//! # Topology
+//!
+//! ```text
+//!   master (this struct)
+//!   ├── listener (TCP 127.0.0.1:* or UDS in temp dir)
+//!   ├── per worker: writer half ──────────────► worker i
+//!   │               reader thread ◄──────────── (process running the
+//!   │                    │ mpsc Event channel    `avcc-worker` binary, or an
+//!   └── execute_round ◄──┘                       in-process thread running
+//!                                                the same protocol loop)
+//! ```
+//!
+//! One thread per connection blocks on [`avcc_wire::read_frame`] and pushes
+//! events into an mpsc channel; `execute_round` dispatches `TASK` frames and
+//! drains the channel against a per-round deadline. There are deliberately
+//! *no read timeouts on the sockets themselves* — a silent worker is handled
+//! by the master-side deadline (eviction as a timed-out straggler), and a
+//! dead worker by the EOF its closing socket delivers to the reader thread.
+//!
+//! # Eviction and recovery
+//!
+//! Any wire-level defect on a worker's connection — checksum mismatch,
+//! version mismatch, truncated frame, disconnect, deadline — evicts the
+//! worker for the round: its outcome is simply absent, which is exactly the
+//! straggler/Byzantine shape the decode layer already tolerates. The
+//! connection is torn down; at the next round the worker is respawned,
+//! re-handshaken and re-sent every cached block (`reconnect-or-evict`).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use avcc_wire::{
+    read_frame, write_frame, Block, ErrorMsg, Fault, FaultKind, Frame, FrameKind, Hello, HelloAck,
+    Task, TaskResult, WireError, WorkerOptions, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+
+use crate::cluster::ClusterProfile;
+use crate::executor::{
+    slowdown_sleep_seconds, Eviction, EvictionReason, Executor, ExecutorError, WorkerOutcome,
+};
+
+/// Which socket family carries the frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// TCP over loopback (`127.0.0.1`, ephemeral port).
+    Tcp,
+    /// Unix-domain stream socket in the system temp directory.
+    Uds,
+}
+
+/// What actually runs the worker protocol loop.
+#[derive(Debug, Clone)]
+pub enum WorkerBackend {
+    /// A thread in this process running [`avcc_wire::serve_connection`] over
+    /// a real socket — the full wire protocol without process-spawn cost.
+    /// Used by tests and benches.
+    InProcess,
+    /// A spawned child process running the `avcc-worker` binary. The real
+    /// deal: separate address space, killable, measurable.
+    Process {
+        /// Path to the worker binary.
+        binary: PathBuf,
+    },
+}
+
+/// Tunables for the socket runtime.
+#[derive(Debug, Clone)]
+pub struct SocketConfig {
+    /// Socket family.
+    pub transport: Transport,
+    /// Worker launch mode.
+    pub backend: WorkerBackend,
+    /// Deadline for spawn + connect + handshake of one worker.
+    pub connect_timeout: Duration,
+    /// Per-round deadline: workers silent past it are evicted as timed-out
+    /// stragglers.
+    pub round_timeout: Duration,
+    /// Write timeout on master→worker sends (a wedged worker cannot block
+    /// the master indefinitely).
+    pub io_timeout: Duration,
+    /// Largest payload the master will accept.
+    pub max_payload: usize,
+    /// Seconds of injected sleep per unit of effective slowdown above 1.0
+    /// (same knob as `ThreadedExecutor`, realized worker-side via the TASK
+    /// frame's `sleep_micros` field).
+    pub sleep_per_slowdown_unit: f64,
+    /// Respawn evicted/dead workers at the next round (reconnect-or-evict).
+    pub respawn: bool,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        Self {
+            transport: Transport::Tcp,
+            backend: WorkerBackend::InProcess,
+            connect_timeout: Duration::from_secs(10),
+            round_timeout: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(10),
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            sleep_per_slowdown_unit: 0.01,
+            respawn: true,
+        }
+    }
+}
+
+/// Wire-level counters the master accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SocketMetrics {
+    /// Workers evicted mid-round (any reason).
+    pub evictions: u64,
+    /// Workers respawned after eviction or death.
+    pub respawns: u64,
+    /// Frames the master sent.
+    pub frames_sent: u64,
+    /// Frames the master received (including stale ones).
+    pub frames_received: u64,
+    /// Bytes the master sent.
+    pub bytes_sent: u64,
+    /// Bytes the master received.
+    pub bytes_received: u64,
+    /// Frames discarded as stale (late results from already-settled rounds
+    /// or replaced connections).
+    pub stale_frames: u64,
+}
+
+/// A unified client stream over both transports.
+#[derive(Debug)]
+enum StreamKind {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl StreamKind {
+    fn try_clone(&self) -> io::Result<StreamKind> {
+        match self {
+            Self::Tcp(s) => s.try_clone().map(Self::Tcp),
+            #[cfg(unix)]
+            Self::Unix(s) => s.try_clone().map(Self::Unix),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_write_timeout(timeout),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    fn shutdown(&self) {
+        match self {
+            Self::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Self::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for StreamKind {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamKind {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Where a worker should connect to, printable as the `--connect` argument.
+#[derive(Debug, Clone)]
+enum ConnectTarget {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+impl ConnectTarget {
+    fn to_arg(&self) -> String {
+        match self {
+            Self::Tcp(addr) => format!("tcp:{addr}"),
+            #[cfg(unix)]
+            Self::Uds(path) => format!("uds:{}", path.display()),
+        }
+    }
+
+    fn connect(&self) -> io::Result<StreamKind> {
+        match self {
+            Self::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(StreamKind::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Self::Uds(path) => UnixStream::connect(path).map(StreamKind::Unix),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl ListenerKind {
+    fn bind(transport: Transport) -> Result<Self, ExecutorError> {
+        match transport {
+            Transport::Tcp => {
+                let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| spawn_err(&e))?;
+                Ok(Self::Tcp(listener))
+            }
+            #[cfg(unix)]
+            Transport::Uds => {
+                let path = std::env::temp_dir().join(format!(
+                    "avcc-master-{}-{}.sock",
+                    std::process::id(),
+                    UDS_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                let listener = UnixListener::bind(&path).map_err(|e| spawn_err(&e))?;
+                Ok(Self::Unix(listener, path))
+            }
+            #[cfg(not(unix))]
+            Transport::Uds => Err(ExecutorError::Spawn {
+                context: "unix-domain sockets are unavailable on this platform".to_string(),
+            }),
+        }
+    }
+
+    fn target(&self) -> Result<ConnectTarget, ExecutorError> {
+        match self {
+            Self::Tcp(listener) => {
+                let addr = listener.local_addr().map_err(|e| spawn_err(&e))?;
+                Ok(ConnectTarget::Tcp(addr))
+            }
+            #[cfg(unix)]
+            Self::Unix(_, path) => Ok(ConnectTarget::Uds(path.clone())),
+        }
+    }
+
+    /// Accepts one connection before `deadline` (non-blocking poll loop so a
+    /// worker that never connects cannot wedge the master).
+    fn accept_deadline(&self, deadline: Instant) -> Result<StreamKind, ExecutorError> {
+        let set_nonblocking = |on: bool| -> io::Result<()> {
+            match self {
+                Self::Tcp(l) => l.set_nonblocking(on),
+                #[cfg(unix)]
+                Self::Unix(l, _) => l.set_nonblocking(on),
+            }
+        };
+        set_nonblocking(true).map_err(|e| spawn_err(&e))?;
+        let result = loop {
+            let accepted = match self {
+                Self::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = s.set_nodelay(true);
+                    StreamKind::Tcp(s)
+                }),
+                #[cfg(unix)]
+                Self::Unix(l, _) => l.accept().map(|(s, _)| StreamKind::Unix(s)),
+            };
+            match accepted {
+                Ok(stream) => break Ok(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        break Err(ExecutorError::Spawn {
+                            context: "worker did not connect before the deadline".to_string(),
+                        });
+                    }
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => break Err(spawn_err(&e)),
+            }
+        };
+        let _ = set_nonblocking(false);
+        result
+    }
+}
+
+impl Drop for ListenerKind {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Self::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn spawn_err(e: &dyn std::fmt::Display) -> ExecutorError {
+    ExecutorError::Spawn {
+        context: e.to_string(),
+    }
+}
+
+/// One live worker connection.
+#[derive(Debug)]
+struct WorkerLink {
+    writer: StreamKind,
+    /// Monotonic connection generation: events from a replaced connection's
+    /// reader thread are discarded by generation mismatch.
+    generation: u64,
+    child: Option<Child>,
+    /// Reader (and, for `InProcess`, worker) threads are detached; handles
+    /// are kept only so dropping them is explicit.
+    _reader: JoinHandle<()>,
+}
+
+/// What a reader thread reports to the master.
+enum Event {
+    Frame {
+        worker: usize,
+        generation: u64,
+        frame: Frame,
+        bytes: usize,
+        at: Instant,
+    },
+    Failed {
+        worker: usize,
+        generation: u64,
+        error: WireError,
+    },
+}
+
+/// The TCP/UDS master runtime. See the module docs for topology and
+/// semantics.
+#[derive(Debug)]
+pub struct SocketExecutor {
+    profile: ClusterProfile,
+    config: SocketConfig,
+    listener: ListenerKind,
+    links: Vec<Option<WorkerLink>>,
+    events: mpsc::Receiver<Event>,
+    events_tx: mpsc::Sender<Event>,
+    /// Master-side block cache, job → per-worker blocks: what a respawned
+    /// worker must be re-sent before it can compute again.
+    blocks: HashMap<u64, Vec<Block>>,
+    last_evictions: Vec<Eviction>,
+    metrics: SocketMetrics,
+    next_generation: u64,
+}
+
+impl SocketExecutor {
+    /// TCP runtime with in-process protocol workers and default tuning.
+    pub fn tcp(profile: ClusterProfile) -> Result<Self, ExecutorError> {
+        Self::with_config(profile, SocketConfig::default())
+    }
+
+    /// UDS runtime with in-process protocol workers and default tuning.
+    pub fn uds(profile: ClusterProfile) -> Result<Self, ExecutorError> {
+        Self::with_config(
+            profile,
+            SocketConfig {
+                transport: Transport::Uds,
+                ..SocketConfig::default()
+            },
+        )
+    }
+
+    /// Full-control constructor: binds the listener, launches one worker per
+    /// profile slot and completes every handshake before returning.
+    pub fn with_config(
+        profile: ClusterProfile,
+        config: SocketConfig,
+    ) -> Result<Self, ExecutorError> {
+        let listener = ListenerKind::bind(config.transport)?;
+        let (events_tx, events) = mpsc::channel();
+        let width = profile.len();
+        let mut this = Self {
+            profile,
+            config,
+            listener,
+            links: (0..width).map(|_| None).collect(),
+            events,
+            events_tx,
+            blocks: HashMap::new(),
+            last_evictions: Vec::new(),
+            metrics: SocketMetrics::default(),
+            next_generation: 0,
+        };
+        for worker in 0..width {
+            this.spawn_worker(worker)?;
+        }
+        Ok(this)
+    }
+
+    /// Wire-level counters.
+    pub fn metrics(&self) -> SocketMetrics {
+        self.metrics
+    }
+
+    /// Which transport this runtime is on.
+    pub fn transport(&self) -> Transport {
+        self.config.transport
+    }
+
+    /// Arms a one-shot injected fault on `worker` (test harness): the
+    /// worker's next result send exhibits the defect, which the master then
+    /// handles exactly as it would the real thing.
+    pub fn inject_fault(&mut self, worker: usize, kind: FaultKind) -> Result<(), ExecutorError> {
+        self.send_frame(worker, &Fault { kind }.frame())
+            .map_err(|error| ExecutorError::BadBlock { worker, error })
+    }
+
+    /// Kills a worker outright: for the process backend this is a real
+    /// `SIGKILL`; for the in-process backend the connection is torn down
+    /// (the protocol thread exits on the resulting read error). The worker
+    /// is respawned at the next round if `respawn` is enabled.
+    pub fn kill_worker(&mut self, worker: usize) {
+        if let Some(link) = self.links[worker].as_mut() {
+            if let Some(child) = link.child.as_mut() {
+                let _ = child.kill();
+            }
+        }
+        self.tear_down(worker);
+    }
+
+    /// Launches worker `worker`, accepts its connection and completes the
+    /// handshake.
+    fn spawn_worker(&mut self, worker: usize) -> Result<(), ExecutorError> {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let target = self.listener.target()?;
+        let deadline = Instant::now() + self.config.connect_timeout;
+        let max_payload = self.config.max_payload;
+
+        let child = match &self.config.backend {
+            WorkerBackend::InProcess => {
+                let options = WorkerOptions { max_payload };
+                thread::spawn(move || {
+                    if let Ok(stream) = target.connect() {
+                        let _ = avcc_wire::serve_connection(stream, worker as u32, &options);
+                    }
+                });
+                None
+            }
+            WorkerBackend::Process { binary } => {
+                let child = Command::new(binary)
+                    .arg("--connect")
+                    .arg(target.to_arg())
+                    .arg("--worker")
+                    .arg(worker.to_string())
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| spawn_err(&e))?;
+                Some(child)
+            }
+        };
+
+        let mut stream = self.listener.accept_deadline(deadline)?;
+        stream
+            .set_read_timeout(Some(self.config.connect_timeout))
+            .map_err(|e| spawn_err(&e))?;
+        stream
+            .set_write_timeout(Some(self.config.io_timeout))
+            .map_err(|e| spawn_err(&e))?;
+
+        // Handshake: HELLO (their version, their claimed index) → HELLO_ACK.
+        let (frame, _) = read_frame(&mut stream, max_payload).map_err(|e| spawn_err(&e))?;
+        if frame.kind != FrameKind::Hello {
+            return Err(ExecutorError::Spawn {
+                context: format!("expected HELLO, got {:?}", frame.kind),
+            });
+        }
+        let hello = Hello::decode(&frame.payload).map_err(|e| spawn_err(&e))?;
+        if hello.version != PROTOCOL_VERSION {
+            return Err(ExecutorError::Spawn {
+                context: format!(
+                    "worker speaks protocol version {}, master speaks {}",
+                    hello.version, PROTOCOL_VERSION
+                ),
+            });
+        }
+        if hello.worker as usize != worker {
+            return Err(ExecutorError::Spawn {
+                context: format!("worker {} connected as {}", worker, hello.worker),
+            });
+        }
+        let ack = HelloAck {
+            worker: worker as u32,
+            workers: self.links.len() as u32,
+        };
+        let sent = write_frame(&mut stream, &ack.frame()).map_err(|e| spawn_err(&e))?;
+        self.metrics.frames_sent += 1;
+        self.metrics.bytes_sent += sent as u64;
+
+        // The reader blocks indefinitely; round deadlines are enforced
+        // master-side and worker death arrives as EOF.
+        stream.set_read_timeout(None).map_err(|e| spawn_err(&e))?;
+        let mut reader_stream = stream.try_clone().map_err(|e| spawn_err(&e))?;
+        let events_tx = self.events_tx.clone();
+        let reader = thread::spawn(move || loop {
+            match read_frame(&mut reader_stream, max_payload) {
+                Ok((frame, bytes)) => {
+                    if events_tx
+                        .send(Event::Frame {
+                            worker,
+                            generation,
+                            frame,
+                            bytes,
+                            at: Instant::now(),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(error) => {
+                    let _ = events_tx.send(Event::Failed {
+                        worker,
+                        generation,
+                        error,
+                    });
+                    break;
+                }
+            }
+        });
+
+        self.links[worker] = Some(WorkerLink {
+            writer: stream,
+            generation,
+            child,
+            _reader: reader,
+        });
+        Ok(())
+    }
+
+    /// Tears a worker's connection down (stream shutdown, child reaped).
+    fn tear_down(&mut self, worker: usize) {
+        if let Some(mut link) = self.links[worker].take() {
+            link.writer.shutdown();
+            if let Some(mut child) = link.child.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    /// Respawns a dead worker and re-sends every cached block it needs
+    /// (reconnect-or-evict's reconnect half). Returns whether the worker is
+    /// live afterwards.
+    fn ensure_live(&mut self, worker: usize) -> bool {
+        if self.links[worker].is_some() {
+            return true;
+        }
+        if !self.config.respawn {
+            return false;
+        }
+        if self.spawn_worker(worker).is_err() {
+            self.links[worker] = None;
+            return false;
+        }
+        self.metrics.respawns += 1;
+        // Re-send the worker's block for every cached job.
+        let frames: Vec<Frame> = self
+            .blocks
+            .iter()
+            .filter_map(|(job, blocks)| blocks.get(worker).map(|b| b.frame(*job)))
+            .collect();
+        for frame in frames {
+            if self.send_frame(worker, &frame).is_err() {
+                self.tear_down(worker);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn send_frame(&mut self, worker: usize, frame: &Frame) -> Result<(), WireError> {
+        let link = self.links[worker].as_mut().ok_or(WireError::Closed {
+            context: "sending to an evicted worker",
+        })?;
+        match write_frame(&mut link.writer, frame) {
+            Ok(bytes) => {
+                self.metrics.frames_sent += 1;
+                self.metrics.bytes_sent += bytes as u64;
+                Ok(())
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Records an eviction and tears the connection down.
+    fn evict(&mut self, worker: usize, round: u64, reason: EvictionReason) {
+        self.last_evictions.push(Eviction {
+            worker,
+            round,
+            reason,
+        });
+        self.metrics.evictions += 1;
+        self.tear_down(worker);
+    }
+
+    /// Is this event from the connection we currently consider live?
+    fn is_current(&self, worker: usize, generation: u64) -> bool {
+        self.links
+            .get(worker)
+            .and_then(Option::as_ref)
+            .is_some_and(|l| l.generation == generation)
+    }
+
+    /// Processes connection failures that happened *between* rounds (e.g. a
+    /// killed worker) and discards stale frames, so the round starts from a
+    /// clean event queue.
+    fn drain_idle_events(&mut self) {
+        loop {
+            let event = match self.events.try_recv() {
+                Ok(event) => event,
+                Err(_) => return,
+            };
+            match event {
+                Event::Frame { bytes, .. } => {
+                    self.metrics.frames_received += 1;
+                    self.metrics.bytes_received += bytes as u64;
+                    self.metrics.stale_frames += 1;
+                }
+                Event::Failed {
+                    worker, generation, ..
+                } => {
+                    if self.is_current(worker, generation) {
+                        self.tear_down(worker);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Executor for SocketExecutor {
+    fn workers(&self) -> usize {
+        self.links.len()
+    }
+
+    fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    fn install_blocks(&mut self, job: u64, blocks: &[Block]) -> Result<(), ExecutorError> {
+        if blocks.len() > self.links.len() {
+            return Err(ExecutorError::TooManyTasks {
+                tasks: blocks.len(),
+                workers: self.links.len(),
+            });
+        }
+        self.drain_idle_events();
+        self.blocks.insert(job, blocks.to_vec());
+        for (worker, block) in blocks.iter().enumerate() {
+            if !self.ensure_live(worker) {
+                continue; // stays dead; eviction surfaces at round time
+            }
+            // `ensure_live` above re-sent cached blocks only for *respawned*
+            // workers; live workers still need this job's block.
+            let frame = block.frame(job);
+            if self.send_frame(worker, &frame).is_err() {
+                self.tear_down(worker);
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_round(
+        &mut self,
+        job: u64,
+        round: u64,
+        inputs: &[Vec<Vec<u64>>],
+    ) -> Result<Vec<WorkerOutcome<Vec<Vec<u64>>>>, ExecutorError> {
+        let job_width = self
+            .blocks
+            .get(&job)
+            .ok_or(ExecutorError::UnknownJob { job })?
+            .len();
+        if inputs.len() > job_width {
+            return Err(ExecutorError::TooManyTasks {
+                tasks: inputs.len(),
+                workers: job_width,
+            });
+        }
+        self.last_evictions.clear();
+        self.drain_idle_events();
+        for worker in 0..inputs.len() {
+            if !self.ensure_live(worker) {
+                self.evict(worker, round, EvictionReason::Disconnected);
+            }
+        }
+
+        let round_start = Instant::now();
+        // Generation each in-flight worker's result must come from.
+        let mut pending: Vec<Option<u64>> = vec![None; inputs.len()];
+        for (worker, worker_inputs) in inputs.iter().enumerate() {
+            let Some(link) = self.links[worker].as_ref() else {
+                continue; // already evicted above
+            };
+            let generation = link.generation;
+            let slowdown = self.profile.worker(worker).effective_slowdown();
+            let sleep = slowdown_sleep_seconds(slowdown, self.config.sleep_per_slowdown_unit);
+            let task = Task {
+                sleep_micros: (sleep * 1e6) as u64,
+                inputs: worker_inputs.clone(),
+            };
+            match self.send_frame(worker, &task.frame(job, round)) {
+                Ok(()) => pending[worker] = Some(generation),
+                Err(_) => self.evict(worker, round, EvictionReason::Disconnected),
+            }
+        }
+
+        let deadline = round_start + self.config.round_timeout;
+        let mut outcomes: Vec<WorkerOutcome<Vec<Vec<u64>>>> = Vec::with_capacity(inputs.len());
+        let mut remaining = pending.iter().filter(|p| p.is_some()).count();
+        while remaining > 0 {
+            let Some(budget) = deadline.checked_duration_since(Instant::now()) else {
+                break;
+            };
+            let event = match self.events.recv_timeout(budget) {
+                Ok(event) => event,
+                Err(_) => break, // deadline (or, impossibly, a closed channel)
+            };
+            match event {
+                Event::Frame {
+                    worker,
+                    generation,
+                    frame,
+                    bytes,
+                    at,
+                } => {
+                    self.metrics.frames_received += 1;
+                    self.metrics.bytes_received += bytes as u64;
+                    if pending.get(worker).copied().flatten() != Some(generation)
+                        || !self.is_current(worker, generation)
+                    {
+                        self.metrics.stale_frames += 1;
+                        continue;
+                    }
+                    match frame.kind {
+                        FrameKind::TaskResult if frame.job == job && frame.round == round => {
+                            match TaskResult::decode(&frame.payload) {
+                                Ok(result) => {
+                                    let arrival_seconds =
+                                        at.duration_since(round_start).as_secs_f64();
+                                    let compute_seconds = result.compute_seconds.max(0.0);
+                                    // Everything between the worker finishing
+                                    // compute and the master holding the
+                                    // decoded frame: serialization, the
+                                    // kernel's socket path, and queueing.
+                                    let network_seconds =
+                                        (arrival_seconds - compute_seconds).max(0.0);
+                                    outcomes.push(WorkerOutcome {
+                                        worker,
+                                        payload: result.outputs,
+                                        compute_seconds,
+                                        network_seconds,
+                                        arrival_seconds,
+                                        corrupted: false,
+                                    });
+                                    pending[worker] = None;
+                                    remaining -= 1;
+                                }
+                                Err(_) => {
+                                    pending[worker] = None;
+                                    remaining -= 1;
+                                    self.evict(worker, round, EvictionReason::Protocol);
+                                }
+                            }
+                        }
+                        FrameKind::TaskResult => {
+                            // A late result for some other (job, round).
+                            self.metrics.stale_frames += 1;
+                        }
+                        FrameKind::Error => {
+                            let reason = ErrorMsg::decode(&frame.payload)
+                                .map(|e| e.message)
+                                .unwrap_or_default();
+                            let _ = reason; // reason is for tracing; eviction is the action
+                            pending[worker] = None;
+                            remaining -= 1;
+                            self.evict(worker, round, EvictionReason::Protocol);
+                        }
+                        _ => {
+                            pending[worker] = None;
+                            remaining -= 1;
+                            self.evict(worker, round, EvictionReason::Protocol);
+                        }
+                    }
+                }
+                Event::Failed {
+                    worker,
+                    generation,
+                    error,
+                } => {
+                    if !self.is_current(worker, generation) {
+                        continue;
+                    }
+                    let reason = match error {
+                        WireError::ChecksumMismatch { .. } | WireError::BadMagic { .. } => {
+                            EvictionReason::CorruptFrame
+                        }
+                        WireError::UnsupportedVersion { .. } => EvictionReason::VersionMismatch,
+                        WireError::FrameTooLarge { .. }
+                        | WireError::UnknownFrameKind { .. }
+                        | WireError::Malformed { .. } => EvictionReason::Protocol,
+                        _ => EvictionReason::Disconnected,
+                    };
+                    if pending.get(worker).copied().flatten() == Some(generation) {
+                        pending[worker] = None;
+                        remaining -= 1;
+                        self.evict(worker, round, reason);
+                    } else {
+                        self.tear_down(worker);
+                    }
+                }
+            }
+        }
+        // Anything still pending after the deadline is a timed-out straggler.
+        let timed_out: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter_map(|(w, p)| p.map(|_| w))
+            .collect();
+        for worker in timed_out {
+            self.evict(worker, round, EvictionReason::TimedOut);
+        }
+        Ok(outcomes)
+    }
+
+    fn round_evictions(&self) -> &[Eviction] {
+        &self.last_evictions
+    }
+}
+
+impl Drop for SocketExecutor {
+    fn drop(&mut self) {
+        // Graceful: ask every live worker to exit, then reap.
+        for worker in 0..self.links.len() {
+            let _ = self.send_frame(worker, &Frame::new(FrameKind::Shutdown, 0, 0, Vec::new()));
+        }
+        for link in self.links.iter_mut().flatten() {
+            if let Some(child) = link.child.as_mut() {
+                let deadline = Instant::now() + Duration::from_secs(2);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if Instant::now() < deadline => {
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+            link.writer.shutdown();
+        }
+    }
+}

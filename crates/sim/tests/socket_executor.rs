@@ -1,0 +1,257 @@
+//! The socket runtime's contract tests: the TCP/UDS master must produce
+//! bit-identical results to the in-process executors, and every wire-level
+//! defect — corrupted frame, version mismatch, truncation, disconnect,
+//! deadline — must end in a clean eviction (never a panic or a hang)
+//! followed by a successful respawn.
+
+use std::time::Duration;
+
+use avcc_sim::cluster::ClusterProfile;
+use avcc_sim::executor::{EvictionReason, Executor, ThreadedExecutor};
+use avcc_sim::socket::{SocketConfig, SocketExecutor, Transport};
+use avcc_sim::wire::{Block, FaultKind};
+use proptest::prelude::*;
+
+const Q: u64 = 2_305_843_009_213_693_951; // P61, the largest supported modulus
+
+/// Deterministic pseudo-random canonical elements.
+fn elements(count: usize, seed: u64) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| {
+            seed.wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(i.wrapping_mul(1_442_695_040_888_963_407))
+                % Q
+        })
+        .collect()
+}
+
+fn blocks(workers: usize, rows: usize, cols: usize, seed: u64) -> Vec<Block> {
+    (0..workers)
+        .map(|w| Block {
+            modulus: Q,
+            rows: rows as u32,
+            cols: cols as u32,
+            elements: elements(rows * cols, seed.wrapping_add(w as u64)),
+        })
+        .collect()
+}
+
+fn inputs(workers: usize, functions: usize, cols: usize, seed: u64) -> Vec<Vec<Vec<u64>>> {
+    (0..workers)
+        .map(|w| {
+            (0..functions)
+                .map(|f| elements(cols, seed ^ ((w * 31 + f + 7) as u64)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Worker-sorted payloads: the value contract, independent of arrival order.
+fn payloads(outcomes: Vec<avcc_sim::WorkerOutcome<Vec<Vec<u64>>>>) -> Vec<(usize, Vec<Vec<u64>>)> {
+    let mut sorted: Vec<_> = outcomes
+        .into_iter()
+        .map(|o| (o.worker, o.payload))
+        .collect();
+    sorted.sort_by_key(|(w, _)| *w);
+    sorted
+}
+
+fn quick_config(transport: Transport) -> SocketConfig {
+    SocketConfig {
+        transport,
+        connect_timeout: Duration::from_secs(20),
+        round_timeout: Duration::from_secs(20),
+        ..SocketConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The equivalence gate: for random blocks and inputs, the threaded
+    /// executor, the TCP socket executor and the UDS socket executor return
+    /// bit-for-bit identical payloads — same kernel, same canonical wire
+    /// values, different runtimes.
+    #[test]
+    fn socket_results_match_threaded_bit_for_bit(
+        workers in 2usize..5,
+        rows in 1usize..6,
+        cols in 1usize..6,
+        functions in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let blocks = blocks(workers, rows, cols, seed);
+        let inputs = inputs(workers, functions, cols, seed);
+
+        let mut threaded = ThreadedExecutor::new(ClusterProfile::uniform(workers));
+        threaded.install_blocks(7, &blocks).unwrap();
+        let expected = payloads(threaded.execute_round(7, 0, &inputs).unwrap());
+        prop_assert_eq!(expected.len(), workers);
+
+        for transport in [Transport::Tcp, Transport::Uds] {
+            let mut socket = SocketExecutor::with_config(
+                ClusterProfile::uniform(workers),
+                quick_config(transport),
+            )
+            .unwrap();
+            socket.install_blocks(7, &blocks).unwrap();
+            let got = payloads(socket.execute_round(7, 0, &inputs).unwrap());
+            prop_assert_eq!(&got, &expected, "{:?} diverged from threaded", transport);
+            prop_assert!(socket.round_evictions().is_empty());
+        }
+    }
+}
+
+/// Every injected wire fault must map to the advertised eviction reason, and
+/// the following round must recover the worker via respawn + block re-send.
+#[test]
+fn every_fault_kind_evicts_cleanly_and_recovers() {
+    let cases = [
+        (FaultKind::CorruptPayload, EvictionReason::CorruptFrame),
+        (FaultKind::BadCrc, EvictionReason::CorruptFrame),
+        (FaultKind::WrongVersion, EvictionReason::VersionMismatch),
+        (FaultKind::Truncate, EvictionReason::Disconnected),
+        (FaultKind::Disconnect, EvictionReason::Disconnected),
+    ];
+    for (fault, expected_reason) in cases {
+        let workers = 3;
+        let blocks = blocks(workers, 3, 2, 99);
+        let inputs = inputs(workers, 1, 2, 99);
+        let mut socket = SocketExecutor::with_config(
+            ClusterProfile::uniform(workers),
+            quick_config(Transport::Tcp),
+        )
+        .unwrap();
+        socket.install_blocks(1, &blocks).unwrap();
+
+        // Round 0: clean baseline.
+        let clean = payloads(socket.execute_round(1, 0, &inputs).unwrap());
+        assert_eq!(clean.len(), workers, "{fault:?}: baseline incomplete");
+
+        // Round 1: worker 1's result send exhibits the fault.
+        socket.inject_fault(1, fault).unwrap();
+        let faulted = socket.execute_round(1, 1, &inputs).unwrap();
+        let survivors: Vec<usize> = faulted.iter().map(|o| o.worker).collect();
+        assert!(
+            !survivors.contains(&1),
+            "{fault:?}: the faulted worker's result must not survive"
+        );
+        assert_eq!(faulted.len(), workers - 1, "{fault:?}: honest results lost");
+        let evictions = socket.round_evictions();
+        assert_eq!(evictions.len(), 1, "{fault:?}: exactly one eviction");
+        assert_eq!(evictions[0].worker, 1);
+        assert_eq!(evictions[0].round, 1);
+        assert_eq!(
+            evictions[0].reason, expected_reason,
+            "{fault:?}: wrong eviction reason"
+        );
+
+        // Round 2: the worker is respawned, re-sent its block and computes
+        // the same values as the clean baseline.
+        let recovered = payloads(socket.execute_round(1, 2, &inputs).unwrap());
+        assert_eq!(recovered, clean, "{fault:?}: recovery round diverged");
+        assert!(socket.round_evictions().is_empty());
+        assert!(
+            socket.metrics().respawns >= 1,
+            "{fault:?}: no respawn counted"
+        );
+    }
+}
+
+/// A worker killed between rounds is revived before the next dispatch; a
+/// disabled respawn leaves it evicted instead.
+#[test]
+fn killed_worker_is_respawned_or_stays_evicted() {
+    let workers = 3;
+    let blocks = blocks(workers, 2, 2, 5);
+    let inputs = inputs(workers, 1, 2, 5);
+
+    let mut socket = SocketExecutor::with_config(
+        ClusterProfile::uniform(workers),
+        quick_config(Transport::Uds),
+    )
+    .unwrap();
+    socket.install_blocks(4, &blocks).unwrap();
+    let clean = payloads(socket.execute_round(4, 0, &inputs).unwrap());
+    socket.kill_worker(2);
+    let after = payloads(socket.execute_round(4, 1, &inputs).unwrap());
+    assert_eq!(after, clean, "respawned worker must rejoin seamlessly");
+    assert!(socket.metrics().respawns >= 1);
+
+    let mut no_respawn = SocketExecutor::with_config(
+        ClusterProfile::uniform(workers),
+        SocketConfig {
+            respawn: false,
+            ..quick_config(Transport::Tcp)
+        },
+    )
+    .unwrap();
+    no_respawn.install_blocks(4, &blocks).unwrap();
+    no_respawn.kill_worker(0);
+    let outcomes = no_respawn.execute_round(4, 0, &inputs).unwrap();
+    assert_eq!(outcomes.len(), workers - 1);
+    let evictions = no_respawn.round_evictions();
+    assert_eq!(evictions.len(), 1);
+    assert_eq!(evictions[0].worker, 0);
+    assert_eq!(evictions[0].reason, EvictionReason::Disconnected);
+}
+
+/// A worker that blows the round deadline is evicted as a timed-out
+/// straggler — the master never hangs on a silent worker.
+#[test]
+fn deadline_evicts_silent_stragglers() {
+    let workers = 2;
+    let blocks = blocks(workers, 2, 2, 13);
+    let inputs = inputs(workers, 1, 2, 13);
+    // Worker 1 sleeps ~1.2 s (slowdown 13 × 0.1 s/unit); the round allows 0.3 s.
+    let profile = ClusterProfile::uniform(workers).with_stragglers(&[1], 13.0);
+    let mut socket = SocketExecutor::with_config(
+        profile,
+        SocketConfig {
+            round_timeout: Duration::from_millis(300),
+            sleep_per_slowdown_unit: 0.1,
+            ..quick_config(Transport::Tcp)
+        },
+    )
+    .unwrap();
+    socket.install_blocks(9, &blocks).unwrap();
+    let outcomes = socket.execute_round(9, 0, &inputs).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].worker, 0);
+    let evictions = socket.round_evictions();
+    assert_eq!(evictions.len(), 1);
+    assert_eq!(evictions[0].worker, 1);
+    assert_eq!(evictions[0].reason, EvictionReason::TimedOut);
+}
+
+/// Measured costs flow through: compute and network seconds are real,
+/// non-negative, and arrival = compute + network.
+#[test]
+fn socket_outcomes_carry_measured_timings() {
+    let workers = 2;
+    let blocks = blocks(workers, 4, 4, 21);
+    let inputs = inputs(workers, 2, 4, 21);
+    let mut socket = SocketExecutor::tcp(ClusterProfile::uniform(workers)).unwrap();
+    socket.install_blocks(0, &blocks).unwrap();
+    let outcomes = socket.execute_round(0, 0, &inputs).unwrap();
+    assert_eq!(outcomes.len(), workers);
+    for outcome in &outcomes {
+        assert!(outcome.compute_seconds >= 0.0);
+        assert!(outcome.network_seconds >= 0.0);
+        assert!(outcome.arrival_seconds >= outcome.compute_seconds);
+        assert!(!outcome.corrupted);
+    }
+    let metrics = socket.metrics();
+    assert!(metrics.frames_sent >= (workers * 2) as u64); // hellos acks + blocks + tasks
+    assert!(metrics.bytes_received > 0);
+}
+
+/// Executor-level bookkeeping errors are typed, not panics.
+#[test]
+fn unknown_job_and_overwide_rounds_are_errors() {
+    let mut socket = SocketExecutor::tcp(ClusterProfile::uniform(2)).unwrap();
+    let inputs = inputs(2, 1, 2, 1);
+    assert!(socket.execute_round(42, 0, &inputs).is_err());
+    let too_many = blocks(3, 2, 2, 1);
+    assert!(socket.install_blocks(0, &too_many).is_err());
+}

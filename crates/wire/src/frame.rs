@@ -1,0 +1,405 @@
+//! The frame layer: every byte on a socket is part of exactly one frame.
+//!
+//! Layout (all integers little-endian; full spec in `docs/WIRE_FORMAT.md`):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic            b"AVCC"
+//!      4     2  version          u16, currently 1
+//!      6     1  kind             FrameKind discriminant
+//!      7     1  flags            reserved — senders write 0, receivers ignore
+//!      8     8  job id           u64
+//!     16     8  round serial     u64
+//!     24     4  payload length   u32 (bytes)
+//!     28     n  payload          kind-specific message (see `message`)
+//!   28+n     4  checksum         CRC-32C over bytes [0, 28+n)
+//! ```
+//!
+//! Validation order on receive is deliberate: magic → version → length bound
+//! → checksum → kind. Version is checked *before* the checksum so a future
+//! protocol revision may change the checksum algorithm; the kind byte is
+//! checked *after* so an unknown kind is only reported for frames proven
+//! intact (a corrupted kind byte surfaces as the checksum failure it is).
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::crc::Crc32c;
+use crate::error::WireError;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"AVCC";
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Fixed header size in bytes (magic through payload length).
+pub const HEADER_LEN: usize = 28;
+/// Trailing checksum size in bytes.
+pub const TRAILER_LEN: usize = 4;
+/// Default cap on payload size (256 MiB): bounds allocation from a
+/// corrupted or hostile length field.
+pub const DEFAULT_MAX_PAYLOAD: usize = 1 << 28;
+
+/// What a frame carries; the `kind` byte at offset 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Worker → master: first frame on a connection, carries the worker's
+    /// protocol version and claimed index.
+    Hello = 0x01,
+    /// Master → worker: accepts the handshake.
+    HelloAck = 0x02,
+    /// Master → worker: install a coded block for a job (sticky across
+    /// rounds — blocks ship once per job, not once per round).
+    LoadBlock = 0x10,
+    /// Master → worker: compute one round over previously loaded blocks.
+    Task = 0x11,
+    /// Worker → master: the outputs for one task.
+    TaskResult = 0x12,
+    /// Master → worker (test harness): arm a one-shot injected fault.
+    Fault = 0x20,
+    /// Master → worker: drain and exit.
+    Shutdown = 0x30,
+    /// Worker → master: acknowledges shutdown; connection closes next.
+    Bye = 0x31,
+    /// Worker → master: a request could not be served (carries a message).
+    Error = 0x3F,
+}
+
+impl FrameKind {
+    /// The wire discriminant.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a kind byte.
+    pub fn from_code(code: u8) -> Result<Self, WireError> {
+        Ok(match code {
+            0x01 => Self::Hello,
+            0x02 => Self::HelloAck,
+            0x10 => Self::LoadBlock,
+            0x11 => Self::Task,
+            0x12 => Self::TaskResult,
+            0x20 => Self::Fault,
+            0x30 => Self::Shutdown,
+            0x31 => Self::Bye,
+            0x3F => Self::Error,
+            _ => return Err(WireError::UnknownFrameKind { code }),
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the payload is.
+    pub kind: FrameKind,
+    /// Job the frame belongs to (0 for connection-level frames).
+    pub job: u64,
+    /// Round serial within the job (0 when not round-scoped).
+    pub round: u64,
+    /// Kind-specific message bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, job: u64, round: u64, payload: Vec<u8>) -> Self {
+        Self {
+            kind,
+            job,
+            round,
+            payload,
+        }
+    }
+
+    /// Total on-the-wire size of this frame in bytes.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + TRAILER_LEN
+    }
+
+    /// Encodes header + payload + CRC-32C trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_version(PROTOCOL_VERSION)
+    }
+
+    /// Encodes with an explicit version word. The checksum is computed over
+    /// the bytes actually written, so a non-standard version yields a frame
+    /// whose *only* defect is its version — this is how the `WrongVersion`
+    /// fault injection isolates version-mismatch handling from checksum
+    /// handling.
+    pub fn encode_with_version(&self, version: u16) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&version.to_le_bytes());
+        buf.push(self.kind.code());
+        buf.push(0); // flags: reserved
+        buf.extend_from_slice(&self.job.to_le_bytes());
+        buf.extend_from_slice(&self.round.to_le_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        let mut crc = Crc32c::new();
+        crc.update(&buf);
+        buf.extend_from_slice(&crc.finalize().to_le_bytes());
+        buf
+    }
+}
+
+/// Encodes and writes one frame; returns the bytes written.
+pub fn write_frame<W: Write>(writer: &mut W, frame: &Frame) -> Result<usize, WireError> {
+    let bytes = frame.encode();
+    writer
+        .write_all(&bytes)
+        .map_err(|e| WireError::io(e, "writing frame"))?;
+    writer
+        .flush()
+        .map_err(|e| WireError::io(e, "flushing frame"))?;
+    Ok(bytes.len())
+}
+
+/// Reads and validates one frame; returns it with the bytes consumed.
+///
+/// EOF exactly at a frame boundary is [`WireError::Closed`] (orderly
+/// shutdown); EOF anywhere inside a frame is [`WireError::Truncated`] (a
+/// partial write reached us before the peer died).
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    max_payload: usize,
+) -> Result<(Frame, usize), WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or_closed(reader, &mut header, "frame header")?;
+
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [header[0], header[1], header[2], header[3]],
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        });
+    }
+    let kind_code = header[6];
+    // header[7] is the reserved flags byte: receivers ignore it.
+    let job = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    let round = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    let payload_len = u32::from_le_bytes(header[24..28].try_into().expect("4 bytes")) as usize;
+    if payload_len > max_payload {
+        return Err(WireError::FrameTooLarge {
+            len: payload_len,
+            max: max_payload,
+        });
+    }
+
+    let mut body = vec![0u8; payload_len + TRAILER_LEN];
+    read_exact_mid_frame(reader, &mut body, "frame payload")?;
+    let found = u32::from_le_bytes(body[payload_len..].try_into().expect("4 bytes"));
+    let mut crc = Crc32c::new();
+    crc.update(&header).update(&body[..payload_len]);
+    let computed = crc.finalize();
+    if computed != found {
+        return Err(WireError::ChecksumMismatch { computed, found });
+    }
+
+    let kind = FrameKind::from_code(kind_code)?;
+    body.truncate(payload_len);
+    Ok((
+        Frame {
+            kind,
+            job,
+            round,
+            payload: body,
+        },
+        HEADER_LEN + payload_len + TRAILER_LEN,
+    ))
+}
+
+/// `read_exact` that maps EOF-before-any-byte to `Closed` and EOF-mid-buffer
+/// to `Truncated`.
+fn read_exact_or_closed<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Closed { context }
+                } else {
+                    WireError::Truncated { context }
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::io(e, context)),
+        }
+    }
+    Ok(())
+}
+
+/// `read_exact` inside a frame: any EOF is truncation.
+fn read_exact_mid_frame<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(WireError::Truncated { context }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::io(e, context)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(FrameKind::Task, 7, 42, vec![1, 2, 3, 4, 5])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let frame = sample();
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), frame.wire_len());
+        let (back, consumed) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let frame = Frame::new(FrameKind::Shutdown, 0, 0, Vec::new());
+        let bytes = frame.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + TRAILER_LEN);
+        let (back, _) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn eof_at_boundary_is_closed_but_mid_frame_is_truncated() {
+        let bytes = sample().encode();
+        let empty: &[u8] = &[];
+        assert!(matches!(
+            read_frame(&mut { empty }, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Closed { .. })
+        ));
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            let mut partial = &bytes[..cut];
+            assert!(
+                matches!(
+                    read_frame(&mut partial, DEFAULT_MAX_PAYLOAD),
+                    Err(WireError::Truncated { .. })
+                ),
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn version_checked_before_checksum() {
+        // A frame with a wrong version *and* a CRC valid for its bytes must
+        // report the version, proving the check order.
+        let bytes = sample().encode_with_version(999);
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnsupportedVersion {
+                ours: PROTOCOL_VERSION,
+                theirs: 999
+            })
+        ));
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_caught() {
+        // Flip each byte of the frame in turn: every single-byte corruption
+        // must surface as *some* WireError (usually ChecksumMismatch; magic/
+        // version/length corruptions may be caught earlier), never Ok.
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0xA5;
+            assert!(
+                read_frame(&mut corrupted.as_slice(), DEFAULT_MAX_PAYLOAD).is_err(),
+                "byte {i} corruption went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kind_reported_only_when_intact() {
+        let frame = Frame {
+            kind: FrameKind::Task,
+            job: 0,
+            round: 0,
+            payload: Vec::new(),
+        };
+        let mut bytes = frame.encode();
+        // Overwrite the kind byte and fix up the checksum so the frame is
+        // intact-but-unknown.
+        bytes[6] = 0x7E;
+        let crc_at = bytes.len() - TRAILER_LEN;
+        let mut crc = Crc32c::new();
+        crc.update(&bytes[..crc_at]);
+        let fixed = crc.finalize().to_le_bytes();
+        bytes[crc_at..].copy_from_slice(&fixed);
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD),
+            Err(WireError::UnknownFrameKind { code: 0x7E })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected_without_allocation() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        header.push(FrameKind::Task.code());
+        header.push(0);
+        header.extend_from_slice(&0u64.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut header.as_slice(), 1024),
+            Err(WireError::FrameTooLarge {
+                len,
+                max: 1024
+            }) if len == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let a = sample();
+        let b = Frame::new(FrameKind::Bye, 1, 2, vec![9]);
+        let mut stream = a.encode();
+        stream.extend_from_slice(&b.encode());
+        let mut cursor = stream.as_slice();
+        let (fa, _) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap();
+        let (fb, _) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(fa, a);
+        assert_eq!(fb, b);
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Closed { .. })
+        ));
+    }
+}

@@ -1,0 +1,54 @@
+//! The AVCC wire format: versioned, length-prefixed, CRC-32C-checksummed
+//! frames for shipping coded blocks, round inputs and worker results between
+//! real processes.
+//!
+//! Everything below `crates/sim`'s `SocketExecutor` and the `avcc-worker`
+//! binary lives here, in dependency order:
+//!
+//! * [`crc`] — CRC-32C (Castagnoli), bytewise reference + slice-by-8.
+//! * [`error`] — [`WireError`], the one error type; its variants are what
+//!   the master's eviction machinery keys on.
+//! * [`codec`] — little-endian primitives, and the *real* implementations
+//!   of the workspace's serde-shaped `Serializer`/`Deserializer` traits
+//!   (so `Fp<M>`'s hand-written impls serialize canonical residues onto the
+//!   wire through the exact trait surface the types already carry).
+//! * [`frame`] — the 28-byte header + payload + checksum framing, with the
+//!   magic/version/length/CRC/kind validation pipeline.
+//! * [`message`] — per-[`FrameKind`] payload layouts (handshake, blocks,
+//!   tasks, results, fault injection, errors).
+//! * [`compute`] — worker-side typed blocks: the same `mat_vec` kernel the
+//!   in-process executors run, which is what makes socket results
+//!   bit-identical to threaded results.
+//! * [`worker`] — the request/response protocol loop shared by the
+//!   `avcc-worker` binary and the in-process thread backend.
+//!
+//! The byte-level layout of every frame, the handshake sequence and the
+//! eviction semantics are specified in `docs/WIRE_FORMAT.md`; a test in this
+//! crate pins the spec's worked example to the implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod compute;
+pub mod crc;
+pub mod error;
+pub mod frame;
+pub mod message;
+pub mod worker;
+
+pub use codec::{
+    put_field_elements, take_field_elements, take_u64_elements, WireReader, WireWriter,
+};
+pub use compute::{TypedBlock, SUPPORTED_MODULI};
+pub use crc::{crc32c, crc32c_bytewise, Crc32c};
+pub use error::WireError;
+pub use frame::{
+    read_frame, write_frame, Frame, FrameKind, DEFAULT_MAX_PAYLOAD, HEADER_LEN, MAGIC,
+    PROTOCOL_VERSION, TRAILER_LEN,
+};
+pub use message::{
+    result_frame_bytes, task_frame_bytes, Block, ErrorMsg, Fault, FaultKind, Hello, HelloAck, Task,
+    TaskResult,
+};
+pub use worker::{serve_connection, WorkerOptions};

@@ -1,0 +1,463 @@
+//! Payload layouts for every [`FrameKind`].
+//!
+//! Each message type knows how to `encode` itself into payload bytes and
+//! `decode` itself back, and has a `frame(...)` helper producing the full
+//! [`Frame`]. Counts are explicit (`u32`) and validated against the payload
+//! length on decode; every decoder finishes with `expect_end`, so trailing
+//! bytes are a protocol violation rather than silently ignored padding.
+//! Byte-level layouts are specified in `docs/WIRE_FORMAT.md`.
+
+use crate::codec::{take_u64_elements, WireReader, WireWriter};
+use crate::error::WireError;
+use crate::frame::{Frame, FrameKind, PROTOCOL_VERSION};
+
+/// Worker → master handshake opener.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the worker speaks.
+    pub version: u16,
+    /// The worker index it was launched as.
+    pub worker: u32,
+}
+
+impl Hello {
+    /// A hello for this build's protocol version.
+    pub fn new(worker: u32) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            worker,
+        }
+    }
+
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(6);
+        w.put_u16(self.version);
+        w.put_u32(self.worker);
+        w.into_bytes()
+    }
+
+    /// Parses payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let version = r.take_u16("HELLO version")?;
+        let worker = r.take_u32("HELLO worker")?;
+        r.expect_end("trailing bytes after HELLO")?;
+        Ok(Self { version, worker })
+    }
+
+    /// The full frame (job/round are 0: connection-scoped).
+    pub fn frame(&self) -> Frame {
+        Frame::new(FrameKind::Hello, 0, 0, self.encode())
+    }
+}
+
+/// Master → worker handshake acceptance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// The index the master registered this connection under.
+    pub worker: u32,
+    /// Total fleet width, for the worker's own logging.
+    pub workers: u32,
+}
+
+impl HelloAck {
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(8);
+        w.put_u32(self.worker);
+        w.put_u32(self.workers);
+        w.into_bytes()
+    }
+
+    /// Parses payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let worker = r.take_u32("HELLO_ACK worker")?;
+        let workers = r.take_u32("HELLO_ACK workers")?;
+        r.expect_end("trailing bytes after HELLO_ACK")?;
+        Ok(Self { worker, workers })
+    }
+
+    /// The full frame.
+    pub fn frame(&self) -> Frame {
+        Frame::new(FrameKind::HelloAck, 0, 0, self.encode())
+    }
+}
+
+/// Master → worker: a coded matrix block, installed once per job.
+///
+/// Elements are raw canonical residues; the modulus word lets the worker
+/// select its typed kernel (and reject moduli it does not support) without
+/// any out-of-band configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The prime modulus the elements live under.
+    pub modulus: u64,
+    /// Row count.
+    pub rows: u32,
+    /// Column count.
+    pub cols: u32,
+    /// `rows * cols` elements, row-major.
+    pub elements: Vec<u64>,
+}
+
+impl Block {
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(16 + self.elements.len() * 8);
+        w.put_u64(self.modulus);
+        w.put_u32(self.rows);
+        w.put_u32(self.cols);
+        w.put_u64_bulk(&self.elements);
+        w.into_bytes()
+    }
+
+    /// Parses payload bytes, validating `rows * cols` against the actual
+    /// element count.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let modulus = r.take_u64("BLOCK modulus")?;
+        let rows = r.take_u32("BLOCK rows")?;
+        let cols = r.take_u32("BLOCK cols")?;
+        let count = (rows as usize)
+            .checked_mul(cols as usize)
+            .ok_or(WireError::Malformed {
+                context: "BLOCK rows*cols overflows",
+            })?;
+        let elements = take_u64_elements(&mut r, count, "BLOCK elements")?;
+        r.expect_end("trailing bytes after BLOCK elements")?;
+        Ok(Self {
+            modulus,
+            rows,
+            cols,
+            elements,
+        })
+    }
+
+    /// The full `LOAD_BLOCK` frame for `job`.
+    pub fn frame(&self, job: u64) -> Frame {
+        Frame::new(FrameKind::LoadBlock, job, 0, self.encode())
+    }
+}
+
+/// Master → worker: one round's inputs (the block is already resident).
+///
+/// `inputs` is rectangular: `functions` vectors of `input_len` elements each
+/// — one per function when a job batches several functions over the same
+/// encoded dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Injected straggler delay the worker must sleep before replying
+    /// (micro­seconds; 0 for an honest fast worker).
+    pub sleep_micros: u64,
+    /// The function inputs, each of the same length.
+    pub inputs: Vec<Vec<u64>>,
+}
+
+impl Task {
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let input_len = self.inputs.first().map_or(0, Vec::len);
+        debug_assert!(self.inputs.iter().all(|i| i.len() == input_len));
+        let mut w = WireWriter::with_capacity(16 + self.inputs.len() * input_len * 8);
+        w.put_u64(self.sleep_micros);
+        w.put_u32(self.inputs.len() as u32);
+        w.put_u32(input_len as u32);
+        for input in &self.inputs {
+            w.put_u64_bulk(input);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let sleep_micros = r.take_u64("TASK sleep")?;
+        let functions = r.take_u32("TASK functions")? as usize;
+        let input_len = r.take_u32("TASK input_len")? as usize;
+        let mut inputs = Vec::with_capacity(functions);
+        for _ in 0..functions {
+            inputs.push(take_u64_elements(&mut r, input_len, "TASK inputs")?);
+        }
+        r.expect_end("trailing bytes after TASK inputs")?;
+        Ok(Self {
+            sleep_micros,
+            inputs,
+        })
+    }
+
+    /// The full frame for `(job, round)`.
+    pub fn frame(&self, job: u64, round: u64) -> Frame {
+        Frame::new(FrameKind::Task, job, round, self.encode())
+    }
+}
+
+/// Worker → master: the outputs for one task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResult {
+    /// The worker's index (redundant with the connection, kept for
+    /// self-describing frames in captures).
+    pub worker: u32,
+    /// Wall-clock compute time at the worker (includes any injected
+    /// straggler sleep), as an IEEE-754 bit pattern on the wire.
+    pub compute_seconds: f64,
+    /// One output vector per function, all the same length.
+    pub outputs: Vec<Vec<u64>>,
+}
+
+impl TaskResult {
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let output_len = self.outputs.first().map_or(0, Vec::len);
+        debug_assert!(self.outputs.iter().all(|o| o.len() == output_len));
+        let mut w = WireWriter::with_capacity(20 + self.outputs.len() * output_len * 8);
+        w.put_u32(self.worker);
+        w.put_f64(self.compute_seconds);
+        w.put_u32(self.outputs.len() as u32);
+        w.put_u32(output_len as u32);
+        for output in &self.outputs {
+            w.put_u64_bulk(output);
+        }
+        w.into_bytes()
+    }
+
+    /// Parses payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let worker = r.take_u32("RESULT worker")?;
+        let compute_seconds = r.take_f64("RESULT compute_seconds")?;
+        let functions = r.take_u32("RESULT functions")? as usize;
+        let output_len = r.take_u32("RESULT output_len")? as usize;
+        let mut outputs = Vec::with_capacity(functions);
+        for _ in 0..functions {
+            outputs.push(take_u64_elements(&mut r, output_len, "RESULT outputs")?);
+        }
+        r.expect_end("trailing bytes after RESULT outputs")?;
+        Ok(Self {
+            worker,
+            compute_seconds,
+            outputs,
+        })
+    }
+
+    /// The full frame for `(job, round)`.
+    pub fn frame(&self, job: u64, round: u64) -> Frame {
+        Frame::new(FrameKind::TaskResult, job, round, self.encode())
+    }
+}
+
+/// The injectable one-shot faults a worker can be armed with (test harness
+/// only — a production worker simply never receives `FAULT` frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultKind {
+    /// Flip a payload byte after the checksum is computed → the master sees
+    /// a checksum mismatch.
+    CorruptPayload = 1,
+    /// Flip a byte of the checksum itself.
+    BadCrc = 2,
+    /// Write only the first half of the result frame, then drop the
+    /// connection.
+    Truncate = 3,
+    /// Send the result with protocol version `0xFFFF` (checksum valid).
+    WrongVersion = 4,
+    /// Compute the result, then drop the connection without sending it.
+    Disconnect = 5,
+}
+
+impl FaultKind {
+    /// Parses the discriminant byte.
+    pub fn from_code(code: u8) -> Result<Self, WireError> {
+        Ok(match code {
+            1 => Self::CorruptPayload,
+            2 => Self::BadCrc,
+            3 => Self::Truncate,
+            4 => Self::WrongVersion,
+            5 => Self::Disconnect,
+            _ => {
+                return Err(WireError::Malformed {
+                    context: "unknown FAULT kind",
+                })
+            }
+        })
+    }
+}
+
+/// Master → worker: arm `kind` for the worker's next result send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The fault to inject.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        vec![self.kind as u8]
+    }
+
+    /// Parses payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let kind = FaultKind::from_code(r.take_u8("FAULT kind")?)?;
+        r.expect_end("trailing bytes after FAULT")?;
+        Ok(Self { kind })
+    }
+
+    /// The full frame.
+    pub fn frame(&self) -> Frame {
+        Frame::new(FrameKind::Fault, 0, 0, self.encode())
+    }
+}
+
+/// Worker → master: a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorMsg {
+    /// Human-readable reason (UTF-8).
+    pub message: String,
+}
+
+impl ErrorMsg {
+    /// Payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.message.as_bytes().to_vec()
+    }
+
+    /// Parses payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let message = String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed {
+            context: "ERROR message is not UTF-8",
+        })?;
+        Ok(Self { message })
+    }
+
+    /// The full frame for `(job, round)`.
+    pub fn frame(&self, job: u64, round: u64) -> Frame {
+        Frame::new(FrameKind::Error, job, round, self.encode())
+    }
+}
+
+/// On-the-wire size of a `TASK_RESULT` frame carrying `functions` output
+/// vectors of `output_len` elements — used by the in-process executors so
+/// their modeled network cost matches what the socket runtime actually
+/// ships.
+pub fn result_frame_bytes(functions: usize, output_len: usize) -> usize {
+    crate::frame::HEADER_LEN + 20 + functions * output_len * 8 + crate::frame::TRAILER_LEN
+}
+
+/// On-the-wire size of a `TASK` frame carrying `functions` input vectors of
+/// `input_len` elements.
+pub fn task_frame_bytes(functions: usize, input_len: usize) -> usize {
+    crate::frame::HEADER_LEN + 16 + functions * input_len * 8 + crate::frame::TRAILER_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let msg = Hello::new(3);
+        let back = Hello::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(back.version, PROTOCOL_VERSION);
+        assert_eq!(msg.frame().kind, FrameKind::Hello);
+    }
+
+    #[test]
+    fn hello_ack_roundtrip() {
+        let msg = HelloAck {
+            worker: 2,
+            workers: 12,
+        };
+        assert_eq!(HelloAck::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let msg = Block {
+            modulus: (1 << 25) - 39,
+            rows: 3,
+            cols: 4,
+            elements: (0..12).collect(),
+        };
+        let frame = msg.frame(9);
+        assert_eq!(frame.kind, FrameKind::LoadBlock);
+        assert_eq!(frame.job, 9);
+        assert_eq!(Block::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn block_element_count_must_match_dims() {
+        let msg = Block {
+            modulus: 251,
+            rows: 3,
+            cols: 4,
+            elements: (0..12).collect(),
+        };
+        let mut bytes = msg.encode();
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // 13th element
+        assert!(Block::decode(&bytes).is_err());
+        bytes.truncate(bytes.len() - 16); // 11 elements
+        assert!(matches!(
+            Block::decode(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn task_roundtrip() {
+        let msg = Task {
+            sleep_micros: 1500,
+            inputs: vec![vec![1, 2, 3], vec![4, 5, 6]],
+        };
+        assert_eq!(Task::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(msg.encode().len() + 32, task_frame_bytes(2, 3));
+    }
+
+    #[test]
+    fn task_result_roundtrip() {
+        let msg = TaskResult {
+            worker: 5,
+            compute_seconds: 0.001_234,
+            outputs: vec![vec![10, 20], vec![30, 40], vec![50, 60]],
+        };
+        assert_eq!(TaskResult::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(msg.encode().len() + 32, result_frame_bytes(3, 2));
+    }
+
+    #[test]
+    fn empty_task_result_roundtrip() {
+        let msg = TaskResult {
+            worker: 0,
+            compute_seconds: 0.0,
+            outputs: Vec::new(),
+        };
+        assert_eq!(TaskResult::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn fault_roundtrip() {
+        for kind in [
+            FaultKind::CorruptPayload,
+            FaultKind::BadCrc,
+            FaultKind::Truncate,
+            FaultKind::WrongVersion,
+            FaultKind::Disconnect,
+        ] {
+            let msg = Fault { kind };
+            assert_eq!(Fault::decode(&msg.encode()).unwrap(), msg);
+        }
+        assert!(Fault::decode(&[99]).is_err());
+    }
+
+    #[test]
+    fn error_msg_roundtrip() {
+        let msg = ErrorMsg {
+            message: "no block loaded for job 7".to_string(),
+        };
+        assert_eq!(ErrorMsg::decode(&msg.encode()).unwrap(), msg);
+        assert!(ErrorMsg::decode(&[0xFF, 0xFE]).is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests for the wire layer: round-trips under random data, and the
+//! central robustness claim — *no* byte input makes the decoder panic; it
+//! either yields a valid frame or a typed [`WireError`].
+
+use avcc_wire::{
+    crc32c, crc32c_bytewise, read_frame, Block, Frame, FrameKind, Task, TaskResult, TypedBlock,
+    DEFAULT_MAX_PAYLOAD,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn crc_sliced_matches_bytewise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(crc32c(&bytes), crc32c_bytewise(&bytes));
+    }
+
+    #[test]
+    fn frame_roundtrip(job in any::<u64>(), round in any::<u64>(),
+                       payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let frame = Frame::new(FrameKind::Task, job, round, payload);
+        let bytes = frame.encode();
+        let (back, consumed) = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_decodes(seed in any::<u64>(),
+                                            payload in proptest::collection::vec(any::<u8>(), 1..128)) {
+        let frame = Frame::new(FrameKind::TaskResult, 1, 2, payload);
+        let mut bytes = frame.encode();
+        let pos = (seed as usize) % bytes.len();
+        let flip = 1u8 << (seed % 8) as u8;
+        bytes[pos] ^= flip.max(1);
+        let decoded = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_PAYLOAD);
+        prop_assert!(decoded.is_err(), "corruption at byte {} undetected", pos);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_reader(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Cap payload so a random length field cannot request a huge buffer.
+        let _ = read_frame(&mut bytes.as_slice(), 1 << 16);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_message_decoders(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let _ = Block::decode(&bytes);
+        let _ = Task::decode(&bytes);
+        let _ = TaskResult::decode(&bytes);
+        let _ = avcc_wire::Hello::decode(&bytes);
+        let _ = avcc_wire::HelloAck::decode(&bytes);
+        let _ = avcc_wire::Fault::decode(&bytes);
+        let _ = avcc_wire::ErrorMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn task_roundtrip_rectangular(functions in 0usize..4, len in 0usize..32, sleep in any::<u64>()) {
+        let inputs: Vec<Vec<u64>> = (0..functions)
+            .map(|f| (0..len).map(|i| (f * 1000 + i) as u64).collect())
+            .collect();
+        let task = Task { sleep_micros: sleep, inputs };
+        prop_assert_eq!(Task::decode(&task.encode()).unwrap(), task);
+    }
+
+    #[test]
+    fn block_roundtrip_and_typed_compute(rows in 1u32..8, cols in 1u32..8, seed in any::<u64>()) {
+        // Elements canonical under the exhaustive-test field q = 251.
+        let elements: Vec<u64> = (0..rows as u64 * cols as u64)
+            .map(|i| (seed.wrapping_mul(i + 1).wrapping_add(i)) % 251)
+            .collect();
+        let block = Block { modulus: 251, rows, cols, elements };
+        let decoded = Block::decode(&block.encode()).unwrap();
+        prop_assert_eq!(&decoded, &block);
+        let typed = TypedBlock::from_block(&decoded).unwrap();
+        let input: Vec<u64> = (0..cols as u64).map(|i| (seed.wrapping_add(i * 7)) % 251).collect();
+        let outputs = typed.execute(std::slice::from_ref(&input)).unwrap();
+        prop_assert_eq!(outputs.len(), 1);
+        prop_assert_eq!(outputs[0].len(), rows as usize);
+        prop_assert!(outputs[0].iter().all(|&v| v < 251));
+    }
+}

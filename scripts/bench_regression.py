@@ -46,7 +46,15 @@ and enforces five regression gates:
   must beat it by at least ``BATCHED_MIN_SPEEDUP`` (2×) at
   ``F >= MIN_GATED_FUNCTIONS``. The win is structural: the shared path
   encodes, generates keys and interpolates the Lagrange basis once where
-  the independent path pays all three per function.
+  the independent path pays all three per function;
+* the PR8 wire gates: for every ``wire_crc/n<N>`` pair the ``sliced``
+  (slicing-by-8) CRC-32C kernel must not lose to the ``bytewise``
+  reference, and for every ``wire_encode/n<N>`` pair the ``bulk``
+  element-serialization path (``WireWriter::put_u64_bulk``) must not lose
+  to the per-element ``element`` loop (``NOT_WORSE_TOLERANCE`` applies to
+  both; the committed capture shows ~4x and ~3x wins respectively).
+  ``wire_roundtrip/*`` and ``socket_round/*`` ids are informational only —
+  a socket round being slower than a threaded round is expected physics.
 
 With ``--baseline NAME=PATH`` (repeatable) the script also renders a
 markdown trajectory table comparing the current run against the committed
@@ -90,6 +98,12 @@ AUTOTUNE_PAIR = re.compile(
 )
 BATCHED_PAIR = re.compile(
     r"^(?P<group>batched_matmul)/m(?P<len>\d+)/(?P<path>independent|shared)$"
+)
+WIRE_CRC_PAIR = re.compile(
+    r"^(?P<group>wire_crc)/n(?P<len>\d+)/(?P<path>bytewise|sliced)$"
+)
+WIRE_ENCODE_PAIR = re.compile(
+    r"^(?P<group>wire_encode)/n(?P<len>\d+)/(?P<path>element|bulk)$"
 )
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
@@ -419,6 +433,15 @@ def main():
     # The PR7 gate: one shared encode serving m functions must beat m
     # independent encodes — strictly (2x) at m >= 8, never-worse below.
     batched_checks, batched_failures = gate_batched(results)
+    # The PR8 gates: the slicing-by-8 CRC kernel and the bulk element
+    # serializer pay for every socket frame, both directions — neither may
+    # regress to its reference implementation.
+    wire_crc_checks, wire_crc_failures = gate_not_worse(
+        results, WIRE_CRC_PAIR, "sliced", "bytewise", label="wire_crc bytewise-vs-sliced"
+    )
+    wire_encode_checks, wire_encode_failures = gate_not_worse(
+        results, WIRE_ENCODE_PAIR, "bulk", "element", label="wire_encode element-vs-bulk"
+    )
     failures = (
         ntt_failures
         + mont_failures
@@ -428,6 +451,8 @@ def main():
         + serving_failures
         + autotune_failures
         + batched_failures
+        + wire_crc_failures
+        + wire_encode_failures
     )
     summary = {
         "results_ns_per_iter": results,
@@ -439,6 +464,8 @@ def main():
         "serving_pipeline_checks": serving_checks,
         "chunk_autotune_checks": autotune_checks,
         "batched_matmul_checks": batched_checks,
+        "wire_crc_checks": wire_crc_checks,
+        "wire_encode_checks": wire_encode_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)

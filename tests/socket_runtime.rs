@@ -1,0 +1,183 @@
+//! End-to-end acceptance of the multi-process runtime: real `avcc-worker`
+//! child processes (via `CARGO_BIN_EXE_avcc-worker`), real TCP/UDS sockets,
+//! the full wire protocol — driving the paper's flagship workloads and
+//! matching the in-process oracle bit for bit, while surviving a worker kill
+//! and a corrupted frame mid-job.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use avcc::core::distributed::WireRunner;
+use avcc::core::{DistributedTrainer, SchemeKind, TrainerConfig, TrainingProblem};
+use avcc::field::{Fp, PrimeField, P25};
+use avcc::linalg::{mat_vec, Matrix};
+use avcc::ml::dataset::{Dataset, DatasetConfig};
+use avcc::sim::attack::ByzantineSpec;
+use avcc::sim::cluster::ClusterProfile;
+use avcc::sim::socket::{SocketConfig, SocketExecutor, Transport, WorkerBackend};
+use avcc::sim::wire::FaultKind;
+use avcc_coding::SchemeConfig;
+use avcc_serve::{serve_distributed, JobOutput, JobSpec};
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_avcc-worker"))
+}
+
+fn process_fleet(workers: usize, transport: Transport) -> SocketExecutor {
+    SocketExecutor::with_config(
+        ClusterProfile::uniform(workers),
+        SocketConfig {
+            transport,
+            backend: WorkerBackend::Process {
+                binary: worker_binary(),
+            },
+            connect_timeout: Duration::from_secs(30),
+            round_timeout: Duration::from_secs(30),
+            ..SocketConfig::default()
+        },
+    )
+    .expect("spawn the worker fleet")
+}
+
+fn small_problem() -> TrainingProblem {
+    let dataset = Dataset::gisette_like(DatasetConfig {
+        train_samples: 180,
+        test_samples: 60,
+        features: 27,
+        informative: 9,
+        ..DatasetConfig::default()
+    });
+    TrainingProblem::from_dataset(&dataset, 9)
+}
+
+fn make_trainer() -> DistributedTrainer<P25> {
+    DistributedTrainer::new(
+        small_problem(),
+        ClusterProfile::uniform(12),
+        ByzantineSpec::none(),
+        TrainerConfig {
+            iterations: 4,
+            time_scale: 1.0,
+            ..TrainerConfig::paper_defaults(
+                SchemeKind::Avcc,
+                SchemeConfig::linear(12, 9, 2, 1).unwrap(),
+            )
+        },
+        "socket-acceptance",
+    )
+}
+
+/// GISETTE-style training over a real TCP fleet of 12 worker *processes*,
+/// with one worker killed and one corrupted frame injected mid-job: the
+/// model trajectory must stay bit-identical to the in-process oracle —
+/// evictions look like stragglers, and exact decode erases them.
+#[test]
+fn training_over_tcp_processes_survives_kill_and_corruption() {
+    let mut oracle = make_trainer();
+    let oracle_report = oracle.train().expect("oracle training");
+
+    let mut trainer = make_trainer();
+    let mut fleet = process_fleet(12, Transport::Tcp);
+    let mut runner = WireRunner::new();
+    let mut cumulative = 0.0;
+    let mut records = Vec::new();
+    for iteration in 0..trainer.iterations() {
+        if iteration == 1 {
+            // Mid-job worker death: a real SIGKILL to the child process.
+            fleet.kill_worker(2);
+        }
+        if iteration == 2 {
+            // Mid-job corruption: worker 5's next result frame is flipped
+            // post-checksum; the master must catch it by CRC and evict.
+            fleet.inject_fault(5, FaultKind::CorruptPayload).unwrap();
+        }
+        let round1_tasks = trainer.encode_round1();
+        let byzantine = trainer.byzantine().clone();
+        let round1 = runner
+            .run_round(&mut fleet, 0, &round1_tasks, &byzantine)
+            .expect("round 1 over TCP");
+        let round2_tasks = trainer.collect_round1(&round1).expect("collect round 1");
+        let round2 = runner
+            .run_round(&mut fleet, 1, &round2_tasks, &byzantine)
+            .expect("round 2 over TCP");
+        let record = trainer
+            .collect_round2(iteration, &round2, &mut cumulative)
+            .expect("collect round 2");
+        records.push(record);
+    }
+
+    // Bit-identical model despite the kill and the corrupted frame.
+    assert_eq!(trainer.model().weights, oracle.model().weights);
+    let trajectory: Vec<(f64, f64)> = records
+        .iter()
+        .map(|r| (r.test_accuracy, r.train_loss))
+        .collect();
+    let oracle_trajectory: Vec<(f64, f64)> = oracle_report
+        .iterations
+        .iter()
+        .map(|r| (r.test_accuracy, r.train_loss))
+        .collect();
+    assert_eq!(trajectory, oracle_trajectory);
+
+    // The faults really happened and were really recovered from. The
+    // between-rounds kill is healed by the reconnect path (respawn, no
+    // eviction recorded); the mid-round corruption must evict.
+    let metrics = fleet.metrics();
+    assert!(metrics.evictions >= 1, "the corrupted frame must evict");
+    assert!(metrics.respawns >= 2, "both workers must be respawned");
+}
+
+/// A batched matmul job served over real UDS worker processes decodes the
+/// exact products, even with a corrupted frame injected into the round.
+#[test]
+fn batched_matmul_over_uds_processes_is_exact() {
+    let rows = 18;
+    let cols = 6;
+    let matrix = Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| Fp::<P25>::from_u64((i as u64).wrapping_mul(37) % 1009))
+            .collect(),
+    );
+    let inputs: Vec<Vec<Fp<P25>>> = (0..3)
+        .map(|f| {
+            (0..cols)
+                .map(|i| Fp::<P25>::from_u64((f * 100 + i) as u64 + 1))
+                .collect()
+        })
+        .collect();
+    let expected: Vec<Vec<Fp<P25>>> = inputs.iter().map(|v| mat_vec(&matrix, v)).collect();
+
+    let mut fleet = process_fleet(12, Transport::Uds);
+    fleet.inject_fault(3, FaultKind::BadCrc).unwrap();
+    let specs = vec![JobSpec::MatMulBatch {
+        matrix,
+        inputs,
+        coding: SchemeConfig::linear(12, 9, 2, 1).unwrap(),
+        seed: 7,
+    }];
+    let completed = serve_distributed(specs, &mut fleet);
+    assert_eq!(completed.len(), 1);
+    let JobOutput::MatVecBatch(products) = &completed[0].output else {
+        panic!("batch job must decode, got {:?}", completed[0].output);
+    };
+    assert_eq!(products, &expected);
+    assert!(fleet.metrics().evictions >= 1, "the bad CRC must evict");
+}
+
+/// The worker binary rejects malformed invocations instead of hanging.
+#[test]
+fn worker_binary_usage_errors_are_clean() {
+    let status = std::process::Command::new(worker_binary())
+        .arg("--bogus")
+        .status()
+        .expect("run the worker binary");
+    assert_eq!(status.code(), Some(2));
+
+    let status = std::process::Command::new(worker_binary())
+        .args(["--connect", "tcp:127.0.0.1:1", "--worker", "0"])
+        .status()
+        .expect("run the worker binary");
+    assert_eq!(status.code(), Some(1), "unreachable master must fail fast");
+}
