@@ -20,7 +20,16 @@
 //!    worker fingerprints (what the LCC baseline needs to identify Byzantine
 //!    workers without verification).
 //!
-//! A fourth concern sits on top: **how often is the dataset encoded?**
+//! A fourth question — **are the returned blocks even consistent?** — is
+//! answered before any of the above runs: [`screen::DualCodeword`] checks all
+//! responder blocks for RS-codeword membership at once with a SCRAPE-style
+//! random dual-codeword inner product (`O(R·width)` per check, escape
+//! probability `(1/q)^k`), and on failure localizes the corrupted workers by
+//! syndrome power sums instead of full Berlekamp–Welch error decoding. The
+//! AVCC engine runs it pre-decode so screened-out workers become plain
+//! erasures.
+//!
+//! A fifth concern sits on top: **how often is the dataset encoded?**
 //! [`dataset::EncodedDataset`] owns the coded partitions (and the shared
 //! decoder with its basis cache) once, so many per-function engine sessions —
 //! and the multi-function batched rounds built on them — amortize a single
@@ -36,6 +45,7 @@
 //! | Lagrange matrix | `O((K+T)·N)` encode, `O(B·R)` decode (`R` responders, `B` output blocks) | nothing — any field, any points, any responder subset | fallback, always available (and the tests' correctness oracle, [`decoder::LagrangeDecoder::decode_erasure_lagrange`]) |
 //! | NTT full coset (decode) / subgroup (encode) | `O(N log N)` | field with declared two-adicity ([`avcc_field::NttModulus`], e.g. `F64`), `K+T` a power of two, points in subgroup position ([`points::EvaluationPoints`] `subgroup`/`auto` constructors), and — for the decode — **every** coset worker responding | all conditions hold |
 //! | Subproduct tree (decode) | `O(R log² R)` | subgroup position as above; works for **any** surviving subset of ≥ threshold workers | points in subgroup position but the full coset is incomplete (stragglers, evicted Byzantine workers, `N` not a power of two) |
+//! | Dual-codeword screen (pre-decode) | `O(R·width)` per dual vector | strictly more than threshold responders; closed-form weights + NTT `Q`-evaluation on the full coset, `O(R²)` cached weights otherwise | always, before verify/decode, when the responder count leaves dual redundancy ([`screen::DualCodeword`]) |
 //!
 //! The β-points (interpolation) sit in an order-`(K+T)` multiplicative
 //! subgroup and the α-points (workers) on a generator-shifted coset, so the
@@ -66,6 +76,7 @@ pub mod encoder;
 pub mod mds;
 pub mod points;
 pub mod scheme;
+pub mod screen;
 
 pub use dataset::EncodedDataset;
 pub use decoder::{DecodeError, LagrangeDecoder};
@@ -73,3 +84,4 @@ pub use encoder::{EncodedShare, LagrangeEncoder};
 pub use mds::MdsCode;
 pub use points::{EvaluationPoints, SubgroupLayout};
 pub use scheme::{SchemeConfig, SchemeError};
+pub use screen::{DualCodeword, ScreenError, ScreenOutcome, ScreenReport};

@@ -25,11 +25,13 @@
 
 use std::sync::Arc;
 
+use avcc_coding::{DualCodeword, ScreenOutcome};
 use avcc_field::{Fp, PrimeField, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_sim::attack::ByzantineSpec;
 use avcc_sim::executor::{Executor, ExecutorError, WorkerOutcome};
 use avcc_sim::wire::Block;
+use rand::Rng;
 
 use crate::driver::DistributedTrainer;
 use crate::report::TrainingReport;
@@ -38,6 +40,10 @@ use crate::rounds::{BatchRoundTask, RoundTask, SchemeFailure};
 /// Arrival-ordered outcomes of one batched round: per worker, one field
 /// vector per function.
 pub type BatchOutcomes<M> = Vec<WorkerOutcome<Vec<Vec<Fp<M>>>>>;
+
+/// Result of a screened round: the outcomes that survived the dual-codeword
+/// screen plus the sorted ids of the workers it evicted.
+pub type ScreenedOutcomes<M> = (Vec<WorkerOutcome<Vec<Fp<M>>>>, Vec<usize>);
 
 /// Errors from running the pipeline over an executor: either the scheme
 /// itself failed (not enough usable results, decode failure) or the executor
@@ -192,6 +198,46 @@ impl WireRunner {
                 .expect("finite arrival times")
         });
         Ok(outcomes)
+    }
+
+    /// Runs one single-function round and screens the arrivals with the
+    /// pre-decode dual-codeword check before handing them on: workers whose
+    /// blocks the screen localizes as RS-inconsistent are dropped from the
+    /// outcome list — downstream they are indistinguishable from stragglers
+    /// — and returned separately so callers can account for the evictions.
+    ///
+    /// When the responder set is too small to screen (`R ≤ threshold`), or
+    /// the screen passes (or cannot localize), the outcomes pass through
+    /// untouched; engine-side Freivalds verification remains the backstop.
+    pub fn run_round_screened<M: PrimeModulus, R: Rng + ?Sized>(
+        &mut self,
+        executor: &mut dyn Executor,
+        channel: usize,
+        tasks: &[RoundTask<M>],
+        byzantine: &ByzantineSpec,
+        screen: &DualCodeword<M>,
+        rng: &mut R,
+    ) -> Result<ScreenedOutcomes<M>, ExecutorError> {
+        let outcomes = self.run_round(executor, channel, tasks, byzantine)?;
+        if !screen.screenable(outcomes.len()) {
+            return Ok((outcomes, Vec::new()));
+        }
+        let claims: Vec<(usize, Vec<Fp<M>>)> = outcomes
+            .iter()
+            .map(|o| (o.worker, o.payload.clone()))
+            .collect();
+        let screened = match screen.screen(&claims, 1, rng) {
+            Ok(report) => match report.outcome {
+                ScreenOutcome::Corrupted { workers } => workers,
+                ScreenOutcome::Clean | ScreenOutcome::Unlocalized => Vec::new(),
+            },
+            Err(_) => Vec::new(),
+        };
+        let outcomes = outcomes
+            .into_iter()
+            .filter(|o| !screened.contains(&o.worker))
+            .collect();
+        Ok((outcomes, screened))
     }
 
     /// Runs one batched round (`m` functions per task) on the executor; the

@@ -88,6 +88,11 @@ pub struct TrainerConfig {
     pub time_scale: f64,
     /// RNG seed for encoding pads, keys and decode fingerprints.
     pub seed: u64,
+    /// Whether the AVCC engines run the pre-decode dual-codeword screen
+    /// (see [`AvccMatVec::with_screening`]). On by default; the
+    /// paper-figure experiment driver turns it off for fidelity to the
+    /// paper's cost model.
+    pub screen: bool,
 }
 
 impl TrainerConfig {
@@ -101,6 +106,7 @@ impl TrainerConfig {
             key_repetitions: 1,
             time_scale: 40.0,
             seed: 42,
+            screen: true,
         }
     }
 }
@@ -215,13 +221,15 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
                     config.coding,
                     &mut rng,
                 ));
-                let engine1 = AvccMatVec::over(dataset1, key_config, &mut rng);
+                let engine1 =
+                    AvccMatVec::over(dataset1, key_config, &mut rng).with_screening(config.screen);
                 let dataset2 = Arc::new(EncodedDataset::encode(
                     &round2_matrix,
                     config.coding,
                     &mut rng,
                 ));
-                let engine2 = AvccMatVec::over(dataset2, key_config, &mut rng);
+                let engine2 =
+                    AvccMatVec::over(dataset2, key_config, &mut rng).with_screening(config.screen);
                 (Box::new(engine1), Box::new(engine2), executor)
             }
         };
@@ -468,6 +476,14 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             .collect();
         stragglers.sort_unstable();
         stragglers.dedup();
+        let mut screened: Vec<usize> = round1
+            .screened_workers
+            .iter()
+            .chain(round2.screened_workers.iter())
+            .copied()
+            .collect();
+        screened.sort_unstable();
+        screened.dedup();
 
         // Dynamic coding (AVCC only).
         let mut reconfigured = false;
@@ -498,6 +514,7 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             test_accuracy,
             train_loss,
             detected_byzantine: detected,
+            screened_workers: screened,
             observed_stragglers: stragglers,
             reconfigured,
         })
@@ -548,13 +565,15 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             new_config,
             &mut self.rng,
         ));
-        let engine1 = AvccMatVec::over(dataset1, key_config, &mut self.rng);
+        let engine1 = AvccMatVec::over(dataset1, key_config, &mut self.rng)
+            .with_screening(self.config.screen);
         let dataset2 = Arc::new(EncodedDataset::<M>::encode(
             &self.round2_matrix,
             new_config,
             &mut self.rng,
         ));
-        let engine2 = AvccMatVec::over(dataset2, key_config, &mut self.rng);
+        let engine2 = AvccMatVec::over(dataset2, key_config, &mut self.rng)
+            .with_screening(self.config.screen);
         let redistribution_seconds = if reencode {
             let shipped_bytes = engine1.encoded_bytes() + engine2.encoded_bytes();
             // The master pushes every worker its new share over its single

@@ -8,11 +8,24 @@
 //! *verified* results is available, so a Byzantine worker costs exactly one
 //! extra wait — the same as a straggler — instead of LCC's two (eq. 2 vs
 //! eq. 1).
+//!
+//! Since PR9 a **pre-decode dual-codeword screen**
+//! ([`avcc_coding::DualCodeword`]) runs first whenever strictly more than the
+//! recovery threshold of results arrived: one `O(R·width)` SCRAPE-style
+//! inner product checks all returned blocks for RS-codeword membership at
+//! once and, on failure, localizes the corrupted workers by syndrome power
+//! sums. Screened-out workers are dropped before any Freivalds work — they
+//! become erasures exactly like stragglers — and are reported both in
+//! `detected_byzantine` and in the new `screened_workers` field. The
+//! per-arrival Freivalds check stays downstream as the belt to this
+//! suspender: the screen proves the blocks *consistent with one polynomial*,
+//! Freivalds proves them *the right polynomial* (a full coalition shifting
+//! the round onto a different codeword passes the screen but not Freivalds).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use avcc_coding::{EncodedDataset, SchemeConfig};
+use avcc_coding::{DualCodeword, EncodedDataset, SchemeConfig, ScreenOutcome};
 use avcc_field::{Fp, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_sim::cluster::NetworkModel;
@@ -37,6 +50,8 @@ use crate::rounds::{
 pub struct AvccMatVec<M: PrimeModulus> {
     dataset: Arc<EncodedDataset<M>>,
     keys: Vec<MatVecKey<M>>,
+    screen: DualCodeword<M>,
+    screen_enabled: bool,
 }
 
 impl<M: PrimeModulus> AvccMatVec<M> {
@@ -61,7 +76,25 @@ impl<M: PrimeModulus> AvccMatVec<M> {
             .iter()
             .map(|share| MatVecKey::generate(share, key_config, rng))
             .collect();
-        AvccMatVec { dataset, keys }
+        let screen = DualCodeword::new(*dataset.scheme().expect("AVCC dataset is coded"));
+        AvccMatVec {
+            dataset,
+            keys,
+            screen,
+            screen_enabled: true,
+        }
+    }
+
+    /// Enables or disables the pre-decode dual-codeword screen (on by
+    /// default). The paper-figure experiment driver turns it off: Fig. 3–5
+    /// reproduce Tang et al.'s AVCC, whose master never screens — Freivalds
+    /// verification plus erasure decoding already absorbs those fault
+    /// patterns, so there the screen only adds master-side cost to the
+    /// figures' cost model. Every other consumer (serving jobs, the socket
+    /// runtime, direct sessions) keeps it on for pre-decode localization.
+    pub fn with_screening(mut self, enabled: bool) -> Self {
+        self.screen_enabled = enabled;
+        self
     }
 
     /// Encodes the matrix and generates one Freivalds verification key per
@@ -102,6 +135,39 @@ impl<M: PrimeModulus> AvccMatVec<M> {
     pub fn recovery_threshold(&self) -> usize {
         self.dataset.recovery_threshold()
     }
+
+    /// The pre-decode dual-codeword screen this session runs on arrivals
+    /// (shared configuration/points with the dataset's encoder and decoder).
+    pub fn screen(&self) -> &DualCodeword<M> {
+        &self.screen
+    }
+
+    /// Runs the pre-decode screen over a round's arrivals: returns the
+    /// localized corrupted workers (empty when the round is clean, not
+    /// screenable, or localization did not converge) plus the screening MAC
+    /// count. Factored out so both collect paths — and wire-level callers
+    /// screening blocks on arrival — share the exact semantics.
+    fn screen_claims<R: Rng + ?Sized>(
+        &self,
+        claims: &[(usize, Vec<Fp<M>>)],
+        rng: &mut R,
+    ) -> (Vec<usize>, u64) {
+        if !self.screen_enabled || !self.screen.screenable(claims.len()) {
+            return (Vec::new(), 0);
+        }
+        match self.screen.screen(claims, 1, rng) {
+            Ok(report) => {
+                let workers = match report.outcome {
+                    ScreenOutcome::Corrupted { workers } => workers,
+                    ScreenOutcome::Clean | ScreenOutcome::Unlocalized => Vec::new(),
+                };
+                (workers, report.macs)
+            }
+            // Malformed rounds (shape mismatches, duplicates) fall through to
+            // the existing verification/decode paths, which report them.
+            Err(_) => (Vec::new(), 0),
+        }
+    }
 }
 
 impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
@@ -133,22 +199,36 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         outcomes: &[WorkerOutcome<Vec<Fp<M>>>],
         network: &NetworkModel,
         time_scale: f64,
-        _rng: &mut StdRng,
+        rng: &mut StdRng,
     ) -> Result<RoundExecution<M>, SchemeFailure> {
         let observed_stragglers = detect_stragglers(outcomes);
         let threshold = self.dataset.recovery_threshold();
 
+        // Pre-decode dual-codeword screen: with more than threshold arrivals
+        // there is dual redundancy, and one O(R·width) pass localizes
+        // corrupted blocks before any Freivalds work. Screened-out workers
+        // are erased exactly like stragglers.
+        let claims: Vec<(usize, Vec<Fp<M>>)> = outcomes
+            .iter()
+            .map(|outcome| (outcome.worker, outcome.payload.clone()))
+            .collect();
+        let screen_start = Instant::now();
+        let (screened_workers, screen_macs) = self.screen_claims(&claims, rng);
+        let mut verification_seconds = screen_start.elapsed().as_secs_f64();
+
         // Verify results in arrival order and stop as soon as the threshold of
         // verified results is reached — the key property that lets AVCC start
         // decoding before the stragglers (and without LCC's 2M overhead).
-        let mut verification_seconds = 0.0;
         let mut verifications = 0usize;
         let mut verified: Vec<(usize, Vec<Fp<M>>)> = Vec::with_capacity(threshold);
         let mut verified_outcomes = Vec::with_capacity(threshold);
-        let mut detected_byzantine = Vec::new();
+        let mut detected_byzantine = screened_workers.clone();
         for outcome in outcomes {
             if verified.len() >= threshold {
                 break;
+            }
+            if screened_workers.contains(&outcome.worker) {
+                continue;
             }
             let verify_start = Instant::now();
             let accepted = self.keys[outcome.worker].verify(input, &outcome.payload);
@@ -197,7 +277,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         // `partitions` blocks from `threshold` verified results.
         let ops = OpCounts {
             worker_macs: (block_rows * input.len()) as u64,
-            verify_macs: (verifications * (block_rows + input.len())) as u64,
+            verify_macs: (verifications * (block_rows + input.len())) as u64 + screen_macs,
             decode_macs: (block_rows * threshold * self.dataset.partitions()) as u64,
         };
         Ok(RoundExecution {
@@ -207,6 +287,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
             used_workers: verified.iter().map(|(worker, _)| *worker).collect(),
             detected_byzantine,
             observed_stragglers,
+            screened_workers,
         })
     }
 
@@ -246,20 +327,50 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         let sigma: Fp<M> = avcc_field::random_element(rng);
         let verify_setup = Instant::now();
         let combined_input = combine_with_powers(sigma, inputs);
+        // The σ-combined claims Σ σ^j·Ỹ_i^{(j)} are themselves evaluations of
+        // the combined polynomial (degree unchanged), so one dual-codeword
+        // screen over the combined claims covers all m functions at once —
+        // the same amortization trick as the batched Freivalds pass.
+        let combined_claims: Vec<(usize, Vec<Fp<M>>)> = outcomes
+            .iter()
+            .map(|outcome| {
+                debug_assert_eq!(outcome.payload.len(), functions);
+                (outcome.worker, combine_with_powers(sigma, &outcome.payload))
+            })
+            .collect();
+        let (screened_workers, screen_macs) = self.screen_claims(&combined_claims, rng);
         let mut verification_seconds = verify_setup.elapsed().as_secs_f64();
         let mut verifications = 0usize;
         let mut fallback_checks = 0usize;
         let mut verified: Vec<&WorkerOutcome<Vec<Vec<Fp<M>>>>> = Vec::with_capacity(threshold);
-        let mut detected_byzantine = Vec::new();
+        let mut detected_byzantine = screened_workers.clone();
         let mut corrupted_functions = Vec::new();
-        for outcome in outcomes {
+        // Screened-out workers skip the combined check entirely, but the
+        // per-function fallback still runs for them so corrupted functions
+        // are localized exactly as before the screen existed.
+        for &worker in &screened_workers {
+            let outcome = outcomes
+                .iter()
+                .find(|outcome| outcome.worker == worker)
+                .expect("screened workers come from the arrivals");
+            for (function, (input, claim)) in inputs.iter().zip(&outcome.payload).enumerate() {
+                fallback_checks += 1;
+                if !self.keys[worker].verify(input, claim)
+                    && !corrupted_functions.contains(&function)
+                {
+                    corrupted_functions.push(function);
+                }
+            }
+        }
+        for (outcome, (_, combined_claim)) in outcomes.iter().zip(&combined_claims) {
             if verified.len() >= threshold {
                 break;
             }
-            debug_assert_eq!(outcome.payload.len(), functions);
+            if screened_workers.contains(&outcome.worker) {
+                continue;
+            }
             let verify_start = Instant::now();
-            let combined_claim = combine_with_powers(sigma, &outcome.payload);
-            let accepted = self.keys[outcome.worker].verify(&combined_input, &combined_claim);
+            let accepted = self.keys[outcome.worker].verify(&combined_input, combined_claim);
             verifications += 1;
             if accepted {
                 verified.push(outcome);
@@ -318,14 +429,17 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
         }
         costs.decoding = decode_start.elapsed().as_secs_f64() * time_scale;
 
-        // Combining costs `m` MACs per coordinate (inputs once, plus each
-        // examined arrival's claims); each combined check is one ordinary
-        // Freivalds check; fallbacks are ordinary per-function checks.
+        // Combining costs `m` MACs per coordinate (inputs once, plus every
+        // arrival's claims — the screen needs them all); each combined check
+        // is one ordinary Freivalds check; fallbacks are ordinary
+        // per-function checks; the screen adds its reported MACs.
         let ops = OpCounts {
             worker_macs: (block_rows * functions * cols) as u64,
             verify_macs: (functions * cols
-                + verifications * (functions * block_rows + block_rows + cols)
-                + fallback_checks * (block_rows + cols)) as u64,
+                + outcomes.len() * functions * block_rows
+                + verifications * (block_rows + cols)
+                + fallback_checks * (block_rows + cols)) as u64
+                + screen_macs,
             decode_macs: (functions * block_rows * threshold * self.dataset.partitions()) as u64,
         };
         Ok(BatchExecution {
@@ -335,6 +449,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for AvccMatVec<M> {
             used_workers: verified.iter().map(|o| o.worker).collect(),
             detected_byzantine,
             observed_stragglers,
+            screened_workers,
             corrupted_functions,
         })
     }

@@ -176,6 +176,9 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
             used_workers: used.iter().map(|o| o.worker).collect(),
             detected_byzantine: detected,
             observed_stragglers,
+            // LCC has no pre-decode screen: Byzantine workers surface through
+            // error decoding, not screening.
+            screened_workers: Vec::new(),
         })
     }
 
@@ -280,6 +283,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for LccMatVec<M> {
             used_workers: used.iter().map(|o| o.worker).collect(),
             detected_byzantine,
             observed_stragglers,
+            screened_workers: Vec::new(),
             // LCC decoding identifies workers, not functions: localization is
             // a verification-side capability AVCC adds.
             corrupted_functions: Vec::new(),

@@ -133,6 +133,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
             used_workers: outcomes.iter().map(|o| o.worker).collect(),
             detected_byzantine: Vec::new(),
             observed_stragglers,
+            screened_workers: Vec::new(),
         })
     }
 
@@ -198,6 +199,7 @@ impl<M: PrimeModulus> MatVecEngine<M> for UncodedMatVec<M> {
             used_workers: outcomes.iter().map(|o| o.worker).collect(),
             detected_byzantine: Vec::new(),
             observed_stragglers,
+            screened_workers: Vec::new(),
             corrupted_functions: Vec::new(),
         })
     }

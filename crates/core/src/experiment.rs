@@ -75,6 +75,8 @@ impl FaultScenario {
             AttackModel::None => "none",
             AttackModel::ReverseValue { .. } => "reverse",
             AttackModel::Constant { .. } => "constant",
+            AttackModel::SparseFlip { .. } => "sparse-flip",
+            AttackModel::Colluding { .. } => "colluding",
         };
         format!(
             "{attack} attack, S={}, M={}",
@@ -209,6 +211,11 @@ impl ExperimentConfig {
             key_repetitions: 1,
             time_scale: self.time_scale,
             seed: self.seed,
+            // The figures reproduce the paper's AVCC, whose master never
+            // screens: Freivalds + erasure decoding absorb these fault
+            // patterns, so the (post-paper) dual-codeword screen would only
+            // add master-side cost to the figures' cost model.
+            screen: false,
         };
         DistributedTrainer::new(
             problem,

@@ -31,6 +31,9 @@ pub struct IterationRecord {
     pub train_loss: f64,
     /// Workers detected as Byzantine during this iteration.
     pub detected_byzantine: Vec<usize>,
+    /// Workers evicted by the pre-decode dual-codeword screen during this
+    /// iteration — always a subset of `detected_byzantine`.
+    pub screened_workers: Vec<usize>,
     /// Workers observed to straggle during this iteration.
     pub observed_stragglers: Vec<usize>,
     /// Whether the adaptive controller re-encoded at the end of this
@@ -178,6 +181,16 @@ impl TrainingReport {
             .sum()
     }
 
+    /// Total number of screened-worker evictions across the run — the share
+    /// of [`TrainingReport::total_detections`] caught by the dual-codeword
+    /// screen before any Freivalds verification ran.
+    pub fn total_screened(&self) -> usize {
+        self.iterations
+            .iter()
+            .map(|r| r.screened_workers.len())
+            .sum()
+    }
+
     /// Number of iterations after which the adaptive controller re-encoded.
     pub fn reconfiguration_count(&self) -> usize {
         self.iterations.iter().filter(|r| r.reconfigured).count()
@@ -222,6 +235,7 @@ mod tests {
             test_accuracy: accuracy,
             train_loss: 1.0 - accuracy,
             detected_byzantine: Vec::new(),
+            screened_workers: Vec::new(),
             observed_stragglers: Vec::new(),
             reconfigured: false,
         }
@@ -297,10 +311,12 @@ mod tests {
         let mut report = TrainingReport::new("avcc", "faults");
         let mut r = record(0, 0.5, 1.0, 1.0);
         r.detected_byzantine = vec![3, 7];
+        r.screened_workers = vec![3];
         r.reconfigured = true;
         report.push(r);
         report.push(record(1, 0.6, 1.0, 2.0));
         assert_eq!(report.total_detections(), 2);
+        assert_eq!(report.total_screened(), 1);
         assert_eq!(report.reconfiguration_count(), 1);
     }
 }

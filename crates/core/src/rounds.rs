@@ -154,6 +154,11 @@ pub struct RoundExecution<M: PrimeModulus> {
     /// Workers observed to straggle in this round (arrived far later than the
     /// median, or had not arrived when reconstruction became possible).
     pub observed_stragglers: Vec<usize>,
+    /// Workers evicted by the pre-decode dual-codeword screen
+    /// ([`avcc_coding::DualCodeword`]) before any per-worker verification
+    /// ran. Always a subset of `detected_byzantine`; empty for engines (or
+    /// rounds) that never screened.
+    pub screened_workers: Vec<usize>,
 }
 
 /// The outcome of one *batched* round: `m` reconstructed products over the
@@ -175,6 +180,10 @@ pub struct BatchExecution<M: PrimeModulus> {
     pub detected_byzantine: Vec<usize>,
     /// Workers observed to straggle in this round.
     pub observed_stragglers: Vec<usize>,
+    /// Workers evicted by the pre-decode dual-codeword screen (run on the
+    /// σ-combined claims — see the AVCC engine). Always a subset of
+    /// `detected_byzantine`.
+    pub screened_workers: Vec<usize>,
     /// Function indices localized as corrupted by the per-function fallback
     /// after a batched check failed (sorted, deduplicated). Empty whenever
     /// every examined worker passed the batched check.

@@ -66,6 +66,7 @@ pub fn serve_distributed<M: PrimeModulus>(
                         metrics.rounds = report.len() * 2;
                         for record in &report.iterations {
                             metrics.ops = metrics.ops.combined(&record.ops);
+                            metrics.screened_workers += record.screened_workers.len() as u64;
                         }
                         JobOutput::Training(Box::new(report))
                     }
@@ -94,6 +95,7 @@ pub fn serve_distributed<M: PrimeModulus>(
                     Ok(execution) => {
                         metrics.rounds = 1;
                         metrics.ops = execution.ops;
+                        metrics.screened_workers = execution.screened_workers.len() as u64;
                         JobOutput::MatVec(execution.output)
                     }
                     Err(failure) => JobOutput::Failed(failure),
@@ -129,6 +131,7 @@ pub fn serve_distributed<M: PrimeModulus>(
                     Ok(execution) => {
                         metrics.rounds = 1;
                         metrics.ops = execution.ops;
+                        metrics.screened_workers = execution.screened_workers.len() as u64;
                         JobOutput::MatVecBatch(execution.outputs)
                     }
                     Err(failure) => JobOutput::Failed(failure),

@@ -680,6 +680,7 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                     Ok(record) => {
                         job.metrics.rounds += 1;
                         job.metrics.ops = job.metrics.ops.combined(&record.ops);
+                        job.metrics.screened_workers += record.screened_workers.len() as u64;
                         report.push(record);
                         *iteration += 1;
                         if *iteration >= trainer.iterations() {
@@ -717,6 +718,7 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
             Ok(execution) => {
                 job.metrics.rounds += 1;
                 job.metrics.ops = job.metrics.ops.combined(&execution.ops);
+                job.metrics.screened_workers += execution.screened_workers.len() as u64;
                 Step::Done(JobOutput::MatVec(execution.output))
             }
             Err(failure) => {
@@ -753,6 +755,7 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                 Ok(execution) => {
                     job.metrics.rounds += 1;
                     job.metrics.ops = job.metrics.ops.combined(&execution.ops);
+                    job.metrics.screened_workers += execution.screened_workers.len() as u64;
                     Step::Done(JobOutput::MatVecBatch(execution.outputs))
                 }
                 Err(failure) => {

@@ -9,6 +9,17 @@
 //!   dimension. A "strong" attack: it typically destroys convergence of the
 //!   unprotected baseline.
 //!
+//! Two further adversaries target the dual-codeword screen (PR9) rather than
+//! the learning dynamics:
+//!
+//! * **Sparse-flip attack** — corrupt only a few leading symbols of the
+//!   payload. The hardest case for any screening check: the corruption has
+//!   minimal Hamming weight, so nothing short of a codeword-membership test
+//!   notices it.
+//! * **Colluding attack** — every compromised worker replaces its payload
+//!   with the *same* forged vector (position-dependent only), so
+//!   cross-worker majority or comparison cannot separate the colluders.
+//!
 //! [`ByzantineSpec`] marks which workers are compromised and which attack they
 //! mount; [`AttackModel::apply`] corrupts a field-vector payload in place.
 
@@ -25,13 +36,35 @@ pub enum AttackModel {
     None,
     /// Send `−c·z` instead of `z`.
     ReverseValue {
-        /// The positive scale `c` (the paper uses `c = 1`).
+        /// The positive scale `c` (the paper uses `c = 1`). Must be
+        /// non-zero: `−0·z` is the all-zeros vector — the constant attack
+        /// in disguise, not a reverse-value attack. [`AttackModel::apply`]
+        /// rejects `scale: 0` loudly; model an all-zeros sender with
+        /// [`AttackModel::Constant`] and `value: 0` instead.
         scale: u64,
     },
     /// Send a constant vector.
     Constant {
         /// The constant value (canonical field representative).
         value: u64,
+    },
+    /// Corrupt only the first `blocks` symbols (each bumped by one) and
+    /// leave the rest honest — a minimal-Hamming-weight perturbation, the
+    /// hardest case for the dual-codeword screen to catch.
+    SparseFlip {
+        /// Number of leading symbols to flip (clamped to the payload
+        /// length; `0` leaves the payload honest).
+        blocks: usize,
+    },
+    /// Replace the payload with a forged pseudo-random vector that depends
+    /// only on the symbol position, so every colluding worker sends an
+    /// *identical* corruption and cross-worker comparison cannot separate
+    /// them.
+    Colluding {
+        /// Number of coordinating workers (bookkeeping for reports — the
+        /// forgery itself is position-dependent only, hence identical
+        /// regardless of this count).
+        workers: usize,
     },
 }
 
@@ -46,12 +79,33 @@ impl AttackModel {
         AttackModel::Constant { value: 3 }
     }
 
+    /// A sparse-flip attack touching the first `blocks` symbols.
+    pub fn sparse_flip(blocks: usize) -> Self {
+        AttackModel::SparseFlip { blocks }
+    }
+
+    /// A colluding attack coordinated across `workers` compromised nodes.
+    pub fn colluding(workers: usize) -> Self {
+        AttackModel::Colluding { workers }
+    }
+
     /// Applies the attack to a field-vector payload in place. Returns `true`
     /// iff the payload was modified.
+    ///
+    /// # Panics
+    /// Panics on [`AttackModel::ReverseValue`] with `scale: 0`: that
+    /// configuration sends all-zeros while claiming to reverse values —
+    /// a silently mislabeled constant attack (use
+    /// [`AttackModel::Constant`] with `value: 0` to model it on purpose).
     pub fn apply<M: PrimeModulus>(&self, payload: &mut [Fp<M>]) -> bool {
         match self {
             AttackModel::None => false,
             AttackModel::ReverseValue { scale } => {
+                assert!(
+                    *scale != 0,
+                    "ReverseValue with scale 0 sends all-zeros, which is the constant \
+                     attack in disguise; use AttackModel::Constant {{ value: 0 }}"
+                );
                 let c = Fp::<M>::from_u64(*scale);
                 for value in payload.iter_mut() {
                     *value = -(c * *value);
@@ -64,6 +118,26 @@ impl AttackModel {
                     *slot = constant;
                 }
                 true
+            }
+            AttackModel::SparseFlip { blocks } => {
+                let flips = (*blocks).min(payload.len());
+                for value in payload.iter_mut().take(flips) {
+                    *value += Fp::<M>::ONE;
+                }
+                flips > 0
+            }
+            AttackModel::Colluding { .. } => {
+                // Position-dependent forgery: slot k becomes a fixed
+                // pseudo-random representative, so two colluders holding
+                // different honest blocks still transmit identical vectors.
+                for (k, slot) in payload.iter_mut().enumerate() {
+                    let forged = 0x9E37_79B9_7F4A_7C15u64
+                        .wrapping_mul(k as u64 + 1)
+                        .rotate_left(17)
+                        % M::MODULUS;
+                    *slot = Fp::<M>::from_u64(forged);
+                }
+                !payload.is_empty()
             }
         }
     }
@@ -185,6 +259,53 @@ mod tests {
         let mut data = payload(&[10, 20, 30, 40]);
         assert!(AttackModel::Constant { value: 7 }.apply(&mut data));
         assert!(data.iter().all(|&v| v == F25::from_u64(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale 0")]
+    fn reverse_attack_rejects_scale_zero() {
+        // Regression: scale 0 used to silently send all-zeros while
+        // claiming to be the reverse-value attack.
+        let mut data = payload(&[1, 2]);
+        AttackModel::ReverseValue { scale: 0 }.apply(&mut data);
+    }
+
+    #[test]
+    fn sparse_flip_corrupts_only_the_requested_prefix() {
+        let mut data = payload(&[10, 20, 30, 40]);
+        assert!(AttackModel::sparse_flip(2).apply(&mut data));
+        assert_eq!(data, payload(&[11, 21, 30, 40]));
+    }
+
+    #[test]
+    fn sparse_flip_clamps_to_payload_length() {
+        let mut data = payload(&[1, 2]);
+        assert!(AttackModel::sparse_flip(100).apply(&mut data));
+        assert_eq!(data, payload(&[2, 3]));
+    }
+
+    #[test]
+    fn sparse_flip_with_zero_blocks_reports_no_modification() {
+        let mut data = payload(&[5, 6]);
+        let original = data.clone();
+        assert!(!AttackModel::sparse_flip(0).apply(&mut data));
+        assert_eq!(data, original);
+        let mut empty: Vec<F25> = Vec::new();
+        assert!(!AttackModel::sparse_flip(3).apply(&mut empty));
+    }
+
+    #[test]
+    fn colluding_workers_transmit_identical_forgeries() {
+        let mut first = payload(&[1, 2, 3, 4]);
+        let mut second = payload(&[-9, 42, 0, 17]);
+        let honest = first.clone();
+        assert!(AttackModel::colluding(2).apply(&mut first));
+        assert!(AttackModel::colluding(2).apply(&mut second));
+        // Identical regardless of the honest payloads they replaced.
+        assert_eq!(first, second);
+        assert_ne!(first, honest);
+        let mut empty: Vec<F25> = Vec::new();
+        assert!(!AttackModel::colluding(2).apply(&mut empty));
     }
 
     #[test]

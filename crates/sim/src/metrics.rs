@@ -193,6 +193,9 @@ pub struct JobMetrics {
     pub decode_cache_hits: u64,
     /// Lagrange-basis cache misses (basis recomputations) during the job.
     pub decode_cache_misses: u64,
+    /// Workers evicted by the pre-decode dual-codeword screen across the
+    /// job's rounds (PR9). Zero for engines without a screen.
+    pub screened_workers: u64,
 }
 
 impl JobMetrics {
@@ -230,6 +233,9 @@ pub struct ServingMetrics {
     pub decode_cache_hits: u64,
     /// Summed Lagrange-basis cache misses across all jobs' decodes.
     pub decode_cache_misses: u64,
+    /// Summed screened-worker evictions across all jobs (PR9 dual-codeword
+    /// screen).
+    pub screened_workers: u64,
 }
 
 impl ServingMetrics {
@@ -245,6 +251,7 @@ impl ServingMetrics {
         self.ops = self.ops.combined(&job.ops);
         self.decode_cache_hits += job.decode_cache_hits;
         self.decode_cache_misses += job.decode_cache_misses;
+        self.screened_workers += job.screened_workers;
     }
 
     /// Completed-job throughput — the serving bench's headline number.
@@ -390,6 +397,7 @@ mod tests {
             ops: OpCounts::default(),
             decode_cache_hits: 0,
             decode_cache_misses: 0,
+            screened_workers: 0,
         };
         assert!((job.rounds_per_second() - 5.0).abs() < 1e-12);
         assert_eq!(JobMetrics::default().rounds_per_second(), 0.0);
@@ -413,6 +421,7 @@ mod tests {
             },
             decode_cache_hits: 3,
             decode_cache_misses: 1,
+            screened_workers: 2,
         };
         fleet.record_job(&job, false);
         fleet.record_job(&job, false);
@@ -423,6 +432,7 @@ mod tests {
         assert_eq!(fleet.ops.worker_macs, 21);
         assert_eq!(fleet.decode_cache_hits, 9);
         assert_eq!(fleet.decode_cache_misses, 3);
+        assert_eq!(fleet.screened_workers, 6);
         assert!((fleet.jobs_per_second() - 1.0).abs() < 1e-12);
         assert!((fleet.rounds_per_second() - 9.0).abs() < 1e-12);
         assert!((fleet.pipeline_occupancy() - 0.5).abs() < 1e-12);

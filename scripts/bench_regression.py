@@ -54,7 +54,14 @@ and enforces five regression gates:
   to the per-element ``element`` loop (``NOT_WORSE_TOLERANCE`` applies to
   both; the committed capture shows ~4x and ~3x wins respectively).
   ``wire_roundtrip/*`` and ``socket_round/*`` ids are informational only —
-  a socket round being slower than a threaded round is expected physics.
+  a socket round being slower than a threaded round is expected physics;
+* the PR9 screening gate: for every ``byzantine_screen/k<K>_byz<B>`` pair
+  at ``K >= 64`` the ``screen`` path (dual-codeword membership pass +
+  syndrome localization + erasure decode of the survivors) must be
+  *strictly faster* than the ``redecode`` path (Berlekamp–Welch
+  error-correcting decode of the same corrupted results). The win is
+  structural: screening replaces the error-correcting solve with one
+  O(R·width) inner product and a t×t Hankel solve.
 
 With ``--baseline NAME=PATH`` (repeatable) the script also renders a
 markdown trajectory table comparing the current run against the committed
@@ -104,6 +111,9 @@ WIRE_CRC_PAIR = re.compile(
 )
 WIRE_ENCODE_PAIR = re.compile(
     r"^(?P<group>wire_encode)/n(?P<len>\d+)/(?P<path>element|bulk)$"
+)
+SCREEN_PAIR = re.compile(
+    r"^(?P<group>byzantine_screen)/k(?P<len>\d+)_byz(?P<byz>\d+)/(?P<path>redecode|screen)$"
 )
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
@@ -330,6 +340,43 @@ def gate_batched(results):
     return checks, failures
 
 
+def gate_screen(results):
+    """Returns (checks, failures) for the screen-vs-redecode pairs at
+    K >= MIN_GATED_K: the dual-codeword screen must be strictly faster than
+    Berlekamp-Welch detect-and-redecode for every Byzantine count."""
+    pairs = {}
+    for bench_id in results:
+        match = SCREEN_PAIR.match(bench_id)
+        if match and int(match.group("len")) >= MIN_GATED_K:
+            key = bench_id.rsplit("/", 1)[0]
+            pairs.setdefault(key, {})[match.group("path")] = results[bench_id]
+    checks, failures = [], []
+    for key, paths in sorted(pairs.items()):
+        if "redecode" not in paths or "screen" not in paths:
+            failures.append(f"{key}: missing one side of the redecode/screen pair")
+            continue
+        speedup = paths["redecode"] / paths["screen"]
+        ok = paths["screen"] < paths["redecode"]
+        check = {
+            "pair": key,
+            "redecode_ns": paths["redecode"],
+            "screen_ns": paths["screen"],
+            "speedup": round(speedup, 2),
+            "ok": ok,
+        }
+        checks.append(check)
+        if not ok:
+            failures.append(
+                f"{key}: screen path ({paths['screen']:.0f} ns) is not strictly "
+                f"faster than the redecode path ({paths['redecode']:.0f} ns)"
+            )
+    if not checks:
+        failures.append(
+            "no byzantine_screen redecode-vs-screen pairs found in bench output"
+        )
+    return checks, failures
+
+
 def load_baselines(specs):
     """Parses repeated NAME=PATH specs into [(name, {bench_id: ns})]."""
     baselines = []
@@ -442,6 +489,10 @@ def main():
     wire_encode_checks, wire_encode_failures = gate_not_worse(
         results, WIRE_ENCODE_PAIR, "bulk", "element", label="wire_encode element-vs-bulk"
     )
+    # The PR9 gate: pre-decode dual-codeword screening must strictly beat
+    # Berlekamp-Welch detect-and-redecode at K >= 64 under 1-3 Byzantine
+    # workers.
+    screen_checks, screen_failures = gate_screen(results)
     failures = (
         ntt_failures
         + mont_failures
@@ -453,6 +504,7 @@ def main():
         + batched_failures
         + wire_crc_failures
         + wire_encode_failures
+        + screen_failures
     )
     summary = {
         "results_ns_per_iter": results,
@@ -466,6 +518,7 @@ def main():
         "batched_matmul_checks": batched_checks,
         "wire_crc_checks": wire_crc_checks,
         "wire_encode_checks": wire_encode_checks,
+        "byzantine_screen_checks": screen_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)

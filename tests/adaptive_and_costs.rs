@@ -102,14 +102,23 @@ fn cost_breakdown_structure_matches_the_schemes() {
 
 /// With stragglers present the straggler latency dwarfs the verification and
 /// decoding overheads (the message of Fig. 4(b)/(c)).
+///
+/// This comparison needs the compute-dominated regime the figure is about,
+/// so it keeps the default 900×63 dataset instead of the shrunken
+/// `quick_dataset()`: at 360×36 the avoided straggler latency is so small
+/// that fixed per-round master costs (key sampling, decode setup), inflated
+/// by the 2000× time scale, land in the same order and the comparison turns
+/// into a coin flip on a loaded host.
 #[test]
 fn straggler_latency_dwarfs_master_side_overheads() {
     let scenario = FaultScenario::paper(2, 1, AttackModel::reverse());
+    let short = |mut config: ExperimentConfig| {
+        config.iterations = 6;
+        config
+    };
     let uncoded =
-        run_experiment::<P25>(&quick(ExperimentConfig::paper_uncoded(scenario.clone()), 6))
-            .unwrap();
-    let avcc =
-        run_experiment::<P25>(&quick(ExperimentConfig::paper_avcc(2, 1, scenario), 6)).unwrap();
+        run_experiment::<P25>(&short(ExperimentConfig::paper_uncoded(scenario.clone()))).unwrap();
+    let avcc = run_experiment::<P25>(&short(ExperimentConfig::paper_avcc(2, 1, scenario))).unwrap();
     let avcc_costs = avcc.average_costs();
     let uncoded_costs = uncoded.average_costs();
     // The uncoded scheme waits for the stragglers; AVCC does not.
