@@ -29,12 +29,13 @@ use avcc_coding::{DualCodeword, ScreenOutcome};
 use avcc_field::{Fp, PrimeField, PrimeModulus};
 use avcc_linalg::Matrix;
 use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::churn::ChurnEventKind;
 use avcc_sim::executor::{Executor, ExecutorError, WorkerOutcome};
 use avcc_sim::wire::Block;
 use rand::Rng;
 
 use crate::driver::DistributedTrainer;
-use crate::report::TrainingReport;
+use crate::report::{IterationRecord, TrainingReport};
 use crate::rounds::{BatchRoundTask, RoundTask, SchemeFailure};
 
 /// Arrival-ordered outcomes of one batched round: per worker, one field
@@ -309,6 +310,17 @@ const CHANNEL_ROUND2: usize = 1;
 /// Blocks ship to the workers once up front (and again only after a dynamic
 /// re-coding swaps the datasets); each round then moves one input vector per
 /// worker down and one output vector per worker back.
+///
+/// # Graceful degradation under churn
+///
+/// When a round comes back below the recovery threshold (churned workers
+/// absent), the driver does not error: it **parks** the round — re-dispatching
+/// the same tasks, each dispatch advancing the executor's round clock so
+/// churned workers may have rejoined by the retry — up to the trainer's
+/// [stall budget](DistributedTrainer::stall_budget). Exhausting the budget
+/// [shrink-recodes](DistributedTrainer::shrink_to_fit) to a smaller `K` that
+/// fits the workers actually responding and restarts the iteration on the
+/// new code. Decode is exact, so neither path perturbs the model trajectory.
 pub fn train_distributed<M: PrimeModulus>(
     trainer: &mut DistributedTrainer<M>,
     executor: &mut dyn Executor,
@@ -317,18 +329,7 @@ pub fn train_distributed<M: PrimeModulus>(
     let mut report = TrainingReport::new(trainer.scheme().label(), trainer.scenario_label());
     let mut cumulative = 0.0;
     for iteration in 0..trainer.iterations() {
-        let result = (|| -> Result<_, DistributedError> {
-            let round1_tasks = trainer.encode_round1();
-            let byzantine = trainer.byzantine().clone();
-            let round1_outcomes =
-                runner.run_round(executor, CHANNEL_ROUND1, &round1_tasks, &byzantine)?;
-            let round2_tasks = trainer.collect_round1(&round1_outcomes)?;
-            let byzantine = trainer.byzantine().clone();
-            let round2_outcomes =
-                runner.run_round(executor, CHANNEL_ROUND2, &round2_tasks, &byzantine)?;
-            Ok(trainer.collect_round2(iteration, &round2_outcomes, &mut cumulative)?)
-        })();
-        match result {
+        match run_iteration_parked(trainer, executor, &mut runner, iteration, &mut cumulative) {
             Ok(record) => report.push(record),
             Err(error) => {
                 trainer.reset_pipeline();
@@ -337,6 +338,92 @@ pub fn train_distributed<M: PrimeModulus>(
         }
     }
     Ok(report)
+}
+
+/// One iteration of [`train_distributed`], with the park / resume / shrink
+/// loop around each round's collect (see the function docs above).
+fn run_iteration_parked<M: PrimeModulus>(
+    trainer: &mut DistributedTrainer<M>,
+    executor: &mut dyn Executor,
+    runner: &mut WireRunner,
+    iteration: usize,
+    cumulative: &mut f64,
+) -> Result<IterationRecord, DistributedError> {
+    'restart: loop {
+        let round1_tasks = trainer.encode_round1();
+        let byzantine = trainer.byzantine().clone();
+        let mut stalls = 0usize;
+        let round2_tasks = loop {
+            let outcomes = runner.run_round(executor, CHANNEL_ROUND1, &round1_tasks, &byzantine)?;
+            let responded = outcomes.len();
+            match trainer.collect_round1(&outcomes) {
+                Ok(tasks) => {
+                    if stalls > 0 {
+                        trainer.note_fleet_event(
+                            iteration as u64,
+                            responded,
+                            ChurnEventKind::Resumed,
+                        );
+                    }
+                    break tasks;
+                }
+                Err(SchemeFailure::NotEnoughResults {
+                    available,
+                    required,
+                }) => {
+                    if stalls == 0 {
+                        trainer.note_fleet_event(
+                            iteration as u64,
+                            available,
+                            ChurnEventKind::Parked,
+                        );
+                    }
+                    stalls += 1;
+                    if stalls > trainer.stall_budget() {
+                        trainer.shrink_to_fit(iteration as u64, available, required)?;
+                        continue 'restart;
+                    }
+                }
+                Err(other) => return Err(other.into()),
+            }
+        };
+        let byzantine = trainer.byzantine().clone();
+        let mut stalls = 0usize;
+        loop {
+            let outcomes = runner.run_round(executor, CHANNEL_ROUND2, &round2_tasks, &byzantine)?;
+            let responded = outcomes.len();
+            match trainer.collect_round2(iteration, &outcomes, cumulative) {
+                Ok(record) => {
+                    if stalls > 0 {
+                        trainer.note_fleet_event(
+                            iteration as u64,
+                            responded,
+                            ChurnEventKind::Resumed,
+                        );
+                    }
+                    return Ok(record);
+                }
+                Err(SchemeFailure::NotEnoughResults {
+                    available,
+                    required,
+                }) => {
+                    if stalls == 0 {
+                        trainer.note_fleet_event(
+                            iteration as u64,
+                            available,
+                            ChurnEventKind::Parked,
+                        );
+                    }
+                    stalls += 1;
+                    if stalls > trainer.stall_budget() {
+                        trainer.shrink_to_fit(iteration as u64, available, required)?;
+                        continue 'restart;
+                    }
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

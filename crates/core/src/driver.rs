@@ -23,6 +23,7 @@ use avcc_linalg::Matrix;
 use avcc_ml::logistic::LogisticModel;
 use avcc_ml::quantized::QuantizedProtocol;
 use avcc_sim::attack::ByzantineSpec;
+use avcc_sim::churn::{ChurnEvent, ChurnEventKind};
 use avcc_sim::cluster::ClusterProfile;
 use avcc_sim::executor::{VirtualExecutor, WorkerOutcome};
 use avcc_verify::KeyGenConfig;
@@ -30,7 +31,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::adaptive::AdaptiveController;
+use crate::adaptive::{AdaptiveController, Autopilot, AutopilotConfig};
 use crate::engines::{AvccMatVec, LccMatVec, MatVecEngine, UncodedMatVec};
 use crate::problem::TrainingProblem;
 use crate::report::{IterationRecord, TrainingReport};
@@ -93,6 +94,15 @@ pub struct TrainerConfig {
     /// paper-figure experiment driver turns it off for fidelity to the
     /// paper's cost model.
     pub screen: bool,
+    /// The churn-aware closed-loop [`Autopilot`] knobs. Disabled by default;
+    /// when enabled (verifying schemes only) it replaces the permanent-
+    /// eviction [`AdaptiveController`] so churned workers keep their fleet
+    /// slot and may rejoin.
+    pub autopilot: AutopilotConfig,
+    /// How many times a parked round may be re-dispatched to the same fleet
+    /// (waiting for churned workers to rejoin) before the driver gives up
+    /// waiting and shrink-recodes to a smaller `K` instead.
+    pub stall_budget: usize,
 }
 
 impl TrainerConfig {
@@ -107,6 +117,8 @@ impl TrainerConfig {
             time_scale: 40.0,
             seed: 42,
             screen: true,
+            autopilot: AutopilotConfig::disabled(),
+            stall_budget: 4,
         }
     }
 }
@@ -143,10 +155,14 @@ pub struct DistributedTrainer<M: PrimeModulus> {
     round1_matrix: Matrix<Fp<M>>,
     round2_matrix: Matrix<Fp<M>>,
     controller: AdaptiveController,
+    autopilot: Autopilot,
     current_coding: SchemeConfig,
     rng: StdRng,
     scenario_label: String,
     inflight: Option<InflightIteration<M>>,
+    fleet_events: Vec<ChurnEvent>,
+    pending_reconfiguration: f64,
+    live_hint: Option<usize>,
 }
 
 impl<M: PrimeModulus> DistributedTrainer<M> {
@@ -168,6 +184,12 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             "cluster profile has {} workers but the coding scheme expects {}",
             cluster.len(),
             config.coding.workers
+        );
+        assert!(
+            !config.autopilot.enabled || config.scheme.verifies(),
+            "the autopilot re-encodes through the AVCC engines and needs a verifying scheme, \
+             not {:?}",
+            config.scheme
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let protocol = problem.default_protocol::<M>();
@@ -237,6 +259,7 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         let model = LogisticModel::zeros(problem.features());
         DistributedTrainer {
             controller: AdaptiveController::new(config.scheme.adapts()),
+            autopilot: Autopilot::new(config.autopilot),
             current_coding: config.coding,
             config,
             problem,
@@ -251,6 +274,9 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
             rng,
             scenario_label: scenario_label.into(),
             inflight: None,
+            fleet_events: Vec::new(),
+            pending_reconfiguration: 0.0,
+            live_hint: None,
         }
     }
 
@@ -485,18 +511,51 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
         screened.sort_unstable();
         screened.dedup();
 
-        // Dynamic coding (AVCC only).
-        let mut reconfigured = false;
-        if let Some(decision) =
+        // A shrink-recode performed between iterations (stall budget
+        // exhausted) already re-encoded; charge its deferred cost to the
+        // iteration that restarted on the new code.
+        let mut reconfigured = self.pending_reconfiguration > 0.0;
+        costs.reconfiguration = std::mem::take(&mut self.pending_reconfiguration);
+
+        // Dynamic coding. The churn-aware autopilot (when enabled) replaces
+        // the paper's permanent-eviction controller: every fleet slot is
+        // kept so churned workers may rejoin, and `(K, T)` is retuned in
+        // both directions from smoothed observations.
+        //
+        // A pipelined scheduler stops collecting at `needed` results, so
+        // `outcomes.len()` under-reports how many workers were actually
+        // live; the live hint (set per round by such callers) corrects the
+        // missing-worker estimate.
+        let responded = self
+            .live_hint
+            .take()
+            .map_or(outcomes.len(), |live| live.max(outcomes.len()));
+        if self.autopilot.is_enabled() {
+            if let Some(decision) = self.autopilot.observe(
+                &self.current_coding,
+                responded,
+                stragglers.len(),
+                detected.len(),
+            ) {
+                costs.reconfiguration +=
+                    self.apply_adaptation(&[], decision.new_config, decision.reencode);
+                reconfigured |= decision.reencode;
+                self.fleet_events.push(ChurnEvent {
+                    round: iteration as u64,
+                    worker: responded,
+                    kind: ChurnEventKind::AutopilotRetune,
+                });
+            }
+        } else if let Some(decision) =
             self.controller
                 .evaluate(&self.current_coding, &detected, &stragglers)
         {
-            costs.reconfiguration = self.apply_adaptation(
+            costs.reconfiguration += self.apply_adaptation(
                 &decision.evict_workers,
                 decision.new_config,
                 decision.reencode,
             );
-            reconfigured = decision.reencode;
+            reconfigured |= decision.reencode;
         }
 
         *cumulative += costs.total();
@@ -601,6 +660,99 @@ impl<M: PrimeModulus> DistributedTrainer<M> {
     /// Replaces the Byzantine specification mid-run.
     pub fn set_byzantine(&mut self, byzantine: ByzantineSpec) {
         self.byzantine = byzantine;
+    }
+
+    /// How many re-dispatches a parked round is allowed before the driver
+    /// shrink-recodes (see [`DistributedTrainer::shrink_to_fit`]).
+    pub fn stall_budget(&self) -> usize {
+        self.config.stall_budget
+    }
+
+    /// Reports how many workers were actually live in the iteration about to
+    /// be collected. Callers that stop collecting at the decode threshold
+    /// (the pipelined scheduler) must set this every iteration, or the
+    /// autopilot would mistake the never-awaited workers for churned-out
+    /// ones and shrink the code indefinitely. Consumed by the next
+    /// [`DistributedTrainer::collect_round2`]; the synchronous driver, whose
+    /// executors return every live worker, never needs it.
+    pub fn set_live_hint(&mut self, live: usize) {
+        self.live_hint = Some(live);
+    }
+
+    /// The churn-aware autopilot (its smoothed rates are inspectable even
+    /// when disabled — they stay at zero because nothing feeds them).
+    pub fn autopilot(&self) -> &Autopilot {
+        &self.autopilot
+    }
+
+    /// Fleet-level lifecycle events recorded by the driver and its callers:
+    /// parks, resumes, shrink-recodes and autopilot retunes, stamped with
+    /// the training-iteration clock.
+    pub fn fleet_events(&self) -> &[ChurnEvent] {
+        &self.fleet_events
+    }
+
+    /// Records a fleet-level lifecycle event (the `worker` field of
+    /// fleet-level [`ChurnEvent`]s carries the responding-worker count).
+    pub fn note_fleet_event(&mut self, round: u64, workers: usize, kind: ChurnEventKind) {
+        self.fleet_events.push(ChurnEvent {
+            round,
+            worker: workers,
+            kind,
+        });
+    }
+
+    /// Shrink-recodes after a parked round exhausted its stall budget: every
+    /// fleet slot is kept (absent workers may still rejoin, and the autopilot
+    /// may later grow `K` back), but `K` is lowered so the recovery threshold
+    /// fits the `available` workers that are actually responding.
+    ///
+    /// Abandons any in-flight iteration (the caller restarts it on the new
+    /// code) and defers the re-encoding cost to the restarted iteration's
+    /// record. Returns the original failure when no strictly smaller
+    /// decodable code exists or the scheme's engines cannot re-encode
+    /// (non-verifying schemes).
+    pub fn shrink_to_fit(
+        &mut self,
+        round: u64,
+        available: usize,
+        required: usize,
+    ) -> Result<(), SchemeFailure> {
+        let fail = || SchemeFailure::NotEnoughResults {
+            available,
+            required,
+        };
+        if !self.config.scheme.verifies() || available == 0 {
+            return Err(fail());
+        }
+        let current = self.current_coding;
+        // Largest K with (K + T − 1)·deg + 1 ≤ available.
+        let budget = (available - 1) / current.degree;
+        let Some(k) = (budget + 1).checked_sub(current.colluding) else {
+            return Err(fail());
+        };
+        if k == 0 || k >= current.partitions {
+            // No decodable code fits, or shrinking cannot lower the
+            // threshold any further: waiting longer is the only option left.
+            return Err(fail());
+        }
+        let threshold = (k + current.colluding - 1) * current.degree + 1;
+        let stragglers = current
+            .workers
+            .saturating_sub(threshold + current.byzantine);
+        let new_config = SchemeConfig::new(
+            current.workers,
+            k,
+            stragglers,
+            current.byzantine,
+            current.colluding,
+            current.degree,
+        )
+        .map_err(|_| fail())?;
+        self.reset_pipeline();
+        self.pending_reconfiguration += self.apply_adaptation(&[], new_config, true);
+        self.note_fleet_event(round, available, ChurnEventKind::ShrinkRecoded);
+        Ok(())
     }
 }
 

@@ -36,10 +36,12 @@ use std::time::{Duration, Instant};
 use avcc_core::engines::AvccMatVec;
 use avcc_core::rounds::field_vector_bytes;
 use avcc_core::{
-    BatchRoundTask, DistributedTrainer, MatVecEngine, RoundTask, TrainingReport, TrainingRound,
+    BatchRoundTask, DistributedTrainer, MatVecEngine, RoundTask, SchemeFailure, TrainingReport,
+    TrainingRound,
 };
 use avcc_field::{Fp, PrimeModulus};
 use avcc_pool::Scope;
+use avcc_sim::churn::{ChurnEventKind, ChurnSchedule, ChurnState};
 use avcc_sim::cluster::{ClusterProfile, NetworkModel};
 use avcc_sim::executor::{slowdown_sleep_seconds, WorkerOutcome};
 use avcc_sim::metrics::{JobMetrics, ServingMetrics};
@@ -165,6 +167,7 @@ enum JobEngine<M: PrimeModulus> {
 
 /// One worker task on the fleet: a single-function share product or a batch
 /// of `m` of them over the same share.
+#[derive(Clone)]
 enum FleetTask<M: PrimeModulus> {
     Single(RoundTask<M>),
     Batch(BatchRoundTask<M>),
@@ -218,6 +221,11 @@ struct ActiveJob<M: PrimeModulus> {
     /// Decoder basis-cache counters at admission; the job's metrics report
     /// the delta at completion.
     cache_baseline: (u64, u64),
+    /// A copy of the current round's tasks (cheap: both halves sit behind
+    /// `Arc`s), kept so a parked round can be re-dispatched verbatim.
+    tasks: Vec<FleetTask<M>>,
+    /// Consecutive re-dispatches of the current parked round.
+    stalls: usize,
 }
 
 impl<M: PrimeModulus> ActiveJob<M> {
@@ -244,6 +252,14 @@ impl<M: PrimeModulus> ActiveJob<M> {
             }
         }
     }
+
+    /// Per-worker slowdown snapshot for re-dispatching the current round.
+    fn slowdowns(&self) -> Vec<f64> {
+        match &self.engine {
+            JobEngine::Training { trainer, .. } => effective_slowdowns(trainer.cluster()),
+            JobEngine::MatVec { .. } | JobEngine::MatVecBatch { .. } => vec![1.0; self.tasks.len()],
+        }
+    }
 }
 
 /// What one master step did to a collectable job.
@@ -252,6 +268,11 @@ enum Step<M: PrimeModulus> {
     Continue(Vec<FleetTask<M>>, Vec<f64>),
     /// The collect failed on a short prefix; wait for one more arrival.
     Wait,
+    /// The round came back below the recovery threshold with every
+    /// dispatched result in (churned workers absent): re-dispatch the same
+    /// tasks — the next dispatch advances the churn clock, so absent
+    /// workers may have rejoined — while the stall budget lasts.
+    Park,
     /// The job finished (successfully or not).
     Done(JobOutput<M>),
 }
@@ -262,6 +283,7 @@ pub struct Scheduler<M: PrimeModulus> {
     config: SchedulerConfig,
     pending: VecDeque<PendingJob<M>>,
     next_id: JobId,
+    churn: Option<ChurnState>,
 }
 
 impl<M: PrimeModulus> Scheduler<M> {
@@ -271,7 +293,24 @@ impl<M: PrimeModulus> Scheduler<M> {
             config,
             pending: VecDeque::new(),
             next_id: 0,
+            churn: None,
         }
+    }
+
+    /// Injects a churn schedule over the *logical* worker fleet (the worker
+    /// indices jobs dispatch to, not the [`Fleet`]'s thread slots). The
+    /// schedule's clock is the global dispatch counter: every dispatched
+    /// round — including re-dispatches of parked rounds — advances it one
+    /// tick, so the scheduling is deterministic and wall-clock-free.
+    ///
+    /// While a worker is down (or inside a corrupt window — the in-process
+    /// fleet has no wire checksums, so a corrupting worker is simply not
+    /// dispatched to), its tasks are skipped; a stalled worker's sleep is
+    /// scaled by the stall multiplier. Training rounds that fall below the
+    /// recovery threshold park and re-dispatch up to the trainer's stall
+    /// budget, then shrink-recode; see [`DistributedTrainer::shrink_to_fit`].
+    pub fn set_churn(&mut self, schedule: ChurnSchedule, workers: usize) {
+        self.churn = Some(ChurnState::new(schedule, workers));
     }
 
     /// The scheduler's configuration.
@@ -337,6 +376,10 @@ impl<M: PrimeModulus> Scheduler<M> {
                 match start_job(pending, next_serial) {
                     Ok((mut job, tasks, slowdowns)) => {
                         next_serial += 1;
+                        if let Some(churn) = self.churn.as_mut() {
+                            churn.advance_to(job.serial);
+                        }
+                        job.tasks = tasks.clone();
                         job.dispatched = dispatch_round(
                             scope,
                             &tx,
@@ -345,7 +388,9 @@ impl<M: PrimeModulus> Scheduler<M> {
                             sleep_per_unit,
                             tasks,
                             &slowdowns,
+                            self.churn.as_ref(),
                         );
+                        job.needed = job.needed.min(job.dispatched);
                         *entry = Some(job);
                     }
                     Err(completed) => {
@@ -375,8 +420,12 @@ impl<M: PrimeModulus> Scheduler<M> {
                     Step::Continue(tasks, slowdowns) => {
                         job.serial = next_serial;
                         next_serial += 1;
+                        if let Some(churn) = self.churn.as_mut() {
+                            churn.advance_to(job.serial);
+                        }
                         job.outcomes.clear();
                         job.round_started_at = Instant::now();
+                        job.tasks = tasks.clone();
                         job.dispatched = dispatch_round(
                             scope,
                             &tx,
@@ -385,7 +434,33 @@ impl<M: PrimeModulus> Scheduler<M> {
                             sleep_per_unit,
                             tasks,
                             &slowdowns,
+                            self.churn.as_ref(),
                         );
+                        job.needed = job.needed.min(job.dispatched);
+                        *entry = Some(job);
+                        progressed = true;
+                    }
+                    Step::Park => {
+                        job.serial = next_serial;
+                        next_serial += 1;
+                        if let Some(churn) = self.churn.as_mut() {
+                            churn.advance_to(job.serial);
+                        }
+                        job.outcomes.clear();
+                        job.round_started_at = Instant::now();
+                        let tasks = job.tasks.clone();
+                        let slowdowns = job.slowdowns();
+                        job.dispatched = dispatch_round(
+                            scope,
+                            &tx,
+                            slot,
+                            job.serial,
+                            sleep_per_unit,
+                            tasks,
+                            &slowdowns,
+                            self.churn.as_ref(),
+                        );
+                        job.needed = job.needed.min(job.dispatched);
                         *entry = Some(job);
                         progressed = true;
                     }
@@ -563,6 +638,8 @@ fn start_job<M: PrimeModulus>(
         admitted_at: now,
         metrics,
         cache_baseline: (0, 0),
+        tasks: Vec::new(),
+        stalls: 0,
     };
     job.cache_baseline = job.decode_cache_stats();
     Ok((job, tasks, slowdowns))
@@ -570,7 +647,10 @@ fn start_job<M: PrimeModulus>(
 
 /// Spawns one round's tasks onto the fleet. Each task computes its share
 /// product, sleeps out its worker's straggler slowdown, and sends the tagged
-/// result back to the scheduler. Returns the number of tasks dispatched.
+/// result back to the scheduler. Tasks addressed to churned-down (or
+/// corrupt-window) workers are skipped entirely — those workers are silently
+/// absent from the round. Returns the number of tasks dispatched.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_round<'scope, M: PrimeModulus>(
     scope: &Scope<'scope>,
     tx: &Sender<TaskMessage<M>>,
@@ -579,12 +659,20 @@ fn dispatch_round<'scope, M: PrimeModulus>(
     sleep_per_unit: f64,
     tasks: Vec<FleetTask<M>>,
     slowdowns: &[f64],
+    churn: Option<&ChurnState>,
 ) -> usize {
-    let count = tasks.len();
+    let mut count = 0;
     for task in tasks {
-        let tx = tx.clone();
         let worker = task.worker();
-        let slowdown = slowdowns.get(worker).copied().unwrap_or(1.0);
+        if let Some(churn) = churn {
+            if churn.is_down(worker) || churn.is_corrupting(worker) {
+                continue;
+            }
+        }
+        count += 1;
+        let tx = tx.clone();
+        let slowdown = slowdowns.get(worker).copied().unwrap_or(1.0)
+            * churn.map_or(1.0, |c| c.slowdown_multiplier(worker));
         let sleep = slowdown_sleep_seconds(slowdown, sleep_per_unit);
         scope.spawn(move || {
             let started = Instant::now();
@@ -657,6 +745,14 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
         } => match round {
             TrainingRound::Round1 => match trainer.collect_round1(&job.outcomes) {
                 Ok(tasks) => {
+                    if job.stalls > 0 {
+                        trainer.note_fleet_event(
+                            *iteration as u64,
+                            job.outcomes.len(),
+                            ChurnEventKind::Resumed,
+                        );
+                        job.stalls = 0;
+                    }
                     job.metrics.rounds += 1;
                     *round = TrainingRound::Round2;
                     job.needed = trainer.round_min_results(TrainingRound::Round2);
@@ -671,13 +767,33 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                         job.needed = job.outcomes.len() + 1;
                         Step::Wait
                     } else {
-                        Step::Done(JobOutput::Failed(failure))
+                        park_or_shrink(
+                            trainer,
+                            *iteration,
+                            round,
+                            &mut job.needed,
+                            &mut job.stalls,
+                            failure,
+                        )
                     }
                 }
             },
             TrainingRound::Round2 => {
+                // The round stopped collecting at `needed` arrivals; tell the
+                // trainer how many workers were actually dispatched so the
+                // autopilot's missing-worker estimate reflects churn, not the
+                // early cutoff.
+                trainer.set_live_hint(job.dispatched);
                 match trainer.collect_round2(*iteration, &job.outcomes, cumulative) {
                     Ok(record) => {
+                        if job.stalls > 0 {
+                            trainer.note_fleet_event(
+                                *iteration as u64,
+                                job.outcomes.len(),
+                                ChurnEventKind::Resumed,
+                            );
+                            job.stalls = 0;
+                        }
                         job.metrics.rounds += 1;
                         job.metrics.ops = job.metrics.ops.combined(&record.ops);
                         job.metrics.screened_workers += record.screened_workers.len() as u64;
@@ -703,7 +819,14 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                             job.needed = job.outcomes.len() + 1;
                             Step::Wait
                         } else {
-                            Step::Done(JobOutput::Failed(failure))
+                            park_or_shrink(
+                                trainer,
+                                *iteration,
+                                round,
+                                &mut job.needed,
+                                &mut job.stalls,
+                                failure,
+                            )
                         }
                     }
                 }
@@ -768,6 +891,55 @@ fn step<M: PrimeModulus>(job: &mut ActiveJob<M>) -> Step<M> {
                 }
             }
         }
+    }
+}
+
+/// Park/shrink policy for a training round that failed with every dispatched
+/// result already in (churned workers absent, not merely late): re-dispatch
+/// the same round while the trainer's stall budget lasts — the churn clock
+/// advances per dispatch, so absent workers may rejoin — then shrink-recode
+/// to a smaller `K` and restart the iteration. The job fails only when no
+/// strictly smaller decodable code exists.
+fn park_or_shrink<M: PrimeModulus>(
+    trainer: &mut DistributedTrainer<M>,
+    iteration: usize,
+    round: &mut TrainingRound,
+    needed: &mut usize,
+    stalls: &mut usize,
+    failure: SchemeFailure,
+) -> Step<M> {
+    let SchemeFailure::NotEnoughResults {
+        available,
+        required,
+    } = failure
+    else {
+        return Step::Done(JobOutput::Failed(failure));
+    };
+    if *stalls < trainer.stall_budget() {
+        if *stalls == 0 {
+            trainer.note_fleet_event(iteration as u64, available, ChurnEventKind::Parked);
+        }
+        *stalls += 1;
+        *needed = required;
+        Step::Park
+    } else if trainer
+        .shrink_to_fit(iteration as u64, available, required)
+        .is_ok()
+    {
+        *stalls = 0;
+        *round = TrainingRound::Round1;
+        let tasks = trainer.encode_round1();
+        *needed = trainer.round_min_results(TrainingRound::Round1);
+        let slowdowns = effective_slowdowns(trainer.cluster());
+        Step::Continue(
+            tasks.into_iter().map(FleetTask::Single).collect(),
+            slowdowns,
+        )
+    } else {
+        Step::Done(JobOutput::Failed(SchemeFailure::NotEnoughResults {
+            available,
+            required,
+        }))
     }
 }
 

@@ -29,7 +29,7 @@ fn quick(scheme: SchemeKind, stragglers: usize, byzantine: usize, seed: u64) -> 
     };
     // Clamp the injected faults to each scheme's designed tolerance so the
     // run is guaranteed to succeed (beyond-design behaviour is covered by
-    // `overwhelmed_job_fails_without_blocking_the_rest`). The uncoded
+    // `overwhelmed_job_shrink_recodes_instead_of_failing`). The uncoded
     // baseline tolerates nothing but fails on nothing either: corruption
     // flows into the model deterministically.
     let (config_stragglers, config_byzantine) = match scheme {
@@ -213,30 +213,49 @@ fn mixed_training_and_matvec_jobs_share_the_fleet() {
 }
 
 #[test]
-fn overwhelmed_job_fails_without_blocking_the_rest() {
+fn overwhelmed_job_shrink_recodes_instead_of_failing() {
     // Five Byzantine workers leave only 7 honest results — below AVCC's
-    // recovery threshold of 9 — so that job must abort with a scheme failure
-    // after retrying through every arrival, while its neighbour completes.
-    let mut doomed = quick(SchemeKind::Avcc, 0, 1, 21);
-    doomed.scenario = FaultScenario::paper(0, 5, AttackModel::constant());
+    // designed recovery threshold of 9. Instead of aborting (the pre-elastic
+    // behaviour), the scheduler exhausts the round's stall budget and then
+    // shrink-recodes to a K whose threshold fits the 7 usable results, so
+    // the job completes; its neighbour is untouched throughout.
+    //
+    // Decode is exact whatever the code dimension and the corrupt results
+    // are detected and excluded, so the rescued job's model trajectory must
+    // equal a fault-free run of the same problem bit for bit.
+    let mut overwhelmed = quick(SchemeKind::Avcc, 0, 1, 21);
+    overwhelmed.scenario = FaultScenario::paper(0, 5, AttackModel::constant());
+    let clean_reference = {
+        let mut config = overwhelmed.clone();
+        config.scenario = FaultScenario::none();
+        config
+    };
     let healthy = quick(SchemeKind::Avcc, 1, 0, 22);
 
     let fleet = Fleet::new(2);
     let mut scheduler = Scheduler::<P25>::new(SchedulerConfig::default());
-    let doomed_id = scheduler.submit(JobSpec::Training(doomed)).unwrap();
+    let rescued_id = scheduler.submit(JobSpec::Training(overwhelmed)).unwrap();
     let healthy_id = scheduler
         .submit(JobSpec::Training(healthy.clone()))
         .unwrap();
     let report = scheduler.run(&fleet);
 
-    assert_eq!(report.metrics.jobs_failed, 1);
-    assert_eq!(report.metrics.jobs_completed, 1);
-    assert!(report.job(doomed_id).unwrap().output.is_failed());
+    assert_eq!(report.metrics.jobs_failed, 0);
+    assert_eq!(report.metrics.jobs_completed, 2);
+    let JobOutput::Training(rescued) = &report.job(rescued_id).unwrap().output else {
+        panic!("rescued job must produce a report");
+    };
+    assert!(
+        rescued.reconfiguration_count() >= 1,
+        "the rescue must have re-encoded"
+    );
+    let clean_oracle = clean_reference.build_trainer::<P25>().train().unwrap();
+    assert_trajectories_match(rescued, &clean_oracle, "shrink-recoded job");
     let JobOutput::Training(served) = &report.job(healthy_id).unwrap().output else {
         panic!("healthy job must produce a report");
     };
     let oracle = healthy.build_trainer::<P25>().train().unwrap();
-    assert_trajectories_match(served, &oracle, "healthy job next to a failing one");
+    assert_trajectories_match(served, &oracle, "healthy job next to a parked one");
 }
 
 #[test]

@@ -34,6 +34,7 @@ use std::time::Instant;
 
 use avcc_wire::{result_frame_bytes, Block, TypedBlock, WireError};
 
+use crate::churn::{ChurnEvent, ChurnSchedule, ChurnState};
 use crate::cluster::ClusterProfile;
 
 /// The result of one worker's participation in a round.
@@ -182,6 +183,32 @@ pub trait Executor {
     fn round_evictions(&self) -> &[Eviction] {
         &[]
     }
+
+    /// Typed churn records accumulated so far, in firing order. Empty unless
+    /// a [`ChurnSchedule`] was installed on the executor
+    /// (`set_churn` on the concrete engines); the schedule clock is the
+    /// `round` argument of [`execute_round`](Executor::execute_round), never
+    /// wall time.
+    fn churn_events(&self) -> &[ChurnEvent] {
+        &[]
+    }
+
+    /// Number of workers currently serving rounds: fleet width minus workers
+    /// the churn schedule holds down right now.
+    fn live_workers(&self) -> usize {
+        self.workers()
+    }
+}
+
+/// Makes a payload detectably corrupt: the first element of the first
+/// non-empty part is set to `u64::MAX`, which is non-canonical for every
+/// supported modulus, so the wire lift drops the worker from the round.
+/// Deterministic and scheme-independent — exactly the corruption shape the
+/// chaos harness's corrupt-then-rejoin schedules need.
+fn clobber(payload: &mut [Vec<u64>]) {
+    if let Some(part) = payload.iter_mut().find(|part| !part.is_empty()) {
+        part[0] = u64::MAX;
+    }
 }
 
 /// Installs wire blocks as typed blocks, validating each against its modulus.
@@ -206,6 +233,8 @@ pub struct VirtualExecutor {
     pub time_scale: f64,
     /// Per-job resident blocks for the modulus-erased [`Executor`] path.
     blocks: HashMap<u64, Vec<TypedBlock>>,
+    /// Scripted fleet churn, consumed on the round clock (`None` = quiet).
+    churn: Option<ChurnState>,
 }
 
 impl VirtualExecutor {
@@ -216,7 +245,20 @@ impl VirtualExecutor {
             profile,
             time_scale: 40.0,
             blocks: HashMap::new(),
+            churn: None,
         }
+    }
+
+    /// Installs a churn schedule, consumed against the round indices passed
+    /// to [`Executor::execute_round`]. Replaces any previous schedule and
+    /// resets its state.
+    pub fn set_churn(&mut self, schedule: ChurnSchedule) {
+        self.churn = Some(ChurnState::new(schedule, self.profile.len()));
+    }
+
+    /// The churn state, if a schedule is installed.
+    pub fn churn(&self) -> Option<&ChurnState> {
+        self.churn.as_ref()
     }
 
     /// Sets the compute-time scale factor.
@@ -331,6 +373,8 @@ pub struct ThreadedExecutor {
     /// Per-job resident blocks for the modulus-erased [`Executor`] path
     /// (`Arc` so pool tasks can share them without cloning matrices).
     blocks: HashMap<u64, Vec<Arc<TypedBlock>>>,
+    /// Scripted fleet churn, consumed on the round clock (`None` = quiet).
+    churn: Option<ChurnState>,
 }
 
 impl ThreadedExecutor {
@@ -340,12 +384,25 @@ impl ThreadedExecutor {
             profile,
             sleep_per_slowdown_unit: 0.01,
             blocks: HashMap::new(),
+            churn: None,
         }
     }
 
     /// The cluster profile.
     pub fn profile(&self) -> &ClusterProfile {
         &self.profile
+    }
+
+    /// Installs a churn schedule, consumed against the round indices passed
+    /// to [`Executor::execute_round`]. Replaces any previous schedule and
+    /// resets its state.
+    pub fn set_churn(&mut self, schedule: ChurnSchedule) {
+        self.churn = Some(ChurnState::new(schedule, self.profile.len()));
+    }
+
+    /// The churn state, if a schedule is installed.
+    pub fn churn(&self) -> Option<&ChurnState> {
+        self.churn.as_ref()
     }
 
     /// Runs one round as pool tasks. Results are returned in arrival order
@@ -444,9 +501,12 @@ impl Executor for VirtualExecutor {
     fn execute_round(
         &mut self,
         job: u64,
-        _round: u64,
+        round: u64,
         inputs: &[Vec<Vec<u64>>],
     ) -> Result<Vec<WorkerOutcome<Vec<Vec<u64>>>>, ExecutorError> {
+        if let Some(churn) = self.churn.as_mut() {
+            churn.advance_to(round);
+        }
         let blocks = self
             .blocks
             .get(&job)
@@ -457,15 +517,27 @@ impl Executor for VirtualExecutor {
                 workers: blocks.len(),
             });
         }
+        let churn = self.churn.as_ref();
         let mut outcomes: Vec<WorkerOutcome<Vec<Vec<u64>>>> = Vec::with_capacity(inputs.len());
         for (worker, worker_inputs) in inputs.iter().enumerate() {
+            if churn.is_some_and(|c| c.is_down(worker)) {
+                // A downed worker simply contributes no outcome — the same
+                // shape as a straggler beyond the horizon.
+                continue;
+            }
             let started = Instant::now();
-            let payload = blocks[worker]
+            let mut payload = blocks[worker]
                 .execute(worker_inputs)
                 .map_err(|error| ExecutorError::BadBlock { worker, error })?;
+            if churn.is_some_and(|c| c.is_corrupting(worker)) {
+                clobber(&mut payload);
+            }
             let measured = started.elapsed().as_secs_f64();
-            let compute_seconds =
-                measured * self.time_scale * self.profile.worker(worker).effective_slowdown();
+            let stall = churn.map_or(1.0, |c| c.slowdown_multiplier(worker));
+            let compute_seconds = measured
+                * self.time_scale
+                * self.profile.worker(worker).effective_slowdown()
+                * stall;
             let functions = payload.len();
             let output_len = payload.first().map_or(0, Vec::len);
             // Charge the *true* wire size of the result frame, so the
@@ -489,6 +561,16 @@ impl Executor for VirtualExecutor {
                 .expect("arrival times are finite")
         });
         Ok(outcomes)
+    }
+
+    fn churn_events(&self) -> &[ChurnEvent] {
+        self.churn.as_ref().map_or(&[], ChurnState::events)
+    }
+
+    fn live_workers(&self) -> usize {
+        self.churn
+            .as_ref()
+            .map_or(self.profile.len(), ChurnState::live_count)
     }
 }
 
@@ -518,9 +600,12 @@ impl Executor for ThreadedExecutor {
     fn execute_round(
         &mut self,
         job: u64,
-        _round: u64,
+        round: u64,
         inputs: &[Vec<Vec<u64>>],
     ) -> Result<Vec<WorkerOutcome<Vec<Vec<u64>>>>, ExecutorError> {
+        if let Some(churn) = self.churn.as_mut() {
+            churn.advance_to(round);
+        }
         let blocks = self
             .blocks
             .get(&job)
@@ -531,13 +616,22 @@ impl Executor for ThreadedExecutor {
                 workers: blocks.len(),
             });
         }
+        let churn = self.churn.as_ref();
+        let corrupting: Vec<bool> = (0..inputs.len())
+            .map(|w| churn.is_some_and(|c| c.is_corrupting(w)))
+            .collect();
         let (sender, receiver) = mpsc::channel();
         let round_start = Instant::now();
         avcc_pool::scope(|scope| {
             for (worker, worker_inputs) in inputs.iter().enumerate() {
+                if churn.is_some_and(|c| c.is_down(worker)) {
+                    // Down per the schedule: no task, no outcome.
+                    continue;
+                }
                 let sender = sender.clone();
                 let block = Arc::clone(&blocks[worker]);
-                let slowdown = self.profile.worker(worker).effective_slowdown();
+                let slowdown = self.profile.worker(worker).effective_slowdown()
+                    * churn.map_or(1.0, |c| c.slowdown_multiplier(worker));
                 let extra_sleep = slowdown_sleep_seconds(slowdown, self.sleep_per_slowdown_unit);
                 scope.spawn(move || {
                     let task_start = Instant::now();
@@ -554,7 +648,10 @@ impl Executor for ThreadedExecutor {
         drop(sender);
         let mut outcomes = Vec::with_capacity(inputs.len());
         for (worker, payload, compute_seconds, sent_at) in receiver.iter() {
-            let payload = payload.map_err(|error| ExecutorError::BadBlock { worker, error })?;
+            let mut payload = payload.map_err(|error| ExecutorError::BadBlock { worker, error })?;
+            if corrupting[worker] {
+                clobber(&mut payload);
+            }
             let functions = payload.len();
             let output_len = payload.first().map_or(0, Vec::len);
             let network_seconds = self
@@ -571,6 +668,16 @@ impl Executor for ThreadedExecutor {
             });
         }
         Ok(outcomes)
+    }
+
+    fn churn_events(&self) -> &[ChurnEvent] {
+        self.churn.as_ref().map_or(&[], ChurnState::events)
+    }
+
+    fn live_workers(&self) -> usize {
+        self.churn
+            .as_ref()
+            .map_or(self.profile.len(), ChurnState::live_count)
     }
 }
 
@@ -713,6 +820,68 @@ mod tests {
         for outcome in &outcomes {
             assert_eq!(outcome.payload, expected);
         }
+    }
+
+    /// A 2×2 block over the 25-bit field for trait-path churn tests.
+    fn tiny_block() -> avcc_wire::Block {
+        avcc_wire::Block {
+            modulus: <avcc_field::P25 as avcc_field::PrimeModulus>::MODULUS,
+            rows: 2,
+            cols: 2,
+            elements: vec![1, 2, 3, 4],
+        }
+    }
+
+    #[test]
+    fn threaded_churn_skips_down_workers_and_clobbers_corrupt_windows() {
+        use crate::churn::{ChurnAction, ChurnEventKind, ChurnSchedule};
+        let mut executor = ThreadedExecutor::new(ClusterProfile::uniform(4));
+        executor.sleep_per_slowdown_unit = 0.0;
+        executor.set_churn(
+            ChurnSchedule::quiet()
+                .at(0, ChurnAction::Crash { worker: 1 })
+                .at(
+                    0,
+                    ChurnAction::Corrupt {
+                        worker: 2,
+                        rounds: 1,
+                    },
+                ),
+        );
+        let blocks = vec![tiny_block(); 4];
+        executor.install_blocks(7, &blocks).unwrap();
+        let inputs = vec![vec![vec![1, 1]]; 4];
+        let outcomes = executor.execute_round(7, 0, &inputs).unwrap();
+        let mut seen: Vec<usize> = outcomes.iter().map(|o| o.worker).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2, 3], "worker 1 is down and must be absent");
+        assert_eq!(executor.live_workers(), 3);
+        let corrupt = outcomes.iter().find(|o| o.worker == 2).unwrap();
+        assert_eq!(corrupt.payload[0][0], u64::MAX, "clobbered, non-canonical");
+        let honest = outcomes.iter().find(|o| o.worker == 0).unwrap();
+        assert!(honest.payload[0].iter().all(|&v| v < u64::MAX));
+        let kinds: Vec<_> = executor.churn_events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&ChurnEventKind::Crash));
+        assert!(kinds.contains(&ChurnEventKind::CorruptStart));
+    }
+
+    #[test]
+    fn virtual_churn_flap_readmits_on_the_round_clock() {
+        use crate::churn::{ChaosSchedule, ChurnEventKind};
+        let mut executor = VirtualExecutor::new(ClusterProfile::uniform(4)).with_time_scale(1.0);
+        executor.set_churn(ChaosSchedule::flap(&[0], 1, 2));
+        executor.install_blocks(0, &vec![tiny_block(); 4]).unwrap();
+        let inputs = vec![vec![vec![1, 1]]; 4];
+        assert_eq!(executor.execute_round(0, 0, &inputs).unwrap().len(), 4);
+        assert_eq!(executor.execute_round(0, 1, &inputs).unwrap().len(), 3);
+        assert_eq!(executor.execute_round(0, 2, &inputs).unwrap().len(), 3);
+        assert_eq!(executor.execute_round(0, 3, &inputs).unwrap().len(), 4);
+        assert_eq!(executor.live_workers(), 4);
+        let kinds: Vec<_> = executor.churn_events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ChurnEventKind::FlapDown, ChurnEventKind::FlapUp]
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! therefore preserved while remaining fully reproducible and laptop-sized.
 //!
 //! * [`cluster`] — worker profiles, straggler injection and the network model.
+//! * [`churn`] — deterministic, seeded fleet churn (crash / join / stall /
+//!   corrupt / flap on the round clock) and the chaos-harness schedules.
 //! * [`attack`] — the paper's Byzantine attack models (reverse-value and
 //!   constant), applied to field-vector payloads.
 //! * [`executor`] — the in-process execution engines, see the table below.
@@ -58,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod churn;
 pub mod cluster;
 pub mod executor;
 pub mod metrics;
@@ -68,10 +71,15 @@ pub mod socket;
 pub use avcc_wire as wire;
 
 pub use attack::{AttackModel, ByzantineSpec};
-pub use cluster::{ClusterProfile, NetworkModel, WorkerProfile};
+pub use churn::{
+    ChaosSchedule, ChurnAction, ChurnEvent, ChurnEventKind, ChurnSchedule, ChurnState,
+};
+pub use cluster::{ClusterProfile, NetworkModel, SpeedTier, WorkerProfile};
 pub use executor::{
     slowdown_sleep_seconds, Eviction, EvictionReason, Executor, ExecutorError, ThreadedExecutor,
     VirtualExecutor, WorkerOutcome,
 };
 pub use metrics::{CostAccumulator, IterationCosts, JobMetrics, OpCounts, ServingMetrics};
-pub use socket::{SocketConfig, SocketExecutor, SocketMetrics, Transport, WorkerBackend};
+pub use socket::{
+    backoff_delay, SocketConfig, SocketExecutor, SocketMetrics, Transport, WorkerBackend,
+};

@@ -34,6 +34,20 @@
 //! straggler/Byzantine shape the decode layer already tolerates. The
 //! connection is torn down; at the next round the worker is respawned,
 //! re-handshaken and re-sent every cached block (`reconnect-or-evict`).
+//! Respawn attempts that *fail* back off with capped exponential delay and
+//! deterministic per-(worker, attempt) jitter — see [`backoff_delay`] — so a
+//! dead host is not hammered every round while the rest of the fleet makes
+//! progress; attempts are counted per worker in [`SocketMetrics`].
+//!
+//! # Churn
+//!
+//! A [`ChurnSchedule`] installed via
+//! [`SocketExecutor::set_churn`] is consumed on the round clock: a scheduled
+//! crash/flap tears the worker's real connection down and suppresses respawn
+//! while the schedule holds it down; re-admission goes through the ordinary
+//! respawn path (handshake + cached `LoadBlock` replay); a corruption window
+//! arms the wire-level `CorruptPayload` fault each round, so the master sees
+//! a genuine checksum mismatch and evicts the worker as a corrupt frame.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -52,6 +66,7 @@ use avcc_wire::{
     Task, TaskResult, WireError, WorkerOptions, DEFAULT_MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 
+use crate::churn::{ChurnEvent, ChurnSchedule, ChurnState};
 use crate::cluster::ClusterProfile;
 use crate::executor::{
     slowdown_sleep_seconds, Eviction, EvictionReason, Executor, ExecutorError, WorkerOutcome,
@@ -104,6 +119,12 @@ pub struct SocketConfig {
     pub sleep_per_slowdown_unit: f64,
     /// Respawn evicted/dead workers at the next round (reconnect-or-evict).
     pub respawn: bool,
+    /// Base delay of the capped exponential backoff between *failed* respawn
+    /// attempts for one worker (the first attempt after a death is
+    /// immediate).
+    pub respawn_backoff_base: Duration,
+    /// Upper bound on the respawn backoff delay.
+    pub respawn_backoff_cap: Duration,
 }
 
 impl Default for SocketConfig {
@@ -117,17 +138,45 @@ impl Default for SocketConfig {
             max_payload: DEFAULT_MAX_PAYLOAD,
             sleep_per_slowdown_unit: 0.01,
             respawn: true,
+            respawn_backoff_base: Duration::from_millis(50),
+            respawn_backoff_cap: Duration::from_secs(2),
         }
     }
 }
 
+/// The delay before retry number `attempt` (0-based) of worker `worker`:
+/// capped exponential growth from `base` with deterministic jitter.
+///
+/// The undelayed schedule is `base × 2^attempt`, clamped to `cap`; the
+/// returned delay is then jittered into `[half, full)` of that value using a
+/// SplitMix64 hash of `(worker, attempt)` — fully deterministic (no RNG
+/// state, no wall clock), yet de-synchronized across workers so a rack-wide
+/// outage does not produce a synchronized reconnect stampede.
+pub fn backoff_delay(attempt: u64, worker: usize, base: Duration, cap: Duration) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(16) as u32);
+    let full = exp.min(cap).max(Duration::from_micros(1));
+    // SplitMix64 of the (worker, attempt) pair.
+    let mut z = (worker as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attempt)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let fraction = (z % 1024) as f64 / 1024.0;
+    full.div_f64(2.0) + full.div_f64(2.0).mul_f64(fraction)
+}
+
 /// Wire-level counters the master accumulates across its lifetime.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SocketMetrics {
     /// Workers evicted mid-round (any reason).
     pub evictions: u64,
     /// Workers respawned after eviction or death.
     pub respawns: u64,
+    /// Respawn attempts per worker (successful or not) — the counter the
+    /// backoff policy spaces out.
+    pub respawn_attempts: Vec<u64>,
     /// Frames the master sent.
     pub frames_sent: u64,
     /// Frames the master received (including stale ones).
@@ -387,6 +436,13 @@ pub struct SocketExecutor {
     last_evictions: Vec<Eviction>,
     metrics: SocketMetrics,
     next_generation: u64,
+    /// Consecutive *failed* respawn attempts per worker since its last
+    /// successful spawn (drives the exponential backoff).
+    failed_respawns: Vec<u64>,
+    /// Earliest instant the next respawn attempt per worker is allowed.
+    respawn_after: Vec<Instant>,
+    /// Scripted fleet churn, consumed on the round clock (`None` = quiet).
+    churn: Option<ChurnState>,
 }
 
 impl SocketExecutor {
@@ -424,8 +480,14 @@ impl SocketExecutor {
             events_tx,
             blocks: HashMap::new(),
             last_evictions: Vec::new(),
-            metrics: SocketMetrics::default(),
+            metrics: SocketMetrics {
+                respawn_attempts: vec![0; width],
+                ..SocketMetrics::default()
+            },
             next_generation: 0,
+            failed_respawns: vec![0; width],
+            respawn_after: vec![Instant::now(); width],
+            churn: None,
         };
         for worker in 0..width {
             this.spawn_worker(worker)?;
@@ -435,7 +497,24 @@ impl SocketExecutor {
 
     /// Wire-level counters.
     pub fn metrics(&self) -> SocketMetrics {
-        self.metrics
+        self.metrics.clone()
+    }
+
+    /// Installs a churn schedule, consumed against the round indices passed
+    /// to [`Executor::execute_round`]. Replaces any previous schedule and
+    /// resets its state.
+    pub fn set_churn(&mut self, schedule: ChurnSchedule) {
+        self.churn = Some(ChurnState::new(schedule, self.links.len()));
+    }
+
+    /// The churn state, if a schedule is installed.
+    pub fn churn(&self) -> Option<&ChurnState> {
+        self.churn.as_ref()
+    }
+
+    /// Is `worker` currently held down by the churn schedule?
+    fn churn_down(&self, worker: usize) -> bool {
+        self.churn.as_ref().is_some_and(|c| c.is_down(worker))
     }
 
     /// Which transport this runtime is on.
@@ -588,17 +667,39 @@ impl SocketExecutor {
     /// Respawns a dead worker and re-sends every cached block it needs
     /// (reconnect-or-evict's reconnect half). Returns whether the worker is
     /// live afterwards.
+    ///
+    /// Failed attempts back off exponentially (capped, jittered — see
+    /// [`backoff_delay`]): while the backoff window is open the worker simply
+    /// stays dead for the round, costing nothing; the first attempt after a
+    /// death is immediate. A worker the churn schedule holds down is never
+    /// respawned (and burns no attempts) until the schedule re-admits it.
     fn ensure_live(&mut self, worker: usize) -> bool {
         if self.links[worker].is_some() {
             return true;
         }
-        if !self.config.respawn {
+        if !self.config.respawn || self.churn_down(worker) {
             return false;
         }
+        let now = Instant::now();
+        if now < self.respawn_after[worker] {
+            return false; // still backing off; no attempt burned
+        }
+        self.metrics.respawn_attempts[worker] += 1;
         if self.spawn_worker(worker).is_err() {
             self.links[worker] = None;
+            let attempt = self.failed_respawns[worker];
+            self.failed_respawns[worker] += 1;
+            self.respawn_after[worker] = now
+                + backoff_delay(
+                    attempt,
+                    worker,
+                    self.config.respawn_backoff_base,
+                    self.config.respawn_backoff_cap,
+                );
             return false;
         }
+        self.failed_respawns[worker] = 0;
+        self.respawn_after[worker] = now;
         self.metrics.respawns += 1;
         // Re-send the worker's block for every cached job.
         let frames: Vec<Frame> = self
@@ -724,9 +825,21 @@ impl Executor for SocketExecutor {
                 workers: job_width,
             });
         }
+        if let Some(churn) = self.churn.as_mut() {
+            churn.advance_to(round);
+        }
         self.last_evictions.clear();
         self.drain_idle_events();
         for worker in 0..inputs.len() {
+            if self.churn_down(worker) {
+                // Scheduled crash/flap: take the real connection down and
+                // skip the round silently — the churn event stream already
+                // records why the outcome is absent.
+                if self.links[worker].is_some() {
+                    self.kill_worker(worker);
+                }
+                continue;
+            }
             if !self.ensure_live(worker) {
                 self.evict(worker, round, EvictionReason::Disconnected);
             }
@@ -736,11 +849,23 @@ impl Executor for SocketExecutor {
         // Generation each in-flight worker's result must come from.
         let mut pending: Vec<Option<u64>> = vec![None; inputs.len()];
         for (worker, worker_inputs) in inputs.iter().enumerate() {
+            if self.links[worker].is_some()
+                && self.churn.as_ref().is_some_and(|c| c.is_corrupting(worker))
+            {
+                // Corruption window: arm the wire-level payload fault so the
+                // worker's next result arrives with a broken checksum and is
+                // evicted as a corrupt frame — the real defect, end to end.
+                let _ = self.inject_fault(worker, FaultKind::CorruptPayload);
+            }
             let Some(link) = self.links[worker].as_ref() else {
                 continue; // already evicted above
             };
             let generation = link.generation;
-            let slowdown = self.profile.worker(worker).effective_slowdown();
+            let slowdown = self.profile.worker(worker).effective_slowdown()
+                * self
+                    .churn
+                    .as_ref()
+                    .map_or(1.0, |c| c.slowdown_multiplier(worker));
             let sleep = slowdown_sleep_seconds(slowdown, self.config.sleep_per_slowdown_unit);
             let task = Task {
                 sleep_micros: (sleep * 1e6) as u64,
@@ -872,6 +997,16 @@ impl Executor for SocketExecutor {
 
     fn round_evictions(&self) -> &[Eviction] {
         &self.last_evictions
+    }
+
+    fn churn_events(&self) -> &[ChurnEvent] {
+        self.churn.as_ref().map_or(&[], ChurnState::events)
+    }
+
+    fn live_workers(&self) -> usize {
+        self.churn
+            .as_ref()
+            .map_or(self.links.len(), ChurnState::live_count)
     }
 }
 

@@ -246,6 +246,129 @@ fn socket_outcomes_carry_measured_timings() {
     assert!(metrics.bytes_received > 0);
 }
 
+/// Respawn attempts are counted per worker, and the backoff delay function
+/// is deterministic, capped and jittered.
+#[test]
+fn respawn_attempts_are_counted_and_backoff_is_deterministic() {
+    use avcc_sim::socket::backoff_delay;
+
+    let workers = 3;
+    let blocks = blocks(workers, 2, 2, 5);
+    let inputs = inputs(workers, 1, 2, 5);
+    let mut socket = SocketExecutor::with_config(
+        ClusterProfile::uniform(workers),
+        quick_config(Transport::Tcp),
+    )
+    .unwrap();
+    socket.install_blocks(4, &blocks).unwrap();
+    let _ = socket.execute_round(4, 0, &inputs).unwrap();
+    assert_eq!(socket.metrics().respawn_attempts, vec![0, 0, 0]);
+    socket.kill_worker(2);
+    let _ = socket.execute_round(4, 1, &inputs).unwrap();
+    let metrics = socket.metrics();
+    assert_eq!(
+        metrics.respawn_attempts,
+        vec![0, 0, 1],
+        "exactly the killed worker burns one (successful) respawn attempt"
+    );
+    assert_eq!(metrics.respawns, 1);
+
+    // The pure backoff schedule: deterministic, growing, capped, jittered.
+    let base = Duration::from_millis(50);
+    let cap = Duration::from_secs(2);
+    for worker in 0..4 {
+        for attempt in 0..10 {
+            let d = backoff_delay(attempt, worker, base, cap);
+            assert_eq!(d, backoff_delay(attempt, worker, base, cap));
+            assert!(d <= cap, "delay {d:?} beyond cap");
+            assert!(d >= base / 2, "delay {d:?} below half the base");
+        }
+        // Exponential growth dominates jitter across 4 doublings.
+        let early = backoff_delay(0, worker, base, cap);
+        let late = backoff_delay(4, worker, base, cap);
+        assert!(late > early, "backoff must grow: {early:?} vs {late:?}");
+    }
+    // Jitter de-synchronizes workers at the same attempt number.
+    let delays: Vec<Duration> = (0..6).map(|w| backoff_delay(3, w, base, cap)).collect();
+    assert!(delays.windows(2).any(|p| p[0] != p[1]));
+}
+
+/// A scripted churn schedule drives the real socket fleet: a flap takes the
+/// worker's connection down for two rounds (respawn suppressed), then
+/// re-admission replays its cached blocks and the fleet heals bit-for-bit.
+#[test]
+fn churn_flap_suppresses_respawn_then_readmits_with_cached_blocks() {
+    use avcc_sim::churn::{ChaosSchedule, ChurnEventKind};
+
+    let workers = 3;
+    let blocks = blocks(workers, 2, 2, 11);
+    let inputs = inputs(workers, 1, 2, 11);
+    let mut socket = SocketExecutor::with_config(
+        ClusterProfile::uniform(workers),
+        quick_config(Transport::Tcp),
+    )
+    .unwrap();
+    socket.set_churn(ChaosSchedule::flap(&[1], 1, 2));
+    socket.install_blocks(0, &blocks).unwrap();
+
+    let clean = payloads(socket.execute_round(0, 0, &inputs).unwrap());
+    assert_eq!(clean.len(), workers);
+
+    // Rounds 1 and 2: worker 1 is down; no respawn attempts may be burned.
+    for round in [1, 2] {
+        let outcomes = socket.execute_round(0, round, &inputs).unwrap();
+        let survivors: Vec<usize> = outcomes.iter().map(|o| o.worker).collect();
+        assert!(!survivors.contains(&1), "round {round}: worker 1 is down");
+        assert_eq!(outcomes.len(), workers - 1);
+        assert_eq!(socket.live_workers(), workers - 1);
+    }
+    assert_eq!(socket.metrics().respawn_attempts[1], 0);
+
+    // Round 3: re-admission — respawn, handshake, cached block replay.
+    let healed = payloads(socket.execute_round(0, 3, &inputs).unwrap());
+    assert_eq!(healed, clean, "re-admitted worker must compute identically");
+    let metrics = socket.metrics();
+    assert_eq!(metrics.respawn_attempts[1], 1);
+    assert!(metrics.respawns >= 1);
+    let kinds: Vec<ChurnEventKind> = socket.churn_events().iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![ChurnEventKind::FlapDown, ChurnEventKind::FlapUp]
+    );
+}
+
+/// A churn corruption window arms the wire-level payload fault: the master
+/// sees a genuine checksum mismatch, evicts the worker as a corrupt frame,
+/// and the worker rejoins honestly once the window closes.
+#[test]
+fn churn_corrupt_window_evicts_then_rejoins() {
+    use avcc_sim::churn::ChaosSchedule;
+
+    let workers = 3;
+    let blocks = blocks(workers, 2, 2, 17);
+    let inputs = inputs(workers, 1, 2, 17);
+    let mut socket = SocketExecutor::with_config(
+        ClusterProfile::uniform(workers),
+        quick_config(Transport::Uds),
+    )
+    .unwrap();
+    socket.set_churn(ChaosSchedule::corrupt_then_rejoin(&[0], 1, 1));
+    socket.install_blocks(0, &blocks).unwrap();
+
+    let clean = payloads(socket.execute_round(0, 0, &inputs).unwrap());
+
+    let corrupted = socket.execute_round(0, 1, &inputs).unwrap();
+    let survivors: Vec<usize> = corrupted.iter().map(|o| o.worker).collect();
+    assert!(!survivors.contains(&0), "corrupt result must not survive");
+    assert!(socket
+        .round_evictions()
+        .iter()
+        .any(|e| e.worker == 0 && e.reason == EvictionReason::CorruptFrame));
+
+    let healed = payloads(socket.execute_round(0, 2, &inputs).unwrap());
+    assert_eq!(healed, clean, "post-window round must be clean again");
+}
+
 /// Executor-level bookkeeping errors are typed, not panics.
 #[test]
 fn unknown_job_and_overwide_rounds_are_errors() {

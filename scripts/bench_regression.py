@@ -61,7 +61,13 @@ and enforces five regression gates:
   *strictly faster* than the ``redecode`` path (Berlekamp–Welch
   error-correcting decode of the same corrupted results). The win is
   structural: screening replaces the error-correcting solve with one
-  O(R·width) inner product and a t×t Hankel solve.
+  O(R·width) inner product and a t×t Hankel solve;
+* the PR10 churn gate: for every ``churn_recover/<case>`` triple the
+  ``autopilot`` run (adaptive-(K, T) retuning from smoothed churn rates)
+  must not lose to the ``static`` run under the same churn schedule
+  (``NOT_WORSE_TOLERANCE`` applies; the committed capture shows the
+  autopilot winning by avoiding parked re-dispatches). The ``quiet`` leg
+  of each triple is informational — it prices the churn itself.
 
 With ``--baseline NAME=PATH`` (repeatable) the script also renders a
 markdown trajectory table comparing the current run against the committed
@@ -114,6 +120,9 @@ WIRE_ENCODE_PAIR = re.compile(
 )
 SCREEN_PAIR = re.compile(
     r"^(?P<group>byzantine_screen)/k(?P<len>\d+)_byz(?P<byz>\d+)/(?P<path>redecode|screen)$"
+)
+CHURN_PAIR = re.compile(
+    r"^(?P<group>churn_recover)/\w+/(?P<path>static|autopilot)$"
 )
 MIN_GATED_K = 64
 MIN_GATED_CHAIN = 64
@@ -493,6 +502,15 @@ def main():
     # Berlekamp-Welch detect-and-redecode at K >= 64 under 1-3 Byzantine
     # workers.
     screen_checks, screen_failures = gate_screen(results)
+    # The PR10 gate: under the same churn schedule the adaptive-(K, T)
+    # autopilot must not lose to the static (reactive-controller)
+    # configuration. The autopilot's win — retuning the code down before the
+    # fleet drops below threshold, so no round parks — shrinks with the
+    # sleep scale, hence not-worse rather than a strict-speedup gate. The
+    # `churn_recover/*/quiet` id is informational (what the churn costs).
+    churn_checks, churn_failures = gate_not_worse(
+        results, CHURN_PAIR, "autopilot", "static", label="churn_recover static-vs-autopilot"
+    )
     failures = (
         ntt_failures
         + mont_failures
@@ -505,6 +523,7 @@ def main():
         + wire_crc_failures
         + wire_encode_failures
         + screen_failures
+        + churn_failures
     )
     summary = {
         "results_ns_per_iter": results,
@@ -519,6 +538,7 @@ def main():
         "wire_crc_checks": wire_crc_checks,
         "wire_encode_checks": wire_encode_checks,
         "byzantine_screen_checks": screen_checks,
+        "churn_recover_checks": churn_checks,
         "ok": not failures,
     }
     rendered = json.dumps(summary, indent=2, sort_keys=True)
